@@ -1,0 +1,94 @@
+"""Claim (Section 3.3) — Barnes-Hut makes the layout scale.
+
+"The basic force-directed algorithm has severe performance problems on
+scale — O(n^2) ... we adopt the scalable Barnes-hut algorithm —
+O(n log n)."  Reproduced two ways:
+
+* **interaction counts** — the naive pass evaluates exactly ``n - 1``
+  pairwise interactions per node; Barnes-Hut evaluates one per accepted
+  cell, growing ~logarithmically with *n*;
+* **wall time per step** — both layouts benchmarked on the same
+  clustered random graphs.  (The numpy-vectorized naive baseline has a
+  much smaller constant, so the asymptotic win shows in counts at any
+  size and in wall time at large sizes.)
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core import LayoutParams, QuadTree, make_layout
+
+
+def clustered_graph(layout, n, seed=0):
+    """n nodes in sqrt(n) star clusters chained by bridges."""
+    rng = random.Random(seed)
+    n_clusters = max(1, int(math.sqrt(n)))
+    hubs = []
+    count = 0
+    for c in range(n_clusters):
+        hub = f"hub{c}"
+        layout.add_node(hub)
+        hubs.append(hub)
+        count += 1
+        while count < (c + 1) * n // n_clusters:
+            name = f"n{count}"
+            layout.add_node(name)
+            layout.add_edge(hub, name)
+            count += 1
+    for a, b in zip(hubs, hubs[1:]):
+        layout.add_edge(a, b)
+    # Shake once so positions are not the initial disc.
+    layout.run(max_steps=5, tolerance=0.0)
+    return layout
+
+
+SIZES = (64, 256, 1024, 4096)
+
+
+def test_interaction_counts_scale_n_log_n(report):
+    rng = random.Random(1)
+    lines = ["n      naive/node   barnes-hut/node   ratio"]
+    per_node = {}
+    for n in SIZES:
+        points = [(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(n)]
+        tree = QuadTree(points)
+        sample = range(0, n, max(1, n // 64))
+        bh = sum(tree.interactions(i, theta=0.7) for i in sample) / len(
+            list(sample)
+        )
+        naive = n - 1
+        per_node[n] = bh
+        lines.append(
+            f"{n:<6} {naive:11.0f}   {bh:15.1f}   {naive / bh:5.1f}x"
+        )
+    report("layout_scalability_interactions", lines)
+    # Barnes-Hut per-node work grows far slower than n: quadrupling n
+    # must not even double the per-node interaction count.
+    for small, large in zip(SIZES, SIZES[1:]):
+        assert per_node[large] < per_node[small] * 2.0
+    # And the advantage over naive widens with n.
+    assert (SIZES[-1] - 1) / per_node[SIZES[-1]] > (SIZES[0] - 1) / per_node[
+        SIZES[0]
+    ]
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "barneshut"])
+@pytest.mark.parametrize("n", [256, 1024])
+def test_step_time(benchmark, algorithm, n):
+    """Bench: one layout step per algorithm and size (compare groups)."""
+    layout = make_layout(algorithm, LayoutParams(), seed=2)
+    clustered_graph(layout, n)
+    benchmark.group = f"layout-step-n{n}"
+    benchmark(layout.step)
+
+
+def test_barneshut_handles_grid_scale():
+    """A 4000+-node layout converges in bounded time (the paper's
+    host-level Grid'5000 view)."""
+    layout = make_layout("barneshut", LayoutParams(), seed=3)
+    clustered_graph(layout, 4096)
+    moved = layout.step()
+    assert math.isfinite(moved)
+    assert len(layout) == 4096

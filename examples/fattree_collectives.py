@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Beyond the paper's case studies: collectives on a fat-tree, seen
+through every view the library offers.
+
+Runs a bulk-synchronous step (broadcast -> compute -> all-to-all ->
+reduce) on a k=4 fat-tree — the "regular topology" class the paper's
+related work is limited to — and analyzes one run four ways:
+
+1. the scalable **topology view** (the paper's contribution), at edge-
+   switch and pod aggregation levels;
+2. the classical **timeline view** (Gantt) the paper contrasts against;
+3. the **treemap** companion view;
+4. the **critical path**, decomposing the makespan.
+
+Run:  python examples/fattree_collectives.py
+"""
+
+from pathlib import Path
+
+from repro.analysis import critical_path
+from repro.core import AnalysisSession, Timeline, Treemap, render_svg
+from repro.mpi import MpiWorld, alltoall, bcast, reduce
+from repro.platform import fattree_platform
+from repro.simulation import Simulator, UsageMonitor
+from repro.trace import USAGE
+
+OUT = Path(__file__).resolve().parent / "output"
+
+
+def bsp_step(rank_ctx):
+    """One bulk-synchronous superstep."""
+    weights = yield from bcast(rank_ctx, root=0, size=2e6, payload="weights")
+    assert weights == "weights"
+    yield rank_ctx.execute(2e9)  # local phase
+    columns = [f"{rank_ctx.rank}->{j}" for j in range(rank_ctx.size)]
+    yield from alltoall(rank_ctx, size=5e5, values=columns)
+    total = yield from reduce(rank_ctx, root=0, size=1e4, value=1)
+    if rank_ctx.rank == 0:
+        print(f"  reduce checksum: {total} ranks participated")
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    platform = fattree_platform(k=4)
+    print(f"fat-tree: {len(platform.hosts)} hosts, "
+          f"{len(platform.routers)} switches, {len(platform.links)} links")
+    monitor = UsageMonitor(platform, record_states=True, record_messages=True)
+    sim = Simulator(platform, monitor)
+    world = MpiWorld(sim, platform.host_names(), name="bsp")
+    world.launch(bsp_step)
+    makespan = sim.run()
+    print(f"superstep makespan: {makespan:.3f}s")
+    trace = monitor.build_trace()
+
+    # 1. Topology views -------------------------------------------------
+    session = AnalysisSession(trace, seed=13)
+    view = session.view(settle_steps=250)
+    render_svg(view, OUT / "fattree_hosts.svg",
+               title="fat-tree, host level", heat_fill=True)
+    session.aggregate_depth(3)  # edge-switch groups
+    render_svg(session.view(settle_steps=150), OUT / "fattree_edges.svg",
+               title="fat-tree, edge-switch level", heat_fill=True)
+    session.aggregate_depth(2)  # pods
+    pods = session.view(settle_steps=150)
+    render_svg(pods, OUT / "fattree_pods.svg",
+               title="fat-tree, pod level", heat_fill=True)
+    print(f"topology views: {len(view)} -> {len(pods)} nodes after pod "
+          f"aggregation")
+
+    # 2. Timeline -------------------------------------------------------
+    timeline = Timeline.from_trace(trace)
+    timeline.render_svg(OUT / "fattree_gantt.svg")
+    compute_total = sum(
+        timeline.time_in_state(r, "compute") for r in timeline.rows
+    )
+    wait_total = sum(timeline.time_in_state(r, "wait") for r in timeline.rows)
+    print(f"timeline: {len(timeline.rows)} rows, "
+          f"{len(timeline.arrows)} messages, "
+          f"compute/wait = {compute_total:.1f}/{wait_total:.1f} rank-seconds")
+
+    # 3. Treemap ---------------------------------------------------------
+    treemap = Treemap.build(trace, metric=USAGE)
+    treemap.render_svg(OUT / "fattree_treemap.svg")
+    pods_cells = treemap.cells(depth=2)
+    print(f"treemap: {len(treemap)} cells; pod areas "
+          + ", ".join(f"{c.label}={c.value:.2e}" for c in pods_cells[:4]))
+
+    # 4. Critical path ----------------------------------------------------
+    path = critical_path(trace)
+    print(f"critical path: {path.length:.3f}s across "
+          f"{len(path.processes())} processes")
+    for state, duration in sorted(path.time_by_state().items()):
+        print(f"  {state:>8}: {duration:.3f}s "
+              f"({duration / path.length:.0%} of the path)")
+    print(f"\nSVGs written to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

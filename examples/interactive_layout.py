@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Interactive layout controls (Section 4.2, Fig. 5).
+
+Demonstrates the three force sliders and the mouse interaction on the
+two-cluster NAS-DT topology:
+
+* sweeping **charge** disperses the whole layout;
+* sweeping **spring** pulls connected nodes together;
+* **damping** controls how fast the layout converges;
+* **dragging** a pinned node makes its neighbours follow it.
+
+Every configuration is rendered to an SVG frame so the effect can be
+inspected, and the dispersion / mean-edge-length numbers are printed.
+
+Run:  python examples/interactive_layout.py
+"""
+
+from pathlib import Path
+
+from repro.core import AnalysisSession, render_svg
+from repro.mpi import run_nas_dt, sequential_deployment, white_hole
+from repro.platform import two_cluster_platform
+from repro.simulation import UsageMonitor
+
+OUT = Path(__file__).resolve().parent / "output"
+
+
+def traced_session(seed=3) -> AnalysisSession:
+    """A session over a real NAS-DT trace (gives the links some fill)."""
+    platform = two_cluster_platform()
+    hosts = sorted(
+        (h.name for h in platform.hosts),
+        key=lambda n: (not n.startswith("adonis"), int(n.rsplit("-", 1)[1])),
+    )
+    graph = white_hole("A")
+    monitor = UsageMonitor(platform)
+    run_nas_dt(platform, sequential_deployment(hosts, graph.n_nodes), graph, monitor)
+    return AnalysisSession(monitor.build_trace(), seed=seed)
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+    session = traced_session()
+
+    print("charge sweep (higher charge -> more disperse, Fig. 5 A/B):")
+    for charge in (100.0, 800.0, 3200.0):
+        session.set_layout_params(charge=charge)
+        session.view(settle_steps=400)
+        dispersion = session.dynamic.layout.dispersion()
+        print(f"  charge={charge:>6}: dispersion={dispersion:8.1f} px")
+        render_svg(
+            session.view(settle_steps=0),
+            OUT / f"layout_charge_{int(charge)}.svg",
+            title=f"charge={charge}",
+        )
+
+    print("\nspring sweep (stronger springs -> shorter edges, Fig. 5 C):")
+    session.set_layout_params(charge=800.0)
+    for spring in (0.01, 0.06, 0.4):
+        session.set_layout_params(spring=spring)
+        session.view(settle_steps=400)
+        length = session.dynamic.layout.mean_edge_length()
+        print(f"  spring={spring:>5}: mean edge length={length:7.1f} px")
+        render_svg(
+            session.view(settle_steps=0),
+            OUT / f"layout_spring_{spring}.svg",
+            title=f"spring={spring}",
+        )
+
+    print("\ndamping sweep (lower damping -> faster decay of motion):")
+    for damping in (0.3, 0.6, 0.9):
+        session.set_layout_params(spring=0.06, damping=damping)
+        steps = session.dynamic.settle(max_steps=2000, tolerance=0.5)
+        print(f"  damping={damping}: converged in {steps} steps")
+
+    # Dragging: pin the inter-cluster link node far away; its cluster
+    # neighbourhoods follow on the next settle.
+    session.set_layout_params(damping=0.6)
+    view = session.view()
+    key = "adonis-griffon"
+    before = view.position("adonis-sw")
+    session.drag(key, (800.0, 0.0))
+    session.pin(key)
+    view = session.view(settle_steps=400)
+    after = view.position("adonis-sw")
+    moved = ((after[0] - before[0]) ** 2 + (after[1] - before[1]) ** 2) ** 0.5
+    print(f"\ndragged {key} to (800, 0); adonis switch followed {moved:.0f} px")
+    render_svg(view, OUT / "layout_dragged.svg", title="after drag",
+               show_labels=False)
+    print(f"\nSVGs written to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Scalable topology-based visualization of large distributed systems.
+
+Python reproduction of *"Interactive Analysis of Large Distributed
+Systems with Scalable Topology-based Visualization"* (Schnorr, Legrand,
+Vincent — ISPASS 2013), the system behind the VIVA tool.
+
+Public API overview
+-------------------
+* :mod:`repro.trace` — traces: piecewise-constant signals, entities,
+  edges, text I/O, synthetic generators.
+* :mod:`repro.platform` — platform descriptions: hosts, links, routes,
+  cluster and Grid'5000-like builders.
+* :mod:`repro.simulation` — SimGrid-like discrete-event simulator with a
+  flow-level, max-min fair network model and resource-usage monitors.
+* :mod:`repro.mpi` — message-passing layer and the NAS-DT benchmark.
+* :mod:`repro.apps` — master-worker applications (bandwidth-centric and
+  FIFO scheduling).
+* :mod:`repro.core` — the paper's contribution: multi-scale space/time
+  aggregation, metric-to-shape mapping, automatic per-type scaling,
+  dynamic Barnes-Hut force-directed layout, interactive sessions and
+  headless renderers.
+* :mod:`repro.analysis` — statistical companions for aggregated values,
+  anomaly scans, run comparison.
+
+Quickstart
+----------
+>>> from repro.trace.synthetic import figure1_trace
+>>> from repro.core import AnalysisSession
+>>> session = AnalysisSession(figure1_trace())
+>>> session.set_time_slice(0.0, 12.0)
+>>> view = session.view()
+>>> sorted(node.name for node in view.nodes())
+['HostA', 'HostB', 'LinkA']
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

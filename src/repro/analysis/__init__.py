@@ -1,0 +1,59 @@
+"""Analysis companions: aggregate statistics, anomaly scans, run comparison."""
+
+from repro.analysis.anomalies import Anomaly, scan_anomalies
+from repro.analysis.clustering import (
+    Cluster,
+    cluster_entities,
+    cluster_timeline,
+    kmeans,
+    state_profiles,
+    usage_profiles,
+)
+from repro.analysis.critical_path import (
+    CriticalPath,
+    PathSegment,
+    critical_path,
+)
+from repro.analysis.comparison import (
+    ResourceDelta,
+    RunComparison,
+    compare_runs,
+)
+from repro.analysis.imbalance import (
+    GroupImbalance,
+    gini,
+    imbalance_by_level,
+    percent_imbalance,
+)
+from repro.analysis.reduction import reduce_trace, reduction_error
+from repro.analysis.stats import (
+    GroupStatistics,
+    group_statistics,
+    heterogeneous_units,
+)
+
+__all__ = [
+    "Anomaly",
+    "Cluster",
+    "CriticalPath",
+    "PathSegment",
+    "GroupImbalance",
+    "GroupStatistics",
+    "ResourceDelta",
+    "RunComparison",
+    "cluster_entities",
+    "cluster_timeline",
+    "compare_runs",
+    "critical_path",
+    "gini",
+    "group_statistics",
+    "imbalance_by_level",
+    "percent_imbalance",
+    "reduce_trace",
+    "reduction_error",
+    "heterogeneous_units",
+    "kmeans",
+    "scan_anomalies",
+    "state_profiles",
+    "usage_profiles",
+]

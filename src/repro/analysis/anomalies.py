@@ -1,0 +1,104 @@
+"""Multi-scale anomaly detection on utilization.
+
+The paper motivates free time-slice selection by "a better detection of
+anomalies and unexpected behavior [33]" — Schnorr et al.'s companion
+work on spotting resource-usage anomalies through multi-scale
+visualization.  This module provides the programmatic counterpart: walk
+the hierarchy level by level, compute every group's utilization over a
+slice, and flag outliers against their siblings.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.core.aggregation import aggregate_view
+from repro.core.hierarchy import GroupingState, Hierarchy, Path
+from repro.core.timeslice import TimeSlice
+from repro.trace.trace import CAPACITY, USAGE, Trace
+
+__all__ = ["Anomaly", "scan_anomalies"]
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One outlier group at one scale."""
+
+    group: Path
+    kind: str
+    depth: int
+    utilization: float
+    sibling_mean: float
+    sibling_std: float
+    z_score: float
+
+    def __str__(self) -> str:
+        return (
+            f"{'/'.join(self.group)} [{self.kind}] depth={self.depth} "
+            f"util={self.utilization:.2f} vs siblings "
+            f"{self.sibling_mean:.2f}±{self.sibling_std:.2f} "
+            f"(z={self.z_score:+.1f})"
+        )
+
+
+def scan_anomalies(
+    trace: Trace,
+    tslice: TimeSlice,
+    usage_metric: str = USAGE,
+    capacity_metric: str = CAPACITY,
+    z_threshold: float = 2.0,
+    max_depth: int | None = None,
+) -> list[Anomaly]:
+    """Scan every hierarchy level for utilization outliers.
+
+    At each depth, every group of the level is aggregated (per kind) and
+    its utilization (usage over capacity) compared to the sibling
+    distribution; groups beyond *z_threshold* standard deviations are
+    reported.  Findings are ordered by ``|z|`` descending.
+    """
+    hierarchy = Hierarchy.from_trace(trace)
+    top = hierarchy.max_depth() - 1 if max_depth is None else max_depth
+    findings: list[Anomaly] = []
+    for depth in range(1, max(top, 1) + 1):
+        groups = hierarchy.groups_at_depth(depth)
+        if len(groups) < 3:
+            continue  # not enough siblings to define "normal"
+        grouping = GroupingState(hierarchy)
+        grouping.collapse_depth(depth)
+        view = aggregate_view(
+            trace, grouping, tslice, metrics=[usage_metric, capacity_metric]
+        )
+        by_kind: dict[str, list[tuple[Path, float]]] = {}
+        for unit in view.units.values():
+            if unit.group is None or len(unit.group) != depth:
+                continue
+            capacity = unit.value(capacity_metric)
+            if capacity <= 0:
+                continue
+            utilization = unit.value(usage_metric) / capacity
+            by_kind.setdefault(unit.kind, []).append((unit.group, utilization))
+        for kind, rows in by_kind.items():
+            if len(rows) < 3:
+                continue
+            values = [u for _, u in rows]
+            mean = statistics.fmean(values)
+            std = statistics.pstdev(values)
+            if std == 0:
+                continue
+            for group, utilization in rows:
+                z = (utilization - mean) / std
+                if abs(z) >= z_threshold:
+                    findings.append(
+                        Anomaly(
+                            group=group,
+                            kind=kind,
+                            depth=depth,
+                            utilization=utilization,
+                            sibling_mean=mean,
+                            sibling_std=std,
+                            z_score=z,
+                        )
+                    )
+    findings.sort(key=lambda a: -abs(a.z_score))
+    return findings

@@ -1,0 +1,175 @@
+"""Clustering of monitored entities by behavior.
+
+Related-work machinery the paper discusses (Section 2.1): "Grouping
+processes behavior by similarity is used in tools such as Vampir to
+decrease the number of processes listed in the time-space view", and
+the paper positions automatic techniques like this as *guides* for the
+exploratory analysis.  This module provides that guide:
+
+* :func:`usage_profiles` — per-entity feature vectors (binned usage
+  over a slice, normalized by capacity);
+* :func:`state_profiles` — per-row fraction of time in each state, from
+  a behavioral timeline;
+* :func:`kmeans` — seeded, deterministic k-means with k-means++ init;
+* :func:`cluster_entities` / :func:`cluster_timeline` — the two
+  front-ends, returning clusters with a *medoid* representative each
+  (the member a Vampir-style reduced view would actually draw).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.timeline import Timeline
+from repro.core.timeslice import TimeSlice
+from repro.errors import AggregationError
+from repro.trace.trace import CAPACITY, USAGE, Trace
+
+__all__ = [
+    "Cluster",
+    "usage_profiles",
+    "state_profiles",
+    "kmeans",
+    "cluster_entities",
+    "cluster_timeline",
+]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One behavior cluster: its members and a representative medoid."""
+
+    members: tuple[str, ...]
+    medoid: str
+    centroid: tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+def usage_profiles(
+    trace: Trace,
+    tslice: TimeSlice | None = None,
+    metric: str = USAGE,
+    bins: int = 16,
+    kind: str = "host",
+) -> dict[str, np.ndarray]:
+    """Per-entity normalized usage profile over *bins* time bins."""
+    if bins <= 0:
+        raise AggregationError(f"bins must be positive, got {bins}")
+    if tslice is None:
+        start, end = trace.span()
+        tslice = TimeSlice(start, end)
+    profiles: dict[str, np.ndarray] = {}
+    for entity in trace.entities(kind):
+        signal = entity.metrics.get(metric)
+        if signal is None:
+            continue
+        capacity = tslice.value_of(entity.signal_or(CAPACITY, 1.0)) or 1.0
+        series = signal.resample(tslice.start, tslice.end, bins)
+        profiles[entity.name] = np.asarray(series) / capacity
+    if not profiles:
+        raise AggregationError(
+            f"no {kind!r} entity carries metric {metric!r}"
+        )
+    return profiles
+
+
+def state_profiles(timeline: Timeline) -> dict[str, np.ndarray]:
+    """Per-row fraction of time spent in each state."""
+    states = timeline.states()
+    total = max(timeline.end - timeline.start, 1e-12)
+    return {
+        row: np.asarray(
+            [timeline.time_in_state(row, state) / total for state in states]
+        )
+        for row in timeline.rows
+    }
+
+
+def kmeans(
+    points: np.ndarray, k: int, seed: int = 0, max_iterations: int = 100
+) -> np.ndarray:
+    """Deterministic k-means; returns the label of every point.
+
+    k-means++ seeding with a seeded RNG, Lloyd iterations to a fixed
+    point (or *max_iterations*).  ``k`` must not exceed the number of
+    points.
+    """
+    n = len(points)
+    if not 1 <= k <= n:
+        raise AggregationError(f"k must be in [1, {n}], got {k}")
+    rng = np.random.default_rng(seed)
+    # k-means++ seeding.
+    centroids = [points[rng.integers(n)]]
+    while len(centroids) < k:
+        d2 = np.min(
+            [((points - c) ** 2).sum(axis=1) for c in centroids], axis=0
+        )
+        total = d2.sum()
+        if total <= 0:
+            centroids.append(points[rng.integers(n)])
+            continue
+        centroids.append(points[rng.choice(n, p=d2 / total)])
+    centers = np.asarray(centroids)
+    labels = np.zeros(n, dtype=int)
+    for __ in range(max_iterations):
+        distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        new_labels = distances.argmin(axis=1)
+        if (new_labels == labels).all() and __ > 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            mask = labels == j
+            if mask.any():
+                centers[j] = points[mask].mean(axis=0)
+    return labels
+
+
+def _to_clusters(
+    names: list[str], points: np.ndarray, labels: np.ndarray
+) -> list[Cluster]:
+    clusters = []
+    for j in sorted(set(labels.tolist())):
+        indices = [i for i, l in enumerate(labels) if l == j]
+        centroid = points[indices].mean(axis=0)
+        medoid_index = min(
+            indices, key=lambda i: float(((points[i] - centroid) ** 2).sum())
+        )
+        clusters.append(
+            Cluster(
+                members=tuple(sorted(names[i] for i in indices)),
+                medoid=names[medoid_index],
+                centroid=tuple(float(v) for v in centroid),
+            )
+        )
+    clusters.sort(key=lambda c: (-len(c.members), c.medoid))
+    return clusters
+
+
+def cluster_entities(
+    trace: Trace,
+    k: int,
+    tslice: TimeSlice | None = None,
+    metric: str = USAGE,
+    bins: int = 16,
+    kind: str = "host",
+    seed: int = 0,
+) -> list[Cluster]:
+    """Cluster entities by their usage profile into *k* behaviors."""
+    profiles = usage_profiles(trace, tslice, metric, bins, kind)
+    names = sorted(profiles)
+    points = np.asarray([profiles[name] for name in names])
+    labels = kmeans(points, k, seed=seed)
+    return _to_clusters(names, points, labels)
+
+
+def cluster_timeline(timeline: Timeline, k: int, seed: int = 0) -> list[Cluster]:
+    """Cluster timeline rows by state mix — Vampir's row reduction."""
+    profiles = state_profiles(timeline)
+    names = sorted(profiles)
+    points = np.asarray([profiles[name] for name in names])
+    labels = kmeans(points, k, seed=seed)
+    return _to_clusters(names, points, labels)

@@ -1,0 +1,112 @@
+"""Comparing two traced runs of the same platform.
+
+Section 5.1 compares the NAS-DT benchmark under two deployments by
+looking at the same topology view side by side.  This module provides
+the numeric counterpart: per-resource utilization deltas over matching
+slices, the global makespan ratio, and the most-changed resources — the
+quantities EXPERIMENTS.md reports for Fig. 6 vs Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timeslice import TimeSlice
+from repro.errors import AggregationError
+from repro.trace.trace import CAPACITY, USAGE, Trace
+
+__all__ = ["ResourceDelta", "RunComparison", "compare_runs"]
+
+
+@dataclass(frozen=True)
+class ResourceDelta:
+    """Utilization change of one resource between two runs."""
+
+    name: str
+    kind: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+
+@dataclass
+class RunComparison:
+    """Outcome of :func:`compare_runs`."""
+
+    deltas: list[ResourceDelta]
+    makespan_before: float
+    makespan_after: float
+
+    @property
+    def speedup(self) -> float:
+        """``before / after`` — above 1 means the second run is faster."""
+        if self.makespan_after == 0:
+            raise AggregationError("second run has zero makespan")
+        return self.makespan_before / self.makespan_after
+
+    @property
+    def improvement(self) -> float:
+        """Relative makespan reduction (the paper's "20%" number)."""
+        if self.makespan_before == 0:
+            raise AggregationError("first run has zero makespan")
+        return (self.makespan_before - self.makespan_after) / self.makespan_before
+
+    def most_changed(self, n: int = 10, kind: str | None = None) -> list[ResourceDelta]:
+        """The *n* resources whose utilization changed the most."""
+        rows = [d for d in self.deltas if kind is None or d.kind == kind]
+        return sorted(rows, key=lambda d: -abs(d.delta))[:n]
+
+    def resource(self, name: str) -> ResourceDelta:
+        """The delta of one resource, raising when not compared."""
+        for delta in self.deltas:
+            if delta.name == name:
+                return delta
+        raise AggregationError(f"resource {name!r} not in comparison")
+
+
+def _utilization(trace: Trace, name: str, tslice: TimeSlice) -> float:
+    entity = trace.entity(name)
+    capacity = tslice.value_of(entity.signal_or(CAPACITY))
+    if capacity <= 0:
+        return 0.0
+    return tslice.value_of(entity.signal_or(USAGE)) / capacity
+
+
+def compare_runs(
+    before: Trace,
+    after: Trace,
+    kinds: tuple[str, ...] = ("host", "link"),
+) -> RunComparison:
+    """Compare two runs entity by entity over their own full spans.
+
+    Each trace is aggregated over its *own* duration (runs have
+    different makespans — that is the headline), so utilizations are
+    the fraction of each run's lifetime a resource was busy.
+    """
+    start_b, end_b = before.span()
+    start_a, end_a = after.span()
+    slice_b = TimeSlice(start_b, end_b)
+    slice_a = TimeSlice(start_a, end_a)
+    names_before = {e.name for e in before}
+    deltas = []
+    for entity in after:
+        if entity.kind not in kinds or entity.name not in names_before:
+            continue
+        deltas.append(
+            ResourceDelta(
+                name=entity.name,
+                kind=entity.kind,
+                before=_utilization(before, entity.name, slice_b),
+                after=_utilization(after, entity.name, slice_a),
+            )
+        )
+    if not deltas:
+        raise AggregationError("the two traces share no comparable entity")
+    return RunComparison(
+        deltas=deltas,
+        makespan_before=end_b - start_b,
+        makespan_after=end_a - start_a,
+    )

@@ -1,0 +1,147 @@
+"""Critical-path extraction from behavioral traces.
+
+Timeline views support "critical path identification and evaluation"
+(Section 1).  This module computes it: starting from the process that
+finishes last, walk backwards through its activity; whenever the walk
+enters a *wait* that was resolved by a message, jump to the sender at
+the moment it sent — the classical backward-replay algorithm.  The
+result decomposes the makespan into compute/communication/wait segments
+and names the processes on the path, which is exactly what you need to
+know *what to optimize*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timeline import Timeline
+from repro.errors import TraceError
+from repro.trace.trace import Trace
+
+__all__ = ["PathSegment", "CriticalPath", "critical_path"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One stretch of the critical path on one process."""
+
+    process: str
+    state: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The extracted path, last segment first reversed to time order."""
+
+    segments: list[PathSegment]
+
+    @property
+    def length(self) -> float:
+        """Total duration covered by the path's segments."""
+        return sum(s.duration for s in self.segments)
+
+    @property
+    def span(self) -> tuple[float, float]:
+        return (self.segments[0].start, self.segments[-1].end)
+
+    def time_by_state(self) -> dict[str, float]:
+        """Path time per state — the compute/communication breakdown."""
+        totals: dict[str, float] = {}
+        for segment in self.segments:
+            totals[segment.state] = totals.get(segment.state, 0.0) + segment.duration
+        return totals
+
+    def processes(self) -> list[str]:
+        """Processes visited, in time order, without repeats."""
+        seen: list[str] = []
+        for segment in self.segments:
+            if not seen or seen[-1] != segment.process:
+                seen.append(segment.process)
+        return seen
+
+    def __str__(self) -> str:
+        parts = [
+            f"{s.process}[{s.state} {s.duration:.3g}s]" for s in self.segments
+        ]
+        return " <- ".join(reversed(parts))
+
+
+def critical_path(trace: Trace) -> CriticalPath:
+    """Extract the critical path from a state-traced run.
+
+    Requires a trace recorded with ``UsageMonitor(record_states=True,
+    record_messages=True)`` — the wait-to-sender jumps need the message
+    events.
+    """
+    timeline = Timeline.from_trace(trace)
+    if not timeline.arrows and len(timeline.rows) > 1:
+        raise TraceError(
+            "critical path needs message events; record_messages=True"
+        )
+    # Index messages by destination row.
+    inbound: dict[str, list] = {}
+    for arrow in timeline.arrows:
+        inbound.setdefault(arrow.dst, []).append(arrow)
+    for arrows in inbound.values():
+        arrows.sort(key=lambda a: a.delivered_at)
+
+    # Start from the process whose last span ends latest.
+    def last_end(row: str) -> float:
+        return max(s.end for s in timeline.spans_of(row))
+
+    current = max(timeline.rows, key=last_end)
+    cursor = last_end(current)
+    segments: list[PathSegment] = []
+    guard = 0
+    while cursor > timeline.start + _EPS:
+        guard += 1
+        if guard > 100_000:  # pragma: no cover - defensive
+            raise TraceError("critical path walk did not terminate")
+        spans = [
+            s for s in timeline.spans_of(current) if s.start < cursor - _EPS
+        ]
+        if not spans:
+            break
+        span = max(spans, key=lambda s: s.end)
+        end = min(span.end, cursor)
+        resolved = None
+        if span.state == "wait":
+            # The message whose delivery ended (or interrupted) the wait.
+            candidates = [
+                a
+                for a in inbound.get(current, [])
+                if span.start - _EPS <= a.delivered_at <= end + _EPS
+            ]
+            if candidates:
+                resolved = max(candidates, key=lambda a: a.delivered_at)
+        if resolved is not None:
+            # Charge the wait only up to the delivery, then jump to the
+            # sender at the moment it sent.
+            if end > resolved.sent_at + _EPS:
+                segments.append(
+                    PathSegment(
+                        current,
+                        "comm",
+                        max(resolved.sent_at, span.start),
+                        end,
+                    )
+                )
+            current = resolved.src
+            cursor = resolved.sent_at
+            if current not in timeline.spans:
+                break
+            continue
+        segments.append(PathSegment(current, span.state, span.start, end))
+        cursor = span.start
+    segments.reverse()
+    if not segments:
+        raise TraceError("no activity found to build a critical path from")
+    return CriticalPath(segments)

@@ -1,0 +1,103 @@
+"""Load-imbalance metrics across groups and scales.
+
+Detecting "slower processes" and uneven work distribution is a core
+performance-analysis task (Section 1).  These helpers quantify it on
+aggregated views: the classic *percent imbalance* ``max/mean - 1``
+(zero when perfectly balanced), the *Gini coefficient* of a load
+distribution, and a per-level sweep that reports where in the hierarchy
+the imbalance lives — imbalance visible at site level but not inside
+any site means the problem is placement across sites, not stragglers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.hierarchy import Hierarchy, Path
+from repro.core.timeslice import TimeSlice
+from repro.errors import AggregationError
+from repro.trace.trace import USAGE, Trace
+
+__all__ = ["percent_imbalance", "gini", "GroupImbalance", "imbalance_by_level"]
+
+
+def percent_imbalance(values: Sequence[float]) -> float:
+    """``max/mean - 1``: 0 when balanced, 1 when the peak does double."""
+    values = list(values)
+    if not values:
+        raise AggregationError("imbalance of an empty set")
+    if any(v < 0 for v in values):
+        raise AggregationError("loads must be non-negative")
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    return max(values) / mean - 1.0
+
+
+def gini(values: Sequence[float]) -> float:
+    """Gini coefficient: 0 = uniform, -> 1 = one member does everything."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise AggregationError("gini of an empty set")
+    if any(v < 0 for v in ordered):
+        raise AggregationError("loads must be non-negative")
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    cumulative = sum((i + 1) * v for i, v in enumerate(ordered))
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n
+
+
+@dataclass(frozen=True)
+class GroupImbalance:
+    """Imbalance of the members *within* one group."""
+
+    group: Path
+    n_members: int
+    percent: float
+    gini: float
+    total_load: float
+
+
+def imbalance_by_level(
+    trace: Trace,
+    tslice: TimeSlice | None = None,
+    metric: str = USAGE,
+    kind: str = "host",
+) -> dict[int, list[GroupImbalance]]:
+    """Member-load imbalance inside every group, organized by depth.
+
+    The load of a member is its slice-aggregated *metric*; groups with
+    fewer than two loaded members are skipped.  Returns
+    ``{depth: [GroupImbalance, ...]}`` with the worst offender first at
+    each depth.
+    """
+    if tslice is None:
+        start, end = trace.span()
+        tslice = TimeSlice(start, end)
+    hierarchy = Hierarchy.from_trace(trace)
+    loads: dict[str, float] = {}
+    for entity in trace.entities(kind):
+        signal = entity.metrics.get(metric)
+        if signal is not None:
+            loads[entity.name] = tslice.value_of(signal)
+    if not loads:
+        raise AggregationError(f"no {kind!r} entity carries {metric!r}")
+    result: dict[int, list[GroupImbalance]] = {}
+    for group in hierarchy.groups():
+        members = [loads[n] for n in hierarchy.leaves(group) if n in loads]
+        if len(members) < 2:
+            continue
+        entry = GroupImbalance(
+            group=group,
+            n_members=len(members),
+            percent=percent_imbalance(members),
+            gini=gini(members),
+            total_load=sum(members),
+        )
+        result.setdefault(len(group), []).append(entry)
+    for rows in result.values():
+        rows.sort(key=lambda g: -g.percent)
+    return result

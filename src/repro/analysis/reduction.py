@@ -1,0 +1,120 @@
+"""Similarity-based trace reduction.
+
+Related work [28] (Mohror & Karavanic) evaluates "similarity-based
+trace reduction techniques for scalable performance analysis": keep one
+representative per group of similar entities and remember how many each
+stands for, trading trace size for bounded information loss.
+
+This module implements that reduction on top of the behavioral
+clustering: entities are clustered by usage profile, each cluster is
+replaced by its *medoid* whose signals are scaled by the cluster size
+(so spatially aggregated totals stay approximately right), and the
+substitution is recorded in the entity path and the trace metadata.
+:func:`reduction_error` quantifies what was lost — the "good trace size
+reduction [that] keeps enough data for a correct analysis" trade-off
+the related work studies.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.clustering import cluster_entities
+from repro.core.timeslice import TimeSlice
+from repro.errors import AggregationError
+from repro.trace.trace import Entity, Trace, USAGE
+
+__all__ = ["reduce_trace", "reduction_error"]
+
+
+def reduce_trace(
+    trace: Trace,
+    k: int,
+    metric: str = USAGE,
+    kind: str = "host",
+    bins: int = 16,
+    seed: int = 0,
+) -> Trace:
+    """A trace where the *kind* entities are reduced to *k* medoids.
+
+    Every cluster's medoid survives with its signals scaled by the
+    cluster size; other kinds pass through untouched.  Edges touching a
+    removed entity are dropped (the representative stands for behavior,
+    not for topology).  The mapping is stored in
+    ``meta["reduction"]``: ``{medoid: [replaced names...]}``.
+    """
+    clusters = cluster_entities(
+        trace, k=k, metric=metric, bins=bins, kind=kind, seed=seed
+    )
+    replaced_by: dict[str, str] = {}
+    members_of: dict[str, list[str]] = {}
+    for cluster in clusters:
+        members_of[cluster.medoid] = [
+            m for m in cluster.members if m != cluster.medoid
+        ]
+        for member in cluster.members:
+            replaced_by[member] = cluster.medoid
+
+    entities: list[Entity] = []
+    for entity in trace:
+        if entity.kind != kind or entity.name not in replaced_by:
+            entities.append(entity)
+            continue
+        medoid = replaced_by[entity.name]
+        if entity.name != medoid:
+            continue  # absorbed into its representative
+        weight = len(members_of[medoid]) + 1
+        metrics = {
+            name: signal.scale(float(weight))
+            for name, signal in entity.metrics.items()
+        }
+        entities.append(Entity(entity.name, entity.kind, entity.path, metrics))
+
+    surviving = {e.name for e in entities}
+    edges = [
+        edge
+        for edge in trace.edges
+        if edge.a in surviving
+        and edge.b in surviving
+        and (not edge.via or edge.via in surviving)
+    ]
+    meta = dict(trace.meta)
+    meta["reduction"] = {
+        medoid: members for medoid, members in members_of.items() if members
+    }
+    return Trace(
+        entities=entities,
+        edges=edges,
+        events=[],
+        metrics_info=trace.metrics_info,
+        meta=meta,
+    )
+
+
+def reduction_error(
+    original: Trace,
+    reduced: Trace,
+    metric: str = USAGE,
+    kind: str = "host",
+    tslice: TimeSlice | None = None,
+) -> float:
+    """Relative error of the reduced trace's aggregate total.
+
+    ``|total_reduced - total_original| / total_original`` of the
+    slice-aggregated *metric* over all *kind* entities — 0 when the
+    representatives (scaled by their counts) reproduce the total
+    exactly.
+    """
+    if tslice is None:
+        start, end = original.span()
+        tslice = TimeSlice(start, end)
+
+    def total(trace: Trace) -> float:
+        return sum(
+            tslice.value_of(e.metrics[metric])
+            for e in trace.entities(kind)
+            if metric in e.metrics
+        )
+
+    reference = total(original)
+    if reference == 0:
+        raise AggregationError(f"original trace has zero total {metric!r}")
+    return abs(total(reduced) - reference) / reference

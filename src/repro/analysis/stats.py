@@ -1,0 +1,113 @@
+"""Statistical companions for aggregated values.
+
+Section 6 (second bullet) notes that "aggregating a large amount of
+values into a single object leads to an important loss of information"
+and suggests "additional information (e.g., statistical indicators like
+the variance or the median) that would allow the analyst to know that
+particular care should be taken to specific areas".  This module
+implements that extension: per-group spatial statistics over member
+slice-values, and a dispersion score that flags heterogeneous groups.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+from repro.core.aggregation import AggregatedUnit
+from repro.core.timeslice import TimeSlice
+from repro.errors import AggregationError
+from repro.trace.trace import Trace
+
+__all__ = ["GroupStatistics", "group_statistics", "heterogeneous_units"]
+
+
+@dataclass(frozen=True)
+class GroupStatistics:
+    """Spatial statistics of one metric across a unit's members."""
+
+    metric: str
+    count: int
+    total: float
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    variance: float
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Std over mean — the dimensionless heterogeneity score.
+
+        Zero for perfectly homogeneous groups; large values mean the
+        single aggregated number hides very different member behaviours
+        and the analyst should disaggregate ("particular care").
+        """
+        if self.mean == 0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+
+def group_statistics(
+    trace: Trace,
+    unit: AggregatedUnit,
+    tslice: TimeSlice,
+    metric: str,
+) -> GroupStatistics:
+    """Member-level statistics behind one aggregated value.
+
+    Only members actually carrying *metric* participate (consistent with
+    how :func:`~repro.core.aggregation.aggregate_view` sums).
+    """
+    samples = [
+        tslice.value_of(trace.entity(name).metrics[metric])
+        for name in unit.members
+        if metric in trace.entity(name).metrics
+    ]
+    if not samples:
+        raise AggregationError(
+            f"no member of unit {unit.key!r} carries metric {metric!r}"
+        )
+    return GroupStatistics(
+        metric=metric,
+        count=len(samples),
+        total=sum(samples),
+        mean=statistics.fmean(samples),
+        median=statistics.median(samples),
+        minimum=min(samples),
+        maximum=max(samples),
+        variance=statistics.pvariance(samples),
+    )
+
+
+def heterogeneous_units(
+    trace: Trace,
+    units: list[AggregatedUnit],
+    tslice: TimeSlice,
+    metric: str,
+    cv_threshold: float = 0.5,
+) -> list[tuple[AggregatedUnit, GroupStatistics]]:
+    """Aggregates whose members disagree: candidates for disaggregation.
+
+    Returns ``(unit, stats)`` pairs with coefficient of variation above
+    *cv_threshold*, most heterogeneous first.  Units with fewer than two
+    members (nothing to disagree about) are skipped, as are units whose
+    members lack the metric entirely.
+    """
+    flagged = []
+    for unit in units:
+        if unit.weight < 2:
+            continue
+        try:
+            stats = group_statistics(trace, unit, tslice, metric)
+        except AggregationError:
+            continue
+        if stats.coefficient_of_variation > cv_threshold:
+            flagged.append((unit, stats))
+    flagged.sort(key=lambda pair: -pair[1].coefficient_of_variation)
+    return flagged

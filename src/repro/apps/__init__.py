@@ -1,0 +1,28 @@
+"""Master-worker applications competing for grid resources (Section 5.2)."""
+
+from repro.apps.masterworker import (
+    AppResult,
+    AppSpec,
+    MasterWorkerResult,
+    Policy,
+    run_master_worker,
+)
+from repro.apps.stencil import StencilResult, run_stencil
+from repro.apps.workload import (
+    cpu_bound_app,
+    network_bound_app,
+    paper_workload,
+)
+
+__all__ = [
+    "AppResult",
+    "AppSpec",
+    "MasterWorkerResult",
+    "Policy",
+    "StencilResult",
+    "cpu_bound_app",
+    "network_bound_app",
+    "paper_workload",
+    "run_master_worker",
+    "run_stencil",
+]

@@ -1,0 +1,90 @@
+"""Workload presets for the grid case study (Section 5.2).
+
+The paper's scenario: two master-worker applications compete on a
+Grid'5000-scale platform; "the first application is CPU bound while the
+second has a slightly higher communication to computation ratio", and
+"the two applications do not originate from the same sites".
+
+:func:`paper_workload` builds that pair against any platform, placing
+the masters on distinct sites and scaling the task count so every worker
+could receive a few tasks.
+"""
+
+from __future__ import annotations
+
+from repro.apps.masterworker import AppSpec
+from repro.errors import SimulationError
+from repro.platform.topology import Platform
+
+__all__ = ["paper_workload", "cpu_bound_app", "network_bound_app"]
+
+
+def cpu_bound_app(
+    master: str,
+    n_tasks: int,
+    name: str = "app1",
+    input_bytes: float = 250e3,
+    task_flops: float = 10e9,
+    prefetch: int = 3,
+    parallel_sends: int = 4,
+) -> AppSpec:
+    """The CPU-bound application: small inputs, heavy computation."""
+    return AppSpec(
+        name, master, n_tasks, input_bytes, task_flops, prefetch, parallel_sends
+    )
+
+
+def network_bound_app(
+    master: str,
+    n_tasks: int,
+    name: str = "app2",
+    input_bytes: float = 12.5e6,
+    task_flops: float = 4e9,
+    prefetch: int = 3,
+    parallel_sends: int = 4,
+) -> AppSpec:
+    """The communication-heavier application (50x the bytes per flop)."""
+    return AppSpec(
+        name, master, n_tasks, input_bytes, task_flops, prefetch, parallel_sends
+    )
+
+
+def paper_workload(
+    platform: Platform,
+    tasks_per_worker: float = 2.0,
+    master_sites: tuple[str, str] | None = None,
+) -> tuple[AppSpec, AppSpec]:
+    """The two competing applications of Section 5.2 for *platform*.
+
+    Masters are placed on the first host of two different sites (the
+    first and last site in platform order by default); the CPU-bound
+    application gets enough tasks to feed the whole platform about
+    *tasks_per_worker* times, the communication-bound one a quarter of
+    that (its throughput is master-link-limited anyway).
+    """
+    hosts = platform.hosts
+    if len(hosts) < 4:
+        raise SimulationError("paper workload needs at least 4 hosts")
+    sites = sorted({h.path[1] for h in hosts if len(h.path) > 2})
+    if master_sites is None:
+        if len(sites) >= 2:
+            master_sites = (sites[0], sites[-1])
+        else:
+            master_sites = (None, None)  # type: ignore[assignment]
+    if master_sites[0] is not None:
+        site_a = [h for h in hosts if len(h.path) > 2 and h.path[1] == master_sites[0]]
+        site_b = [h for h in hosts if len(h.path) > 2 and h.path[1] == master_sites[1]]
+        if not site_a or not site_b:
+            raise SimulationError(f"unknown master sites {master_sites!r}")
+        master1, master2 = site_a[0].name, site_b[0].name
+    else:
+        master1, master2 = hosts[0].name, hosts[-1].name
+    if master1 == master2:
+        raise SimulationError("masters must sit on different hosts")
+    n_workers = len(hosts) - 2
+    n1 = max(1, int(n_workers * tasks_per_worker))
+    n2 = max(1, n1 // 4)
+    return (
+        cpu_bound_app(master1, n1),
+        network_bound_app(master2, n2),
+    )

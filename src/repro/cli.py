@@ -1,0 +1,225 @@
+"""Command-line interface: render and inspect traces without code.
+
+Usage (``python -m repro <command> ...``):
+
+* ``info <trace>`` — entities, kinds, metrics and time span;
+* ``render <trace>`` — one SVG (or ASCII) view with a chosen time slice
+  and aggregation depth;
+* ``animate <trace>`` — SVG frames sliding a time slice, or a single
+  interactive HTML page (``--html``);
+* ``timeline <trace>`` — the behavioral Gantt view (needs state events);
+* ``treemap <trace>`` — the squarified treemap of one metric;
+* ``anomalies <trace>`` — the multi-scale utilization outlier scan.
+
+Traces are files in the ``repro`` text format (see
+:mod:`repro.trace.writer`) or, with ``--paje``, in the Paje format used
+by the original tool ecosystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import scan_anomalies
+from repro.core import (
+    AnalysisSession,
+    TimeSlice,
+    Timeline,
+    Treemap,
+    export_animation_html,
+    render_ascii,
+    render_svg,
+)
+from repro.errors import ReproError
+from repro.trace import read_trace
+from repro.trace.paje import read_paje
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the repro CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable topology-based visualization of distributed-"
+        "system traces (ISPASS 2013 reproduction).",
+    )
+    parser.add_argument(
+        "--paje",
+        action="store_true",
+        help="read the trace in Paje format instead of the repro format",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="summarize a trace file")
+    info.add_argument("trace", type=Path)
+
+    render = sub.add_parser("render", help="render one topology view")
+    render.add_argument("trace", type=Path)
+    render.add_argument("--out", type=Path, default=None,
+                        help="SVG output path (default: ASCII to stdout)")
+    render.add_argument("--slice", nargs=2, type=float, metavar=("START", "END"),
+                        default=None, help="time slice (default: whole trace)")
+    render.add_argument("--depth", type=int, default=0,
+                        help="collapse every group at this hierarchy depth")
+    render.add_argument("--labels", action="store_true")
+    render.add_argument("--heat", action="store_true",
+                        help="color fills on a green-to-red utilization ramp")
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--steps", type=int, default=300,
+                        help="max layout settle steps")
+
+    animate = sub.add_parser("animate", help="render sliding-slice frames")
+    animate.add_argument("trace", type=Path)
+    animate.add_argument("--out-dir", type=Path, default=None,
+                         help="directory for per-frame SVGs")
+    animate.add_argument("--html", type=Path, default=None,
+                         help="write ONE interactive HTML page instead")
+    animate.add_argument("--frames", type=int, default=4)
+    animate.add_argument("--depth", type=int, default=0)
+    animate.add_argument("--heat", action="store_true")
+    animate.add_argument("--seed", type=int, default=0)
+
+    timeline = sub.add_parser(
+        "timeline", help="behavioral Gantt view (needs state events)"
+    )
+    timeline.add_argument("trace", type=Path)
+    timeline.add_argument("--out", type=Path, default=None,
+                          help="SVG output (default: ASCII to stdout)")
+    timeline.add_argument("--by-host", action="store_true",
+                          help="fold process rows onto their hosts")
+
+    treemap = sub.add_parser("treemap", help="squarified treemap view")
+    treemap.add_argument("trace", type=Path)
+    treemap.add_argument("--out", type=Path, required=True)
+    treemap.add_argument("--metric", default="capacity")
+    treemap.add_argument("--max-depth", type=int, default=None)
+
+    anomalies = sub.add_parser("anomalies", help="multi-scale outlier scan")
+    anomalies.add_argument("trace", type=Path)
+    anomalies.add_argument("--z", type=float, default=2.0,
+                           help="z-score threshold")
+    return parser
+
+
+def _read(args):
+    return read_paje(args.trace) if args.paje else read_trace(args.trace)
+
+
+def _session(args) -> AnalysisSession:
+    session = AnalysisSession(_read(args), seed=getattr(args, "seed", 0))
+    if getattr(args, "depth", 0):
+        session.aggregate_depth(args.depth)
+    return session
+
+
+def _cmd_info(args) -> int:
+    trace = _read(args)
+    start, end = trace.span()
+    print(f"trace    : {args.trace}")
+    print(f"entities : {len(trace)}")
+    for kind in trace.kinds():
+        print(f"  {kind:>8} : {len(trace.entities(kind))}")
+    print(f"edges    : {len(trace.edges)}")
+    print(f"events   : {len(trace.events)}")
+    print(f"metrics  : {', '.join(trace.metric_names())}")
+    print(f"span     : [{start:g}, {end:g}]")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    session = _session(args)
+    if args.slice:
+        session.set_time_slice(args.slice[0], args.slice[1])
+    view = session.view(settle_steps=args.steps)
+    if args.out:
+        render_svg(view, args.out, title=str(session.time_slice),
+                   show_labels=args.labels, heat_fill=args.heat)
+        print(f"wrote {args.out} ({len(view)} nodes)")
+    else:
+        print(render_ascii(view))
+    return 0
+
+
+def _cmd_animate(args) -> int:
+    if (args.out_dir is None) == (args.html is None):
+        print("error: pass exactly one of --out-dir or --html", file=sys.stderr)
+        return 2
+    session = _session(args)
+    trace = session.trace
+    start, end = trace.span()
+    width = (end - start) / args.frames
+    if args.html is not None:
+        from repro.core import SvgRenderer
+
+        frames = list(session.animate(width=width))
+        export_animation_html(
+            frames, args.html, renderer=SvgRenderer(heat_fill=args.heat)
+        )
+        print(f"wrote {args.html} ({len(frames)} frames)")
+        return 0
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    for index, frame in enumerate(session.animate(width=width)):
+        path = args.out_dir / f"frame_{index:03d}.svg"
+        render_svg(frame, path, title=str(frame.tslice), heat_fill=args.heat)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_timeline(args) -> int:
+    timeline = Timeline.from_trace(
+        _read(args), row_by="host" if args.by_host else "process"
+    )
+    if args.out:
+        timeline.render_svg(args.out)
+        print(f"wrote {args.out} ({len(timeline.rows)} rows)")
+    else:
+        print(timeline.render_ascii())
+    return 0
+
+
+def _cmd_treemap(args) -> int:
+    treemap = Treemap.build(
+        _read(args), metric=args.metric, max_depth=args.max_depth
+    )
+    treemap.render_svg(args.out)
+    print(f"wrote {args.out} ({len(treemap)} cells)")
+    return 0
+
+
+def _cmd_anomalies(args) -> int:
+    trace = _read(args)
+    start, end = trace.span()
+    findings = scan_anomalies(trace, TimeSlice(start, end), z_threshold=args.z)
+    if not findings:
+        print("no anomalies found")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "render": _cmd_render,
+    "animate": _cmd_animate,
+    "timeline": _cmd_timeline,
+    "treemap": _cmd_treemap,
+    "anomalies": _cmd_anomalies,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

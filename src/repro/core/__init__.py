@@ -1,0 +1,80 @@
+"""The paper's contribution: scalable topology-based visualization.
+
+Multi-scale space/time data aggregation (Section 3.2) combined with a
+dynamic, interactive force-directed graph layout (Sections 3.3/4.2),
+driven through :class:`AnalysisSession`.
+"""
+
+from repro.core.aggregation import (
+    AggregatedEdge,
+    AggregatedUnit,
+    AggregatedView,
+    aggregate_view,
+)
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.core.layout import (
+    BarnesHutLayout,
+    DynamicLayout,
+    ForceLayout,
+    LayoutParams,
+    NaiveLayout,
+    QuadTree,
+    make_layout,
+)
+from repro.core.matrix import CommMatrix
+from repro.core.mapping import SHAPES, NodeStyle, ShapeRule, VisualMapping
+from repro.core.render import (
+    AsciiRenderer,
+    SvgRenderer,
+    export_animation_html,
+    render_ascii,
+    render_svg,
+)
+from repro.core.scaling import ScaleSet
+from repro.core.session import AnalysisSession
+from repro.core.timeline import CommArrow, StateSpan, Timeline
+from repro.core.timeslice import TimeSlice, animation_frames
+from repro.core.treemap import Treemap, TreemapCell, squarify
+from repro.core.view import TopologyView
+from repro.core.visgraph import VisEdge, VisGraph, VisNode, build_visgraph
+
+__all__ = [
+    "SHAPES",
+    "AggregatedEdge",
+    "AggregatedUnit",
+    "AggregatedView",
+    "AnalysisSession",
+    "AsciiRenderer",
+    "BarnesHutLayout",
+    "DynamicLayout",
+    "ForceLayout",
+    "GroupingState",
+    "Hierarchy",
+    "LayoutParams",
+    "NaiveLayout",
+    "NodeStyle",
+    "QuadTree",
+    "ScaleSet",
+    "ShapeRule",
+    "SvgRenderer",
+    "CommArrow",
+    "CommMatrix",
+    "StateSpan",
+    "TimeSlice",
+    "Timeline",
+    "Treemap",
+    "TreemapCell",
+    "TopologyView",
+    "VisEdge",
+    "VisGraph",
+    "VisNode",
+    "VisualMapping",
+    "aggregate_view",
+    "animation_frames",
+    "build_visgraph",
+    "export_animation_html",
+    "make_layout",
+    "render_ascii",
+    "render_svg",
+    "squarify",
+]

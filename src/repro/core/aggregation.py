@@ -1,0 +1,186 @@
+"""Spatial aggregation: from a trace and a grouping to display units.
+
+This implements the spatial half of Equation 1.  Given the analyst's
+:class:`~repro.core.hierarchy.GroupingState` and a
+:class:`~repro.core.timeslice.TimeSlice`, every entity is first reduced
+to its slice value (temporal aggregation), then entities sharing a
+collapsed group are combined — per *kind*, so a collapsed cluster
+becomes one "all its hosts" unit and one "all its links" unit, exactly
+the square + diamond pair of Fig. 3.
+
+Edges follow: a trace edge ``a —(via link)— b`` contributes graph edges
+``unit(a) — unit(via)`` and ``unit(via) — unit(b)``; edges collapsing
+onto a single unit disappear (they are *inside* the aggregate), and
+parallel edges merge with a multiplicity count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.core.hierarchy import GroupingState, Path
+from repro.core.timeslice import TimeSlice
+from repro.errors import AggregationError
+from repro.trace.trace import Trace
+
+__all__ = ["AggregatedUnit", "AggregatedEdge", "AggregatedView", "aggregate_view"]
+
+
+@dataclass(frozen=True)
+class AggregatedUnit:
+    """One display unit: a single entity or a (group, kind) aggregate."""
+
+    key: str
+    label: str
+    kind: str
+    members: tuple[str, ...]
+    group: Path | None  # None for a plain (uncollapsed) entity
+    values: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.group is not None
+
+    @property
+    def weight(self) -> int:
+        """Member count — the aggregated node's charge weight (Sec. 4.2)."""
+        return len(self.members)
+
+    def value(self, metric: str, default: float = 0.0) -> float:
+        """The aggregated value of *metric* (or *default* when absent)."""
+        return self.values.get(metric, default)
+
+
+@dataclass(frozen=True)
+class AggregatedEdge:
+    """An undirected edge between two units, merging parallel trace edges."""
+
+    a: str
+    b: str
+    multiplicity: int = 1
+
+    def key(self) -> tuple[str, str]:
+        """Canonical undirected key (sorted endpoints)."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+
+@dataclass
+class AggregatedView:
+    """The unstyled aggregated graph for one time slice."""
+
+    units: dict[str, AggregatedUnit]
+    edges: list[AggregatedEdge]
+    tslice: TimeSlice
+
+    def unit(self, key: str) -> AggregatedUnit:
+        """The unit with *key*, raising when unknown."""
+        try:
+            return self.units[key]
+        except KeyError:
+            raise AggregationError(f"unknown unit {key!r}") from None
+
+    def units_of_kind(self, kind: str) -> list[AggregatedUnit]:
+        """Every unit of one entity *kind*."""
+        return [u for u in self.units.values() if u.kind == kind]
+
+    def neighbours(self, key: str) -> list[str]:
+        """Keys of the units connected to *key* by an edge."""
+        out = []
+        for edge in self.edges:
+            if edge.a == key:
+                out.append(edge.b)
+            elif edge.b == key:
+                out.append(edge.a)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+
+def unit_key(group: Path | None, kind: str, entity: str = "") -> str:
+    """The canonical key of a display unit.
+
+    Plain entities keep their own name; aggregates combine the group
+    path and the kind (``nancy/griffon::host``).
+    """
+    if group is None:
+        return entity
+    return "/".join(group) + "::" + kind
+
+
+def aggregate_view(
+    trace: Trace,
+    grouping: GroupingState,
+    tslice: TimeSlice,
+    metrics: Sequence[str] | None = None,
+    space_op: Callable[[Sequence[float]], float] = sum,
+) -> AggregatedView:
+    """Build the aggregated view of *trace* for the current scales.
+
+    Parameters
+    ----------
+    metrics:
+        Metric names to aggregate (default: every metric in the trace).
+    space_op:
+        Spatial combination of member slice-values; the paper sums
+        capacities and usages so an aggregate represents its total
+        power/traffic (Fig. 3) — the default.  Pass e.g. a mean for
+        intensive quantities.
+    """
+    metric_names = list(metrics) if metrics is not None else trace.metric_names()
+    members: dict[str, list[str]] = {}
+    meta: dict[str, tuple[Path | None, str]] = {}
+    for entity in trace:
+        group = grouping.unit_of(entity.name)
+        key = unit_key(group, entity.kind, entity.name)
+        members.setdefault(key, []).append(entity.name)
+        meta[key] = (group, entity.kind)
+
+    units: dict[str, AggregatedUnit] = {}
+    for key, names in members.items():
+        group, kind = meta[key]
+        values: dict[str, float] = {}
+        for metric in metric_names:
+            sampled = [
+                tslice.value_of(trace.entity(name).metrics[metric])
+                for name in names
+                if metric in trace.entity(name).metrics
+            ]
+            if sampled:
+                values[metric] = space_op(sampled)
+        label = "/".join(group) if group is not None else names[0]
+        units[key] = AggregatedUnit(
+            key=key,
+            label=label,
+            kind=kind,
+            members=tuple(names),
+            group=group,
+            values=values,
+        )
+
+    edge_multiplicity: dict[tuple[str, str], int] = {}
+    entity_unit = {
+        name: unit_key(grouping.unit_of(name), trace.entity(name).kind, name)
+        for name in (e.name for e in trace)
+    }
+    for edge in trace.edges:
+        if edge.via:
+            pairs: Iterable[tuple[str, str]] = (
+                (edge.a, edge.via),
+                (edge.via, edge.b),
+            )
+        else:
+            pairs = ((edge.a, edge.b),)
+        for x, y in pairs:
+            ux, uy = entity_unit[x], entity_unit[y]
+            if ux == uy:
+                continue  # internal to an aggregate
+            pair = (ux, uy) if ux <= uy else (uy, ux)
+            edge_multiplicity[pair] = edge_multiplicity.get(pair, 0) + 1
+
+    edges = [
+        AggregatedEdge(a, b, count)
+        for (a, b), count in sorted(edge_multiplicity.items())
+    ]
+    return AggregatedView(units=units, edges=edges, tslice=tslice)

@@ -1,0 +1,261 @@
+"""Shared machinery of the force-directed layouts.
+
+:class:`ForceLayout` owns node state (position, velocity, weight,
+pinned flag) and the spring/integration steps; subclasses provide the
+repulsion term (naive pairwise or Barnes-Hut).  The layout is *dynamic*:
+nodes and edges can be added or removed at any time and the simulation
+keeps iterating from the current state, which is what makes analyst
+interaction (dragging, aggregating) smooth instead of recomputing a
+fresh layout from scratch (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.layout.forces import LayoutParams
+from repro.errors import LayoutError
+
+__all__ = ["ForceLayout"]
+
+
+class ForceLayout(ABC):
+    """Base class of the naive and Barnes-Hut layouts."""
+
+    def __init__(self, params: LayoutParams | None = None, seed: int = 0) -> None:
+        self.params = params or LayoutParams()
+        self._rng = random.Random(seed)
+        self._names: list[str] = []
+        self._index: dict[str, int] = {}
+        self._pos = np.zeros((0, 2), dtype=float)
+        self._vel = np.zeros((0, 2), dtype=float)
+        self._weight = np.zeros(0, dtype=float)
+        self._pinned = np.zeros(0, dtype=bool)
+        self._edges: dict[tuple[str, str], None] = {}
+        self._edge_index: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def names(self) -> list[str]:
+        """The node names currently in the simulation."""
+        return list(self._names)
+
+    def add_node(
+        self,
+        name: str,
+        weight: float = 1.0,
+        position: tuple[float, float] | None = None,
+    ) -> None:
+        """Insert a node; the simulation adapts from its current state.
+
+        Without an explicit *position*, the node lands at a random spot
+        in a disc whose radius grows with the node count (deterministic
+        given the seed).
+        """
+        if name in self._index:
+            raise LayoutError(f"duplicate layout node {name!r}")
+        if weight <= 0:
+            raise LayoutError(f"node weight must be > 0, got {weight}")
+        if position is None:
+            radius = self.params.spring_length * max(
+                1.0, math.sqrt(len(self._names) + 1)
+            )
+            angle = self._rng.uniform(0.0, 2.0 * math.pi)
+            r = radius * math.sqrt(self._rng.random())
+            position = (r * math.cos(angle), r * math.sin(angle))
+        self._index[name] = len(self._names)
+        self._names.append(name)
+        self._pos = np.vstack([self._pos, np.asarray(position, dtype=float)])
+        self._vel = np.vstack([self._vel, np.zeros(2)])
+        self._weight = np.append(self._weight, float(weight))
+        self._pinned = np.append(self._pinned, False)
+        self._edge_index = None
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node and every edge touching it."""
+        idx = self._require(name)
+        last = len(self._names) - 1
+        if idx != last:
+            moved = self._names[last]
+            self._names[idx] = moved
+            self._index[moved] = idx
+            self._pos[idx] = self._pos[last]
+            self._vel[idx] = self._vel[last]
+            self._weight[idx] = self._weight[last]
+            self._pinned[idx] = self._pinned[last]
+        self._names.pop()
+        del self._index[name]
+        self._pos = self._pos[:-1]
+        self._vel = self._vel[:-1]
+        self._weight = self._weight[:-1]
+        self._pinned = self._pinned[:-1]
+        self._edges = {
+            pair: None for pair in self._edges if name not in pair
+        }
+        self._edge_index = None
+
+    def set_weight(self, name: str, weight: float) -> None:
+        """Update a node's charge weight (its member count)."""
+        if weight <= 0:
+            raise LayoutError(f"node weight must be > 0, got {weight}")
+        self._weight[self._require(name)] = float(weight)
+
+    def add_edge(self, a: str, b: str) -> None:
+        """Connect *a* and *b* with a spring (idempotent)."""
+        if a == b:
+            raise LayoutError(f"self-edge on {a!r}")
+        self._require(a)
+        self._require(b)
+        self._edges[(a, b) if a <= b else (b, a)] = None
+        self._edge_index = None
+
+    def remove_edge(self, a: str, b: str) -> None:
+        """Remove the spring between *a* and *b* (no-op if absent)."""
+        self._edges.pop((a, b) if a <= b else (b, a), None)
+        self._edge_index = None
+
+    def set_edges(self, pairs: Iterable[tuple[str, str]]) -> None:
+        """Replace the whole edge set."""
+        self._edges = {}
+        for a, b in pairs:
+            self.add_edge(a, b)
+
+    def edges(self) -> list[tuple[str, str]]:
+        """The current edge set as canonical name pairs."""
+        return list(self._edges)
+
+    def _require(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise LayoutError(f"unknown layout node {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Interaction
+    # ------------------------------------------------------------------
+    def position(self, name: str) -> tuple[float, float]:
+        """Current position of one node."""
+        idx = self._require(name)
+        return (float(self._pos[idx, 0]), float(self._pos[idx, 1]))
+
+    def positions(self) -> dict[str, tuple[float, float]]:
+        """Current position of every node."""
+        return {
+            name: (float(self._pos[i, 0]), float(self._pos[i, 1]))
+            for name, i in self._index.items()
+        }
+
+    def move(self, name: str, position: tuple[float, float]) -> None:
+        """Drag a node: it jumps there and its velocity resets.
+
+        Thanks to the dynamic layout, "whenever a node is moved by the
+        analyst, all his neighbors seamlessly follow" over the next
+        steps.
+        """
+        idx = self._require(name)
+        self._pos[idx] = np.asarray(position, dtype=float)
+        self._vel[idx] = 0.0
+
+    def pin(self, name: str, pinned: bool = True) -> None:
+        """Freeze (or release) a node; forces no longer move it."""
+        self._pinned[self._require(name)] = pinned
+
+    def is_pinned(self, name: str) -> bool:
+        """Whether *name* is currently frozen."""
+        return bool(self._pinned[self._require(name)])
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _repulsion_forces(self) -> np.ndarray:
+        """The (n, 2) Coulomb force array; subclass-specific."""
+
+    def _spring_forces(self) -> np.ndarray:
+        forces = np.zeros_like(self._pos)
+        if not self._edges:
+            return forces
+        if self._edge_index is None:
+            self._edge_index = np.asarray(
+                [(self._index[a], self._index[b]) for a, b in self._edges],
+                dtype=int,
+            )
+        i = self._edge_index[:, 0]
+        j = self._edge_index[:, 1]
+        delta = self._pos[j] - self._pos[i]
+        dist = np.maximum(np.linalg.norm(delta, axis=1), 1e-9)
+        magnitude = self.params.spring * (dist - self.params.spring_length)
+        pull = delta * (magnitude / dist)[:, None]
+        np.add.at(forces, i, pull)
+        np.add.at(forces, j, -pull)
+        return forces
+
+    def step(self) -> float:
+        """Advance the simulation one step; return the max displacement.
+
+        The return value is the convergence measure: once it falls under
+        a tolerance the layout is visually stable.
+        """
+        if not self._names:
+            return 0.0
+        params = self.params
+        forces = self._repulsion_forces() + self._spring_forces()
+        self._vel = (self._vel + forces * params.timestep) * params.damping
+        displacement = self._vel * params.timestep
+        norms = np.linalg.norm(displacement, axis=1)
+        over = norms > params.max_displacement
+        if over.any():
+            displacement[over] *= (params.max_displacement / norms[over])[:, None]
+            norms[over] = params.max_displacement
+        displacement[self._pinned] = 0.0
+        norms[self._pinned] = 0.0
+        self._pos += displacement
+        return float(norms.max())
+
+    def run(self, max_steps: int = 300, tolerance: float = 0.5) -> int:
+        """Step until the max displacement drops below *tolerance*.
+
+        Returns the number of steps actually executed.
+        """
+        if max_steps < 0:
+            raise LayoutError(f"max_steps must be >= 0, got {max_steps}")
+        for done in range(1, max_steps + 1):
+            if self.step() < tolerance:
+                return done
+        return max_steps
+
+    # ------------------------------------------------------------------
+    # Quality measures (used by benches and tests)
+    # ------------------------------------------------------------------
+    def dispersion(self) -> float:
+        """RMS distance of nodes from their centroid.
+
+        The quantity the *charge* slider visibly controls (Fig. 5).
+        """
+        if len(self._names) == 0:
+            return 0.0
+        centered = self._pos - self._pos.mean(axis=0)
+        return float(np.sqrt((centered ** 2).sum(axis=1).mean()))
+
+    def mean_edge_length(self) -> float:
+        """Average edge length; the *spring* slider's observable."""
+        if not self._edges:
+            return 0.0
+        total = 0.0
+        for a, b in self._edges:
+            pa = self._pos[self._index[a]]
+            pb = self._pos[self._index[b]]
+            total += float(np.linalg.norm(pa - pb))
+        return total / len(self._edges)

@@ -1,0 +1,170 @@
+"""The dynamic layout engine: smooth transitions across view changes.
+
+"Dynamic node aggregation requires to recompute the graph layout, which
+may confuse the analyst if there is too much changes between the two
+layouts" (Section 1).  :class:`DynamicLayout` keeps one force simulation
+alive across every view change and seeds new nodes from remembered
+positions:
+
+* an **aggregated** node appears at the *centroid of its members'* last
+  positions — collapsing a cluster shrinks it in place;
+* a **disaggregated** member reappears near its former group's position;
+* everything else keeps its position and just keeps relaxing.
+
+This is what makes "the layout smooth when aggregating, preventing the
+analyst to get confused when changing scale" (Fig. 8's caption).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.layout.barneshut import BarnesHutLayout
+from repro.core.layout.base import ForceLayout
+from repro.core.layout.forces import LayoutParams
+from repro.core.layout.naive import NaiveLayout
+from repro.core.visgraph import VisGraph
+from repro.errors import LayoutError
+
+__all__ = ["DynamicLayout", "make_layout", "ALGORITHMS"]
+
+ALGORITHMS = ("barneshut", "naive")
+
+
+def make_layout(
+    algorithm: str = "barneshut",
+    params: LayoutParams | None = None,
+    seed: int = 0,
+) -> ForceLayout:
+    """Instantiate a force layout by name."""
+    if algorithm == "barneshut":
+        return BarnesHutLayout(params, seed)
+    if algorithm == "naive":
+        return NaiveLayout(params, seed)
+    raise LayoutError(
+        f"unknown layout algorithm {algorithm!r}; pick one of {ALGORITHMS}"
+    )
+
+
+class DynamicLayout:
+    """Maintains a force layout synchronized with a changing VisGraph."""
+
+    def __init__(
+        self,
+        algorithm: str = "barneshut",
+        params: LayoutParams | None = None,
+        seed: int = 0,
+        max_steps: int = 300,
+        tolerance: float = 0.5,
+    ) -> None:
+        self.layout = make_layout(algorithm, params, seed)
+        self.algorithm = algorithm
+        self.max_steps = max_steps
+        self.tolerance = tolerance
+        self._rng = random.Random(seed ^ 0x5EED)
+        #: last known position of every *trace entity* (not unit), the
+        #: memory that makes aggregation/disaggregation transitions smooth
+        self._entity_positions: dict[str, tuple[float, float]] = {}
+        #: members of each unit key at the last sync
+        self._members: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------
+    def sync(
+        self,
+        graph: VisGraph,
+        seed_positions: dict[str, tuple[float, float]] | None = None,
+    ) -> dict[str, tuple[float, float]]:
+        """Reconcile the simulation with *graph*; return seed positions
+        of the nodes that were created by this sync.
+
+        ``seed_positions`` supplies fallback spots for brand-new nodes
+        whose members were never seen before — the session passes the
+        hierarchical radial seeding here ("the scalable Barnes-hut
+        algorithm combined with the hierarchical information from the
+        traces", Section 3.3); without it new nodes start at random.
+        """
+        self._remember_positions()
+        current = set(self.layout.names())
+        target = {node.key for node in graph}
+        created: dict[str, tuple[float, float]] = {}
+        for key in current - target:
+            del self._members[key]
+            self.layout.remove_node(key)
+        for node in graph:
+            if node.key in current:
+                self.layout.set_weight(node.key, max(1.0, float(node.weight)))
+            else:
+                position = self._seed_position(node.members)
+                if position is None and seed_positions is not None:
+                    position = seed_positions.get(node.key)
+                self.layout.add_node(
+                    node.key, max(1.0, float(node.weight)), position
+                )
+                created[node.key] = self.layout.position(node.key)
+            self._members[node.key] = node.members
+        self.layout.set_edges([(e.a, e.b) for e in graph.edges])
+        return created
+
+    def _remember_positions(self) -> None:
+        for key, members in self._members.items():
+            if key in self.layout:
+                position = self.layout.position(key)
+                for member in members:
+                    self._entity_positions[member] = position
+
+    def _seed_position(self, members: tuple[str, ...]) -> tuple[float, float] | None:
+        known = [
+            self._entity_positions[m]
+            for m in members
+            if m in self._entity_positions
+        ]
+        if not known:
+            return None  # let the layout pick a random spot
+        cx = sum(p[0] for p in known) / len(known)
+        cy = sum(p[1] for p in known) / len(known)
+        # Tiny jitter so disaggregated siblings do not stack exactly.
+        return (
+            cx + self._rng.uniform(-1.0, 1.0),
+            cy + self._rng.uniform(-1.0, 1.0),
+        )
+
+    # ------------------------------------------------------------------
+    def settle(
+        self, max_steps: int | None = None, tolerance: float | None = None
+    ) -> int:
+        """Relax the simulation; returns the steps executed."""
+        steps = self.layout.run(
+            max_steps if max_steps is not None else self.max_steps,
+            tolerance if tolerance is not None else self.tolerance,
+        )
+        self._remember_positions()
+        return steps
+
+    def step(self) -> float:
+        """One simulation step (for animated/interactive callers)."""
+        value = self.layout.step()
+        return value
+
+    def positions(self) -> dict[str, tuple[float, float]]:
+        """Current position of every node."""
+        return self.layout.positions()
+
+    def position(self, key: str) -> tuple[float, float]:
+        """Current position of one node."""
+        return self.layout.position(key)
+
+    def drag(self, key: str, position: tuple[float, float]) -> None:
+        """Move a node by hand (Section 4.2's mouse interaction)."""
+        self.layout.move(key, position)
+
+    def pin(self, key: str, pinned: bool = True) -> None:
+        """Freeze (or release) a node in place."""
+        self.layout.pin(key, pinned)
+
+    def set_params(self, params: LayoutParams) -> None:
+        """Apply new charge/spring/damping values (the sliders)."""
+        self.layout.params = params
+
+    @property
+    def params(self) -> LayoutParams:
+        return self.layout.params

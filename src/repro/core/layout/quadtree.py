@@ -1,0 +1,222 @@
+"""The Barnes-Hut quadtree [Barnes & Hut 1986].
+
+Repulsion between all node pairs is O(n^2); the paper adopts the
+"scalable Barnes-hut algorithm — O(n log n)" instead.  Bodies are
+inserted into a quadtree whose internal cells track total mass and
+center of mass; the force on a body is then computed by walking the
+tree and approximating any cell that looks small enough from the body
+(``size / distance < theta``) by a single point mass.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import LayoutError
+
+__all__ = ["QuadTree"]
+
+#: Stop subdividing past this depth; co-located bodies share a leaf.
+MAX_DEPTH = 32
+
+
+class _Cell:
+    """One quadtree cell (internal or leaf)."""
+
+    __slots__ = ("cx", "cy", "half", "mass", "com_x", "com_y", "children", "bodies")
+
+    def __init__(self, cx: float, cy: float, half: float) -> None:
+        self.cx = cx
+        self.cy = cy
+        self.half = half
+        self.mass = 0.0
+        self.com_x = 0.0
+        self.com_y = 0.0
+        self.children: list["_Cell | None"] | None = None  # None = leaf
+        self.bodies: list[int] = []
+
+    def quadrant(self, x: float, y: float) -> int:
+        return (1 if x >= self.cx else 0) | (2 if y >= self.cy else 0)
+
+    def child_center(self, quadrant: int) -> tuple[float, float]:
+        q = self.half / 2.0
+        return (
+            self.cx + (q if quadrant & 1 else -q),
+            self.cy + (q if quadrant & 2 else -q),
+        )
+
+
+class QuadTree:
+    """A quadtree over 2D bodies with masses, for O(n log n) repulsion."""
+
+    def __init__(
+        self,
+        positions: Sequence[tuple[float, float]],
+        masses: Sequence[float] | None = None,
+    ) -> None:
+        n = len(positions)
+        if masses is None:
+            masses = [1.0] * n
+        if len(masses) != n:
+            raise LayoutError(
+                f"{n} positions but {len(masses)} masses"
+            )
+        self._x = [float(p[0]) for p in positions]
+        self._y = [float(p[1]) for p in positions]
+        self._m = [float(m) for m in masses]
+        self.root: _Cell | None = None
+        if n:
+            self._build()
+
+    def _build(self) -> None:
+        min_x, max_x = min(self._x), max(self._x)
+        min_y, max_y = min(self._y), max(self._y)
+        half = max(max_x - min_x, max_y - min_y) / 2.0 + 1e-9
+        self.root = _Cell((min_x + max_x) / 2.0, (min_y + max_y) / 2.0, half)
+        for body in range(len(self._x)):
+            self._insert(self.root, body, 0)
+
+    def _insert(self, cell: _Cell, body: int, depth: int) -> None:
+        x, y, m = self._x[body], self._y[body], self._m[body]
+        while True:
+            # Update the aggregate on the way down.
+            total = cell.mass + m
+            cell.com_x = (cell.com_x * cell.mass + x * m) / total
+            cell.com_y = (cell.com_y * cell.mass + y * m) / total
+            cell.mass = total
+            if cell.children is None:
+                if not cell.bodies or depth >= MAX_DEPTH:
+                    cell.bodies.append(body)
+                    return
+                # Leaf splits: push the resident body down, then loop to
+                # place the new body in the subdivided cell.
+                residents = cell.bodies
+                cell.bodies = []
+                cell.children = [None, None, None, None]
+                for resident in residents:
+                    self._sink(cell, resident, depth)
+            quadrant = cell.quadrant(x, y)
+            child = cell.children[quadrant]
+            if child is None:
+                ccx, ccy = cell.child_center(quadrant)
+                child = cell.children[quadrant] = _Cell(
+                    ccx, ccy, cell.half / 2.0
+                )
+            cell = child
+            depth += 1
+
+    def _sink(self, parent: _Cell, body: int, depth: int) -> None:
+        """Place an already-counted body one level below *parent*."""
+        x, y = self._x[body], self._y[body]
+        quadrant = parent.quadrant(x, y)
+        child = parent.children[quadrant]
+        if child is None:
+            ccx, ccy = parent.child_center(quadrant)
+            child = parent.children[quadrant] = _Cell(ccx, ccy, parent.half / 2.0)
+        # Recount mass down this sub-path.
+        m = self._m[body]
+        cell = child
+        d = depth + 1
+        while True:
+            total = cell.mass + m
+            cell.com_x = (cell.com_x * cell.mass + x * m) / total
+            cell.com_y = (cell.com_y * cell.mass + y * m) / total
+            cell.mass = total
+            if cell.children is None:
+                if not cell.bodies or d >= MAX_DEPTH:
+                    cell.bodies.append(body)
+                    return
+                residents = cell.bodies
+                cell.bodies = []
+                cell.children = [None, None, None, None]
+                for resident in residents:
+                    self._sink(cell, resident, d)
+            quadrant = cell.quadrant(x, y)
+            nxt = cell.children[quadrant]
+            if nxt is None:
+                ccx, ccy = cell.child_center(quadrant)
+                nxt = cell.children[quadrant] = _Cell(ccx, ccy, cell.half / 2.0)
+            cell = nxt
+            d += 1
+
+    def interactions(self, body: int, theta: float) -> int:
+        """Count the force interactions evaluated for *body*.
+
+        The complexity measure behind the paper's O(n^2) vs O(n log n)
+        claim: a naive pass always evaluates ``n - 1`` interactions,
+        Barnes-Hut evaluates one per approximated cell or leaf body.
+        """
+        if self.root is None:
+            return 0
+        x, y = self._x[body], self._y[body]
+        count = 0
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            if cell.mass <= 0:
+                continue
+            if cell.children is None:
+                count += sum(1 for other in cell.bodies if other != body)
+                continue
+            dx = x - cell.com_x
+            dy = y - cell.com_y
+            dist2 = dx * dx + dy * dy
+            size = cell.half * 2.0
+            if dist2 > 1e-12 and size * size < theta * theta * dist2:
+                count += 1
+            else:
+                for child in cell.children:
+                    if child is not None:
+                        stack.append(child)
+        return count
+
+    def force_on(
+        self, body: int, charge: float, theta: float
+    ) -> tuple[float, float]:
+        """Coulomb repulsion on *body* from every other body.
+
+        ``F = charge * m_i * m_j / d^2``, directed away from the other
+        mass.  Cells satisfying the opening criterion are approximated
+        by their center of mass; with ``theta == 0`` the computation is
+        exact (pairwise).
+        """
+        if self.root is None:
+            return (0.0, 0.0)
+        x, y, m = self._x[body], self._y[body], self._m[body]
+        fx = fy = 0.0
+        stack = [self.root]
+        while stack:
+            cell = stack.pop()
+            if cell.mass <= 0:
+                continue
+            dx = x - cell.com_x
+            dy = y - cell.com_y
+            dist2 = dx * dx + dy * dy
+            if cell.children is None:
+                # Leaf: exact interaction with each resident body.
+                for other in cell.bodies:
+                    if other == body:
+                        continue
+                    ox = x - self._x[other]
+                    oy = y - self._y[other]
+                    d2 = ox * ox + oy * oy
+                    if d2 < 1e-12:
+                        # Co-located bodies: deterministic tiny kick.
+                        ox, oy, d2 = 0.31, 0.17, 0.125
+                    f = charge * m * self._m[other] / d2
+                    d = math.sqrt(d2)
+                    fx += f * ox / d
+                    fy += f * oy / d
+                continue
+            size = cell.half * 2.0
+            if dist2 > 1e-12 and size * size < theta * theta * dist2:
+                f = charge * m * cell.mass / dist2
+                d = math.sqrt(dist2)
+                fx += f * dx / d
+                fy += f * dy / d
+            else:
+                for child in cell.children:
+                    if child is not None:
+                        stack.append(child)
+        return (fx, fy)

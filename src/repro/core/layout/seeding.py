@@ -1,0 +1,69 @@
+"""Hierarchical initial placement for the force layout.
+
+Section 3.3: the paper adopts "the scalable Barnes-hut algorithm
+combined with the hierarchical information from the traces".  Beyond
+weighting aggregated nodes, the hierarchy makes an excellent *initial
+condition*: placing entities around a circle in depth-first hierarchy
+order puts every cluster on a contiguous arc, so the force simulation
+starts from a layout that already separates the groups and converges in
+far fewer steps than from random positions (quantified by the seeding
+ablation bench).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.visgraph import VisGraph
+
+__all__ = ["radial_seeds"]
+
+
+def radial_seeds(
+    hierarchy: Hierarchy,
+    graph: VisGraph,
+    radius: float | None = None,
+    spring_length: float = 40.0,
+) -> dict[str, tuple[float, float]]:
+    """Initial positions for *graph*'s nodes from the hierarchy.
+
+    Leaves are ordered depth-first through the hierarchy and spread
+    around a circle; each node (plain entity or aggregate) seeds at the
+    angular centroid of its members.  The radius defaults to
+    ``spring_length * sqrt(n) / 2`` — the same scale the random
+    placement uses, so the two initializations are comparable.
+    """
+    order: list[str] = []
+
+    def walk(path: tuple[str, ...]) -> None:
+        for name in hierarchy.leaves(path):
+            if hierarchy.path_of(name)[:-1] == path:
+                order.append(name)
+        for child in hierarchy.children(path):
+            walk(child)
+
+    walk(())
+    index = {name: i for i, name in enumerate(order)}
+    total = max(len(order), 1)
+    if radius is None:
+        radius = spring_length * math.sqrt(len(graph)) / 2.0
+
+    seeds: dict[str, tuple[float, float]] = {}
+    for node in graph:
+        angles = [
+            2.0 * math.pi * index[m] / total
+            for m in node.members
+            if m in index
+        ]
+        if not angles:
+            continue
+        # Angular centroid via the vector mean (robust to wrap-around).
+        x = sum(math.cos(a) for a in angles) / len(angles)
+        y = sum(math.sin(a) for a in angles) / len(angles)
+        norm = math.hypot(x, y)
+        if norm < 1e-9:
+            seeds[node.key] = (0.0, 0.0)
+        else:
+            seeds[node.key] = (radius * x / norm, radius * y / norm)
+    return seeds

@@ -1,0 +1,180 @@
+"""Mapping trace metrics to visual properties (Section 3.1).
+
+"A square can be used to represent a host, its size according to its
+computing power; a diamond to a network link, its size according to the
+bandwidth utilization" — the mapping is the analyst-configurable rule
+set turning a unit's aggregated metric values into a shape, a size value
+and a proportional fill.
+
+Deliberately small, like the paper's: three shapes (square, diamond,
+circle), size, color and an optional filling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.core.aggregation import AggregatedUnit
+from repro.errors import MappingError
+from repro.trace.trace import CAPACITY, USAGE
+
+__all__ = ["SHAPES", "ShapeRule", "VisualMapping", "NodeStyle"]
+
+#: The only geometric shapes the paper allows (Section 3.1).
+SHAPES = ("square", "diamond", "circle")
+
+
+@dataclass(frozen=True)
+class ShapeRule:
+    """How one entity kind maps to visual properties.
+
+    Parameters
+    ----------
+    shape:
+        One of :data:`SHAPES`.
+    size_metric:
+        Metric defining the node size (empty = fixed small size).
+    fill_metric:
+        Metric defining the proportional filling, divided by
+        *size_metric* (utilization over capacity); empty = no fill.
+    color:
+        Base color (any CSS color string).
+    fill_parts:
+        Optional metric names whose values are stacked inside the shape
+        as separate segments (each divided by *size_metric*).  This is
+        the paper's Section 6 "graphical object flexibility" extension:
+        e.g. ``("usage_app1", "usage_app2")`` shows each application's
+        share of a host at a glance, the way Fig. 8 correlates "resource
+        usage of both master worker applications".  When set, it takes
+        precedence over *fill_metric* in the renderers.
+    """
+
+    shape: str = "circle"
+    size_metric: str = CAPACITY
+    fill_metric: str = USAGE
+    color: str = "#4878a8"
+    fill_parts: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise MappingError(
+                f"unknown shape {self.shape!r}; pick one of {SHAPES}"
+            )
+
+
+@dataclass(frozen=True)
+class NodeStyle:
+    """The resolved visual properties of one unit (before pixel scaling).
+
+    ``fill_parts`` holds ``(metric, fraction)`` segments when the rule
+    requests a composite fill; the fractions are clamped so their sum
+    never exceeds 1.
+    """
+
+    shape: str
+    size_value: float
+    fill_fraction: float | None
+    color: str
+    fill_parts: tuple[tuple[str, float], ...] = ()
+
+
+class VisualMapping:
+    """The rule set: one :class:`ShapeRule` per entity kind.
+
+    Any mapping "can be dynamically changed at a given point of the
+    analysis" — use :meth:`with_rule` to derive an updated mapping.
+    """
+
+    def __init__(
+        self,
+        rules: Mapping[str, ShapeRule] | None = None,
+        default: ShapeRule | None = None,
+    ) -> None:
+        self._rules = dict(rules or {})
+        self._default = default if default is not None else ShapeRule()
+
+    @classmethod
+    def paper_default(cls) -> "VisualMapping":
+        """The mapping used throughout the paper's figures.
+
+        Hosts: squares sized by computing power, filled by utilization.
+        Links: diamonds sized by bandwidth, filled by utilization.
+        Routers: small fixed grey circles (pure topology junctions).
+        """
+        return cls(
+            rules={
+                "host": ShapeRule("square", CAPACITY, USAGE, "#4878a8"),
+                "link": ShapeRule("diamond", CAPACITY, USAGE, "#8a5ba8"),
+                "router": ShapeRule("circle", "", "", "#9a9a9a"),
+            }
+        )
+
+    def rule_for(self, kind: str) -> ShapeRule:
+        """The rule applied to entities of *kind*."""
+        return self._rules.get(kind, self._default)
+
+    def with_rule(self, kind: str, rule: ShapeRule) -> "VisualMapping":
+        """A new mapping where *kind* follows *rule*."""
+        rules = dict(self._rules)
+        rules[kind] = rule
+        return VisualMapping(rules, self._default)
+
+    def with_fill_parts(self, kind: str, metrics: tuple[str, ...]) -> "VisualMapping":
+        """A new mapping stacking per-metric segments inside *kind* nodes.
+
+        The Section 6 flexibility extension: pass the per-application
+        usage metrics to see each application's share of every node.
+        """
+        return self.with_rule(
+            kind, replace(self.rule_for(kind), fill_parts=tuple(metrics))
+        )
+
+    def with_metrics(
+        self, kind: str, size_metric: str, fill_metric: str | None = None
+    ) -> "VisualMapping":
+        """A new mapping with *kind* re-pointed at other metrics.
+
+        This is the "different set of available metrics in another part
+        of the trace" scenario of Section 3.1: e.g. point the fill of
+        hosts at ``usage_app1`` to see one application's share.
+        """
+        rule = self.rule_for(kind)
+        return self.with_rule(
+            kind,
+            replace(
+                rule,
+                size_metric=size_metric,
+                fill_metric=fill_metric if fill_metric is not None else rule.fill_metric,
+            ),
+        )
+
+    def style(self, unit: AggregatedUnit) -> NodeStyle:
+        """Resolve the visual properties of *unit*.
+
+        The size value is the unit's (space-aggregated) size metric; the
+        fill fraction is fill metric over size metric, clamped to
+        ``[0, 1]`` — the "proportional fill" of Fig. 1.
+        """
+        rule = self.rule_for(unit.kind)
+        size_value = unit.value(rule.size_metric) if rule.size_metric else 0.0
+        capacity = unit.value(rule.size_metric) if rule.size_metric else 0.0
+        fill: float | None = None
+        if rule.fill_metric and capacity > 0:
+            fill = min(1.0, max(0.0, unit.value(rule.fill_metric) / capacity))
+        parts: list[tuple[str, float]] = []
+        if rule.fill_parts and capacity > 0:
+            budget = 1.0
+            for metric in rule.fill_parts:
+                fraction = min(budget, max(0.0, unit.value(metric) / capacity))
+                parts.append((metric, fraction))
+                budget -= fraction
+            if fill is None:
+                fill = min(1.0, sum(f for _, f in parts))
+        return NodeStyle(
+            shape=rule.shape,
+            size_value=max(0.0, size_value),
+            fill_fraction=fill,
+            color=rule.color,
+            fill_parts=tuple(parts),
+        )

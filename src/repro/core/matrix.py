@@ -1,0 +1,166 @@
+"""Communication-matrix views.
+
+The third classical technique of Section 2.2: "communication matrices,
+implemented in Vampir and others ... present per-process interactions
+and global summaries, with no network correlation".  This module
+implements it over the recorded message events so all of the paper's
+comparison points exist in one library: rows/columns are entities (or
+their hierarchy groups — the matrix aggregates spatially like the
+topology view), cells are exchanged bytes, rendered as an SVG heatmap.
+
+Like the timeline, the matrix is *topology-blind*: it shows who talks
+to whom, never through what.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.core.render.colors import mix
+from repro.errors import RenderError, TraceError
+from repro.trace.trace import Trace
+
+__all__ = ["CommMatrix"]
+
+
+@dataclass
+class CommMatrix:
+    """A (directed) communication matrix: bytes from row to column."""
+
+    labels: list[str]
+    cells: dict[tuple[str, str], float]
+
+    #: Like the timeline: no network information whatsoever.
+    topology_blind = True
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        grouping: GroupingState | None = None,
+        depth: int | None = None,
+    ) -> "CommMatrix":
+        """Build the matrix from the trace's message events.
+
+        Parameters
+        ----------
+        grouping:
+            Optional grouping state: messages between entities of the
+            same collapsed group fold into one diagonal cell, exactly
+            like spatial aggregation folds nodes.
+        depth:
+            Shortcut: collapse every group at this hierarchy depth.
+        """
+        messages = trace.events_of_kind("message")
+        if not messages:
+            raise TraceError(
+                "trace has no 'message' events; run with "
+                "UsageMonitor(record_messages=True)"
+            )
+        if depth is not None:
+            grouping = GroupingState(Hierarchy.from_trace(trace))
+            grouping.collapse_depth(depth)
+
+        def unit(name: str) -> str:
+            if grouping is None or name not in grouping.hierarchy:
+                return name
+            group = grouping.unit_of(name)
+            return "/".join(group) if group is not None else name
+
+        cells: dict[tuple[str, str], float] = {}
+        labels: set[str] = set()
+        for message in messages:
+            if not message.target:
+                continue
+            src, dst = unit(message.source), unit(message.target)
+            labels.update((src, dst))
+            key = (src, dst)
+            cells[key] = cells.get(key, 0.0) + float(
+                message.payload.get("size", 0.0)
+            )
+        return cls(labels=sorted(labels), cells=cells)
+
+    # ------------------------------------------------------------------
+    def volume(self, src: str, dst: str) -> float:
+        """Bytes sent from *src* to *dst* (0 when they never talked)."""
+        return self.cells.get((src, dst), 0.0)
+
+    def total(self) -> float:
+        """All bytes exchanged."""
+        return sum(self.cells.values())
+
+    def sent_by(self, src: str) -> float:
+        """Bytes *src* sent to anyone."""
+        return sum(v for (s, _), v in self.cells.items() if s == src)
+
+    def received_by(self, dst: str) -> float:
+        """Bytes *dst* received from anyone."""
+        return sum(v for (_, d), v in self.cells.items() if d == dst)
+
+    def heaviest_pairs(self, n: int = 5) -> list[tuple[str, str, float]]:
+        """The *n* largest directed exchanges."""
+        rows = [(s, d, v) for (s, d), v in self.cells.items()]
+        rows.sort(key=lambda r: -r[2])
+        return rows[:n]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    # ------------------------------------------------------------------
+    def render_svg(
+        self,
+        path: str | Path | None = None,
+        cell_px: int = 14,
+        show_labels: bool = True,
+    ) -> str:
+        """An SVG heatmap; darker cells carry more bytes."""
+        if cell_px <= 0:
+            raise RenderError(f"cell_px must be positive, got {cell_px}")
+        n = len(self.labels)
+        label_pad = 110 if show_labels else 4
+        size = label_pad + n * cell_px + 4
+        peak = max(self.cells.values(), default=1.0)
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+            f'height="{size}" font-family="monospace" font-size="8">',
+            '<rect width="100%" height="100%" fill="#ffffff"/>',
+        ]
+        index = {label: i for i, label in enumerate(self.labels)}
+        for (src, dst), volume in sorted(self.cells.items()):
+            x = label_pad + index[dst] * cell_px
+            y = label_pad + index[src] * cell_px
+            shade = mix("#f2f2f2", "#0b3d91", (volume / peak) ** 0.5)
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell_px}" '
+                f'height="{cell_px}" fill="{shade}">'
+                f"<title>{src} -> {dst}: {volume:g} B</title></rect>"
+            )
+        for i in range(n + 1):
+            offset = label_pad + i * cell_px
+            parts.append(
+                f'<line x1="{label_pad}" y1="{offset}" '
+                f'x2="{label_pad + n * cell_px}" y2="{offset}" '
+                'stroke="#dddddd" stroke-width="0.5"/>'
+            )
+            parts.append(
+                f'<line x1="{offset}" y1="{label_pad}" '
+                f'x2="{offset}" y2="{label_pad + n * cell_px}" '
+                'stroke="#dddddd" stroke-width="0.5"/>'
+            )
+        if show_labels:
+            for label, i in index.items():
+                y = label_pad + i * cell_px + cell_px * 0.7
+                parts.append(f'<text x="2" y="{y:.1f}">{label[:16]}</text>')
+                x = label_pad + i * cell_px + cell_px * 0.7
+                parts.append(
+                    f'<text x="{x:.1f}" y="{label_pad - 4}" '
+                    f'transform="rotate(-60 {x:.1f} {label_pad - 4})">'
+                    f"{label[:16]}</text>"
+                )
+        parts.append("</svg>")
+        markup = "\n".join(parts)
+        if path is not None:
+            Path(path).write_text(markup, encoding="utf-8")
+        return markup

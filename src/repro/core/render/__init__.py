@@ -1,0 +1,29 @@
+"""Headless renderers: SVG files and terminal output."""
+
+from repro.core.render.ascii import AsciiRenderer, render_ascii
+from repro.core.render.html_export import export_animation_html
+from repro.core.render.colors import (
+    category_palette,
+    darken,
+    lighten,
+    mix,
+    parse_hex,
+    to_hex,
+    utilization_color,
+)
+from repro.core.render.svg import SvgRenderer, render_svg
+
+__all__ = [
+    "AsciiRenderer",
+    "SvgRenderer",
+    "category_palette",
+    "darken",
+    "export_animation_html",
+    "lighten",
+    "mix",
+    "parse_hex",
+    "render_ascii",
+    "render_svg",
+    "to_hex",
+    "utilization_color",
+]

@@ -1,0 +1,64 @@
+"""Terminal rendering of topology views.
+
+A coarse character-grid projection — enough to eyeball a layout from a
+test log or an example script without opening an SVG.  Hosts draw as
+``#``, links as ``*``, routers as ``o``; an aggregate shows the first
+letter of its label instead, and a legend lists every node with its
+value and fill.
+"""
+
+from __future__ import annotations
+
+from repro.core.view import TopologyView
+from repro.errors import RenderError
+
+__all__ = ["AsciiRenderer", "render_ascii"]
+
+_GLYPHS = {"host": "#", "link": "*", "router": "o"}
+
+
+class AsciiRenderer:
+    """Renders views onto a character grid."""
+
+    def __init__(self, columns: int = 72, rows: int = 24, legend: bool = True) -> None:
+        if columns < 8 or rows < 4:
+            raise RenderError(f"grid too small: {columns}x{rows}")
+        self.columns = columns
+        self.rows = rows
+        self.legend = legend
+
+    def render(self, view: TopologyView) -> str:
+        """The character-grid rendering of *view* (plus a legend)."""
+        min_x, min_y, max_x, max_y = view.bounds(margin=1.0)
+        span_x = max(max_x - min_x, 1e-9)
+        span_y = max(max_y - min_y, 1e-9)
+        grid = [[" "] * self.columns for _ in range(self.rows)]
+        for node in view.nodes():
+            x, y = view.position(node.key)
+            col = int((x - min_x) / span_x * (self.columns - 1))
+            row = int((y - min_y) / span_y * (self.rows - 1))
+            glyph = _GLYPHS.get(node.kind, "?")
+            if node.is_aggregate and node.label:
+                glyph = node.label[0].upper()
+            grid[row][col] = glyph
+        lines = ["".join(row).rstrip() for row in grid]
+        out = "\n".join(lines)
+        if self.legend:
+            entries = []
+            for node in sorted(view.nodes(), key=lambda n: n.key):
+                fill = (
+                    f" fill={node.fill_fraction:.0%}"
+                    if node.fill_fraction is not None
+                    else ""
+                )
+                entries.append(
+                    f"  {node.label} [{node.kind}] size={node.size_value:g}"
+                    f"{fill} members={node.weight}"
+                )
+            out += f"\n-- slice {view.tslice} --\n" + "\n".join(entries)
+        return out
+
+
+def render_ascii(view: TopologyView, **options) -> str:
+    """One-shot convenience wrapper around :class:`AsciiRenderer`."""
+    return AsciiRenderer(**options).render(view)

@@ -1,0 +1,93 @@
+"""Small color utilities for the renderers.
+
+Pure-string manipulation of ``#rrggbb`` colors: no dependency on any
+plotting stack, so the SVG renderer stays self-contained.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RenderError
+
+__all__ = [
+    "parse_hex",
+    "to_hex",
+    "mix",
+    "lighten",
+    "darken",
+    "utilization_color",
+    "category_palette",
+]
+
+#: A colorblind-friendly categorical palette (Okabe-Ito derived).
+_PALETTE = (
+    "#0072b2",
+    "#e69f00",
+    "#009e73",
+    "#cc79a7",
+    "#d55e00",
+    "#56b4e9",
+    "#f0e442",
+    "#999999",
+)
+
+
+def parse_hex(color: str) -> tuple[int, int, int]:
+    """``"#rrggbb"`` (or ``"#rgb"``) to an (r, g, b) tuple."""
+    text = color.strip()
+    if not text.startswith("#"):
+        raise RenderError(f"expected a #hex color, got {color!r}")
+    text = text[1:]
+    if len(text) == 3:
+        text = "".join(c * 2 for c in text)
+    if len(text) != 6:
+        raise RenderError(f"malformed hex color {color!r}")
+    try:
+        return tuple(int(text[i : i + 2], 16) for i in (0, 2, 4))  # type: ignore[return-value]
+    except ValueError:
+        raise RenderError(f"malformed hex color {color!r}") from None
+
+
+def to_hex(rgb: tuple[int, int, int]) -> str:
+    """An (r, g, b) tuple back to ``"#rrggbb"`` (components clamped)."""
+    clamped = [max(0, min(255, int(round(v)))) for v in rgb]
+    return "#{:02x}{:02x}{:02x}".format(*clamped)
+
+
+def mix(a: str, b: str, t: float) -> str:
+    """Linear interpolation between colors *a* and *b* (t in [0, 1])."""
+    t = max(0.0, min(1.0, t))
+    ra, ga, ba = parse_hex(a)
+    rb, gb, bb = parse_hex(b)
+    return to_hex(
+        (ra + (rb - ra) * t, ga + (gb - ga) * t, ba + (bb - ba) * t)
+    )
+
+
+def lighten(color: str, amount: float = 0.5) -> str:
+    """Move *color* towards white by *amount*."""
+    return mix(color, "#ffffff", amount)
+
+
+def darken(color: str, amount: float = 0.3) -> str:
+    """Move *color* towards black by *amount*."""
+    return mix(color, "#000000", amount)
+
+
+def utilization_color(fraction: float) -> str:
+    """Green → yellow → red ramp for utilization in [0, 1].
+
+    Saturated resources should scream: the NAS-DT figures hinge on
+    spotting the nearly-full inter-cluster diamonds at a glance.
+    """
+    fraction = max(0.0, min(1.0, fraction))
+    if fraction < 0.5:
+        return mix("#2a9d3a", "#e9c716", fraction * 2.0)
+    return mix("#e9c716", "#d62828", (fraction - 0.5) * 2.0)
+
+
+def category_palette(names: list[str]) -> dict[str, str]:
+    """Stable color assignment for category names (sorted order)."""
+    return {
+        name: _PALETTE[i % len(_PALETTE)]
+        for i, name in enumerate(sorted(names))
+    }

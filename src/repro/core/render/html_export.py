@@ -1,0 +1,120 @@
+"""Standalone interactive HTML export.
+
+VIVA is an interactive GUI; the closest a headless library can ship is
+a self-contained HTML page embedding a sequence of SVG frames with a
+time slider, play/pause control and per-frame captions — the temporal
+animation of Fig. 9 in a browser, no server or dependency required.
+
+The page is plain HTML + a few lines of vanilla JavaScript; frames are
+inlined, so the file can be mailed around like a screenshot.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.render.svg import SvgRenderer
+from repro.core.view import TopologyView
+from repro.errors import RenderError
+
+__all__ = ["export_animation_html"]
+
+_PAGE = """\
+<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8"/>
+<title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 1em; background: #fafafa; }}
+ #frame-box {{ border: 1px solid #ccc; background: #fff; display: inline-block; }}
+ #controls {{ margin: 0.6em 0; }}
+ #caption {{ color: #555; font-size: 0.9em; }}
+ button {{ font-size: 1em; }}
+ input[type=range] {{ width: 420px; vertical-align: middle; }}
+ .frame {{ display: none; }}
+ .frame.active {{ display: block; }}
+</style>
+</head>
+<body>
+<h2>{title}</h2>
+<div id="controls">
+ <button id="play">&#9658;</button>
+ <input type="range" id="slider" min="0" max="{last}" value="0"/>
+ <span id="caption"></span>
+</div>
+<div id="frame-box">
+{frames}
+</div>
+<script>
+const captions = {captions};
+const frames = document.querySelectorAll('.frame');
+const slider = document.getElementById('slider');
+const caption = document.getElementById('caption');
+const play = document.getElementById('play');
+let timer = null;
+function show(i) {{
+  frames.forEach((f, j) => f.classList.toggle('active', j === Number(i)));
+  slider.value = i;
+  caption.textContent = captions[i];
+}}
+slider.addEventListener('input', () => show(slider.value));
+play.addEventListener('click', () => {{
+  if (timer) {{ clearInterval(timer); timer = null; play.innerHTML = '&#9658;'; return; }}
+  play.innerHTML = '&#10074;&#10074;';
+  timer = setInterval(() => {{
+    const next = (Number(slider.value) + 1) % frames.length;
+    show(next);
+  }}, {interval});
+}});
+show(0);
+</script>
+</body>
+</html>
+"""
+
+
+def export_animation_html(
+    views: Iterable[TopologyView],
+    path: str | Path,
+    title: str = "Topology animation",
+    interval_ms: int = 600,
+    renderer: SvgRenderer | None = None,
+) -> Path:
+    """Write an interactive animation page for *views*; returns the path.
+
+    Parameters
+    ----------
+    views:
+        The frames, typically from :meth:`AnalysisSession.animate`.
+    interval_ms:
+        Playback interval of the play button.
+    renderer:
+        SVG renderer to use per frame (defaults to heat-fill 800x600).
+    """
+    if interval_ms <= 0:
+        raise RenderError(f"interval_ms must be positive, got {interval_ms}")
+    renderer = renderer or SvgRenderer(heat_fill=True)
+    frame_markup: list[str] = []
+    captions: list[str] = []
+    for index, view in enumerate(views):
+        svg = renderer.render(view)
+        frame_markup.append(f'<div class="frame" id="f{index}">{svg}</div>')
+        captions.append(f"slice {view.tslice}")
+    if not frame_markup:
+        raise RenderError("no frames to export")
+    caption_js = "[" + ", ".join(
+        '"' + html_escape.escape(c, quote=True) + '"' for c in captions
+    ) + "]"
+    page = _PAGE.format(
+        title=html_escape.escape(title),
+        frames="\n".join(frame_markup),
+        captions=caption_js,
+        last=len(frame_markup) - 1,
+        interval=interval_ms,
+    )
+    path = Path(path)
+    path.write_text(page, encoding="utf-8")
+    return path

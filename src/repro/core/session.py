@@ -1,0 +1,266 @@
+"""The interactive analysis session: the library's main entry point.
+
+:class:`AnalysisSession` wires the whole technique together and exposes
+every interaction of Sections 3 and 4 as a method:
+
+* time navigation — :meth:`set_time_slice`, :meth:`shift_time`,
+  :meth:`animate` (Fig. 9);
+* spatial aggregation — :meth:`aggregate`, :meth:`disaggregate`,
+  :meth:`aggregate_depth` (Fig. 8's four levels);
+* appearance — :meth:`set_mapping`, :meth:`set_size_slider` (Fig. 4);
+* layout — :meth:`set_layout_params` (the charge/spring/damping sliders
+  of Fig. 5), :meth:`drag`, :meth:`pin`.
+
+Every call to :meth:`view` rebuilds the aggregated graph for the current
+scales, reconciles the persistent dynamic layout with it (smooth
+transitions) and returns a :class:`~repro.core.view.TopologyView`.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.aggregation import aggregate_view
+from repro.core.hierarchy import GroupingState, Hierarchy, Path
+from repro.core.layout.engine import DynamicLayout
+from repro.core.layout.forces import LayoutParams
+from repro.core.layout.seeding import radial_seeds
+from repro.core.mapping import VisualMapping
+from repro.core.scaling import ScaleSet
+from repro.core.timeslice import TimeSlice, animation_frames
+from repro.core.view import TopologyView
+from repro.core.visgraph import build_visgraph
+from repro.errors import AggregationError
+from repro.trace.trace import Trace
+
+__all__ = ["AnalysisSession"]
+
+
+class AnalysisSession:
+    """Interactive, exploratory analysis of one trace.
+
+    Parameters
+    ----------
+    trace:
+        The trace under analysis.
+    mapping:
+        Metric-to-shape mapping; defaults to the paper's (squares for
+        hosts, diamonds for links).
+    layout_algorithm:
+        ``"barneshut"`` (default, scalable) or ``"naive"`` (exact).
+    layout_params:
+        Initial charge/spring/damping values.
+    space_op:
+        Spatial combination of member values (default: sum).
+    seed:
+        Layout determinism seed.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        mapping: VisualMapping | None = None,
+        layout_algorithm: str = "barneshut",
+        layout_params: LayoutParams | None = None,
+        space_op: Callable[[Sequence[float]], float] = sum,
+        seed: int = 0,
+        max_pixel: float = 60.0,
+    ) -> None:
+        self.trace = trace
+        self.hierarchy = Hierarchy.from_trace(trace)
+        self.grouping = GroupingState(self.hierarchy)
+        self.mapping = mapping if mapping is not None else VisualMapping.paper_default()
+        self.scales = ScaleSet(max_pixel=max_pixel)
+        self.space_op = space_op
+        self.dynamic = DynamicLayout(layout_algorithm, layout_params, seed)
+        start, end = trace.span()
+        self._tslice = TimeSlice(start, end)
+
+    # ------------------------------------------------------------------
+    # Time navigation
+    # ------------------------------------------------------------------
+    @property
+    def time_slice(self) -> TimeSlice:
+        return self._tslice
+
+    def set_time_slice(self, start: float, end: float) -> None:
+        """Place the two time cursors (Fig. 2)."""
+        self._tslice = TimeSlice(start, end)
+
+    def shift_time(self, delta: float) -> None:
+        """Slide the current slice by *delta* seconds."""
+        self._tslice = self._tslice.shift(delta)
+
+    def animate(
+        self,
+        width: float,
+        start: float | None = None,
+        end: float | None = None,
+        step: float | None = None,
+        settle_steps: int = 30,
+    ) -> Iterator[TopologyView]:
+        """Yield one view per sliding time slice (the Fig. 9 animation).
+
+        The graph structure is constant across frames (only values
+        change), so the layout barely moves between frames — each frame
+        relaxes for at most *settle_steps* steps.
+        """
+        span_start, span_end = self.trace.span()
+        frames = animation_frames(
+            span_start if start is None else start,
+            span_end if end is None else end,
+            width,
+            step,
+        )
+        for frame in frames:
+            self._tslice = frame
+            yield self.view(settle_steps=settle_steps)
+
+    # ------------------------------------------------------------------
+    # Spatial aggregation
+    # ------------------------------------------------------------------
+    def aggregate(self, path: Path | Iterable[str]) -> None:
+        """Collapse the group at *path* into per-kind aggregates."""
+        self.grouping.collapse(tuple(path))
+
+    def disaggregate(self, path: Path | Iterable[str]) -> None:
+        """Expand the group at *path* back into its members."""
+        self.grouping.expand(tuple(path))
+
+    def aggregate_depth(self, depth: int) -> None:
+        """Collapse every group at hierarchy *depth* (Fig. 8 levels).
+
+        Clears previously collapsed groups first so the view shows
+        exactly one level.
+        """
+        self.grouping.expand_all()
+        self.grouping.collapse_depth(depth)
+
+    def disaggregate_all(self) -> None:
+        """Back to the fully detailed view."""
+        self.grouping.expand_all()
+
+    # ------------------------------------------------------------------
+    # Appearance and layout controls
+    # ------------------------------------------------------------------
+    def set_mapping(self, mapping: VisualMapping) -> None:
+        """Swap the metric-to-shape mapping mid-analysis (Section 3.1)."""
+        self.mapping = mapping
+
+    def set_size_slider(self, kind: str, position: float) -> None:
+        """Move the per-kind size slider (Fig. 4 scheme C)."""
+        self.scales.set_slider(kind, position)
+
+    def set_layout_params(self, **changes) -> None:
+        """Adjust charge/spring/damping/theta (the Fig. 5 sliders)."""
+        self.dynamic.set_params(self.dynamic.params.with_(**changes))
+
+    def drag(self, key: str, position: tuple[float, float]) -> None:
+        """Move a node by hand; neighbours follow on the next settle."""
+        self.dynamic.drag(key, position)
+
+    def pin(self, key: str, pinned: bool = True) -> None:
+        """Freeze a node where it stands."""
+        self.dynamic.pin(key, pinned)
+
+    # ------------------------------------------------------------------
+    # Session persistence
+    # ------------------------------------------------------------------
+    def save_state(self, path: "str | pathlib.Path") -> pathlib.Path:
+        """Persist the analysis state to a JSON file.
+
+        Saved: the time slice, the collapsed groups, the size sliders,
+        the layout parameters and the current node positions — enough
+        to resume an exploration where it stopped (the trace itself is
+        not embedded; reload it separately).
+        """
+        state = {
+            "version": 1,
+            "time_slice": [self._tslice.start, self._tslice.end],
+            "collapsed": [list(p) for p in sorted(self.grouping.collapsed)],
+            "sliders": {
+                kind: self.scales.slider(kind)
+                for kind in self.scales._sliders  # noqa: SLF001 - own state
+            },
+            "layout_params": {
+                "charge": self.dynamic.params.charge,
+                "spring": self.dynamic.params.spring,
+                "spring_length": self.dynamic.params.spring_length,
+                "damping": self.dynamic.params.damping,
+                "theta": self.dynamic.params.theta,
+            },
+            "positions": {
+                key: list(pos) for key, pos in self.dynamic.positions().items()
+            },
+        }
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(state, indent=1, sort_keys=True))
+        return path
+
+    def load_state(self, path: "str | pathlib.Path") -> None:
+        """Restore a state written by :meth:`save_state`.
+
+        Groups and positions referring to entities absent from the
+        current trace are skipped silently (traces evolve).
+        """
+        state = json.loads(pathlib.Path(path).read_text())
+        if state.get("version") != 1:
+            raise AggregationError(
+                f"unsupported session state version {state.get('version')!r}"
+            )
+        start, end = state["time_slice"]
+        self._tslice = TimeSlice(float(start), float(end))
+        self.grouping.expand_all()
+        for group in state.get("collapsed", []):
+            try:
+                self.grouping.collapse(tuple(group))
+            except Exception:
+                continue
+        for kind, position in state.get("sliders", {}).items():
+            self.scales.set_slider(kind, float(position))
+        self.set_layout_params(**state.get("layout_params", {}))
+        positions = state.get("positions", {})
+        # Rebuild the current view's layout, then pin down saved spots.
+        self.view(settle=False)
+        for key, (x, y) in positions.items():
+            if key in self.dynamic.layout:
+                self.dynamic.drag(key, (float(x), float(y)))
+
+    # ------------------------------------------------------------------
+    # View production
+    # ------------------------------------------------------------------
+    def view(
+        self,
+        settle: bool = True,
+        settle_steps: int | None = None,
+        metrics: Sequence[str] | None = None,
+    ) -> TopologyView:
+        """Build the view for the current time slice and grouping."""
+        aggregated = aggregate_view(
+            self.trace,
+            self.grouping,
+            self._tslice,
+            metrics=metrics,
+            space_op=self.space_op,
+        )
+        if not aggregated.units:
+            raise AggregationError("the trace has no entities to display")
+        graph = build_visgraph(aggregated, self.mapping, self.scales)
+        self.dynamic.sync(
+            graph,
+            seed_positions=radial_seeds(
+                self.hierarchy,
+                graph,
+                spring_length=self.dynamic.params.spring_length,
+            ),
+        )
+        if settle:
+            self.dynamic.settle(max_steps=settle_steps)
+        return TopologyView(
+            graph=graph,
+            positions=self.dynamic.positions(),
+            tslice=self._tslice,
+            aggregated=aggregated,
+        )

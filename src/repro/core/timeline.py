@@ -1,0 +1,248 @@
+"""Behavioral (Gantt-chart) timeline views.
+
+The paper's related-work baseline: "the best well-known and intuitive
+example of a behavioral representation is the timeline view, derived
+from Gantt-charts [39]. It lists all the observed entities ... in the
+vertical axis.  Their behavior is represented along time in the
+horizontal axis: rectangles represent application states, while links
+represent communications."
+
+This module implements that classical view over the same traces the
+topology view consumes: process-state point events (kind ``"state"``,
+produced by :class:`~repro.simulation.monitors.UsageMonitor` with
+``record_states=True``) become state spans; message events become
+communication arrows.  Having both views in one library makes the
+paper's comparison concrete — the timeline shows event causality, and
+knows nothing about the network topology (see the ``topology_blind``
+property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.render.colors import category_palette
+from repro.errors import RenderError, TraceError
+from repro.trace.trace import Trace
+
+__all__ = ["StateSpan", "CommArrow", "Timeline"]
+
+
+@dataclass(frozen=True)
+class StateSpan:
+    """One rectangle of the Gantt chart: *row* is in *state* over [start, end)."""
+
+    row: str
+    state: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CommArrow:
+    """One communication drawn between two rows at a delivery time."""
+
+    src: str
+    dst: str
+    sent_at: float
+    delivered_at: float
+    size: float
+
+
+@dataclass
+class Timeline:
+    """A behavioral view: rows of state spans plus communication arrows."""
+
+    rows: list[str]
+    spans: dict[str, list[StateSpan]]
+    arrows: list[CommArrow] = field(default_factory=list)
+    start: float = 0.0
+    end: float = 0.0
+
+    #: The structural limitation the paper builds on: a timeline carries
+    #: no topology information whatsoever.
+    topology_blind = True
+
+    @classmethod
+    def from_trace(cls, trace: Trace, row_by: str = "process") -> "Timeline":
+        """Build the timeline from a trace's state/message point events.
+
+        Parameters
+        ----------
+        row_by:
+            ``"process"`` — one row per traced process (classic Gantt);
+            ``"host"`` — process states folded onto their host's row.
+        """
+        if row_by not in ("process", "host"):
+            raise TraceError(f"unknown row_by {row_by!r}")
+        state_events = trace.events_of_kind("state")
+        if not state_events:
+            raise TraceError(
+                "trace has no 'state' events; run the simulation with "
+                "UsageMonitor(record_states=True)"
+            )
+        start, end = trace.span()
+        open_states: dict[str, tuple[str, float]] = {}
+        spans: dict[str, list[StateSpan]] = {}
+        host_of: dict[str, str] = {}
+        for event in state_events:
+            process = event.source
+            host_of[process] = event.target
+            row = event.target if row_by == "host" else process
+            key = process  # states tracked per process even if folded
+            if key in open_states:
+                state, since = open_states[key]
+                if event.time > since and state != "end":
+                    spans.setdefault(row, []).append(
+                        StateSpan(row, state, since, event.time)
+                    )
+            open_states[key] = (event.payload["state"], event.time)
+        for process, (state, since) in open_states.items():
+            if state != "end" and end > since:
+                row = host_of[process] if row_by == "host" else process
+                spans.setdefault(row, []).append(
+                    StateSpan(row, state, since, end)
+                )
+        # Message events carry host endpoints; when rows are processes,
+        # resolve a host to its process where that is unambiguous (one
+        # traced process per host — the common deployment).
+        processes_on: dict[str, list[str]] = {}
+        for process, host in host_of.items():
+            processes_on.setdefault(host, []).append(process)
+
+        def row_of(host: str) -> str:
+            if row_by == "host":
+                return host
+            candidates = processes_on.get(host, [])
+            return candidates[0] if len(candidates) == 1 else host
+
+        arrows = [
+            CommArrow(
+                src=row_of(m.source),
+                dst=row_of(m.target),
+                sent_at=float(m.payload.get("sent_at", m.time)),
+                delivered_at=m.time,
+                size=float(m.payload.get("size", 0.0)),
+            )
+            for m in trace.events_of_kind("message")
+        ]
+        rows = sorted(spans)
+        return cls(rows=rows, spans=spans, arrows=arrows, start=start, end=end)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def spans_of(self, row: str) -> list[StateSpan]:
+        """The state spans of one row."""
+        try:
+            return self.spans[row]
+        except KeyError:
+            raise TraceError(f"unknown timeline row {row!r}") from None
+
+    def time_in_state(self, row: str, state: str) -> float:
+        """Total time *row* spent in *state*."""
+        return sum(s.duration for s in self.spans_of(row) if s.state == state)
+
+    def states(self) -> list[str]:
+        """Every state label present, sorted."""
+        return sorted(
+            {s.state for spans in self.spans.values() for s in spans}
+        )
+
+    def busiest(self, state: str = "compute", n: int = 5) -> list[tuple[str, float]]:
+        """Rows that spent the most time in *state* (slower processes and
+        late senders are what timelines are good at spotting)."""
+        totals = [
+            (row, self.time_in_state(row, state)) for row in self.rows
+        ]
+        totals.sort(key=lambda pair: -pair[1])
+        return totals[:n]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_svg(
+        self,
+        path: str | Path | None = None,
+        width: int = 900,
+        row_height: int = 18,
+        show_arrows: bool = True,
+    ) -> str:
+        """A Gantt-chart SVG; optionally written to *path*."""
+        if width <= 0 or row_height <= 0:
+            raise RenderError(f"bad timeline geometry {width}x{row_height}")
+        span = max(self.end - self.start, 1e-9)
+        label_pad = 150
+        plot_width = width - label_pad
+        height = row_height * (len(self.rows) + 1)
+        palette = category_palette(self.states())
+        y_of = {row: (i + 0.5) * row_height for i, row in enumerate(self.rows)}
+
+        def x_of(t: float) -> float:
+            return label_pad + (t - self.start) / span * plot_width
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}">',
+            '<rect width="100%" height="100%" fill="#ffffff"/>',
+        ]
+        for row in self.rows:
+            y = y_of[row]
+            parts.append(
+                f'<text x="4" y="{y + 4:.1f}" font-family="monospace" '
+                f'font-size="10">{row}</text>'
+            )
+            for s in self.spans[row]:
+                parts.append(
+                    f'<rect x="{x_of(s.start):.1f}" '
+                    f'y="{y - row_height * 0.35:.1f}" '
+                    f'width="{max(x_of(s.end) - x_of(s.start), 0.5):.1f}" '
+                    f'height="{row_height * 0.7:.1f}" '
+                    f'fill="{palette[s.state]}">'
+                    f"<title>{row}: {s.state} "
+                    f"[{s.start:.3g}, {s.end:.3g}]</title></rect>"
+                )
+        if show_arrows:
+            for arrow in self.arrows:
+                if arrow.src not in y_of or arrow.dst not in y_of:
+                    continue
+                parts.append(
+                    f'<line x1="{x_of(arrow.sent_at):.1f}" '
+                    f'y1="{y_of[arrow.src]:.1f}" '
+                    f'x2="{x_of(arrow.delivered_at):.1f}" '
+                    f'y2="{y_of[arrow.dst]:.1f}" '
+                    'stroke="#333333" stroke-width="0.7"/>'
+                )
+        parts.append("</svg>")
+        markup = "\n".join(parts)
+        if path is not None:
+            Path(path).write_text(markup, encoding="utf-8")
+        return markup
+
+    def render_ascii(self, columns: int = 80) -> str:
+        """A textual Gantt chart: one line per row, one char per bin."""
+        if columns < 20:
+            raise RenderError(f"timeline needs >= 20 columns, got {columns}")
+        span = max(self.end - self.start, 1e-9)
+        label_width = max((len(r) for r in self.rows), default=0) + 1
+        bins = columns - label_width
+        glyphs = {"compute": "#", "send": ">", "wait": ".", "sleep": "z"}
+        lines = []
+        for row in self.rows:
+            cells = [" "] * bins
+            for s in self.spans[row]:
+                lo = int((s.start - self.start) / span * (bins - 1))
+                hi = int((s.end - self.start) / span * (bins - 1))
+                glyph = glyphs.get(s.state, "?")
+                for i in range(lo, hi + 1):
+                    cells[i] = glyph
+            lines.append(f"{row:<{label_width}}" + "".join(cells))
+        legend = "  ".join(f"{g}={s}" for s, g in sorted(
+            (s, glyphs.get(s, "?")) for s in self.states()
+        ))
+        return "\n".join(lines) + f"\n[{legend}]"

@@ -1,0 +1,268 @@
+"""Hierarchical treemap views (the paper's companion technique).
+
+The conclusion "should be put in relation to what has been done for
+treemaps [32]" — Schnorr et al.'s hierarchical aggregation model for
+visualization scalability.  This module provides that sibling view over
+the same traces: a squarified treemap [Bruls et al. 2000] of the
+resource hierarchy, where each cell's area is the (time-slice
+aggregated) value of its subtree.  It shares the temporal aggregation
+machinery with the topology view but trades the explicit network
+structure for perfect space usage — exactly the trade-off the paper
+discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.hierarchy import Hierarchy, Path as GroupPath
+from repro.core.render.colors import category_palette, darken, lighten
+from repro.core.timeslice import TimeSlice
+from repro.errors import AggregationError, RenderError
+from repro.trace.trace import CAPACITY, Trace
+
+__all__ = ["TreemapCell", "Treemap", "squarify"]
+
+
+@dataclass(frozen=True)
+class TreemapCell:
+    """One rectangle: a hierarchy node with its aggregated value."""
+
+    path: GroupPath
+    label: str
+    value: float
+    depth: int
+    is_leaf: bool
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, other: "TreemapCell", slack: float = 1e-6) -> bool:
+        """Whether *other* lies (geometrically) inside this cell."""
+        return (
+            other.x >= self.x - slack
+            and other.y >= self.y - slack
+            and other.x + other.width <= self.x + self.width + slack
+            and other.y + other.height <= self.y + self.height + slack
+        )
+
+
+def squarify(
+    values: list[float], x: float, y: float, width: float, height: float
+) -> list[tuple[float, float, float, float]]:
+    """Squarified layout of *values* (any order) inside a rectangle.
+
+    Returns one ``(x, y, w, h)`` rectangle per value, in input order,
+    whose areas are proportional to the values.  Zero values receive
+    degenerate (zero-area) rectangles at the layout cursor.
+    """
+    total = sum(values)
+    if total <= 0 or width <= 0 or height <= 0:
+        return [(x, y, 0.0, 0.0)] * len(values)
+    area_scale = (width * height) / total
+    order = sorted(range(len(values)), key=lambda i: -values[i])
+    rects: dict[int, tuple[float, float, float, float]] = {}
+    cx, cy, cw, ch = x, y, width, height
+    row: list[int] = []
+
+    def worst(row_indices: list[int], side: float) -> float:
+        areas = [values[i] * area_scale for i in row_indices]
+        s = sum(areas)
+        if s <= 0 or side <= 0:
+            return float("inf")
+        thickness = s / side
+        ratios = []
+        for a in areas:
+            if a <= 0:
+                continue
+            length = a / thickness
+            ratios.append(max(length / thickness, thickness / length))
+        return max(ratios) if ratios else float("inf")
+
+    def place(row_indices: list[int]) -> None:
+        nonlocal cx, cy, cw, ch
+        areas = [values[i] * area_scale for i in row_indices]
+        s = sum(areas)
+        if s <= 0:
+            for i in row_indices:
+                rects[i] = (cx, cy, 0.0, 0.0)
+            return
+        horizontal = cw >= ch  # lay the row along the shorter side
+        side = ch if horizontal else cw
+        thickness = s / side
+        offset = 0.0
+        for i, a in zip(row_indices, areas):
+            length = a / thickness if thickness > 0 else 0.0
+            if horizontal:
+                rects[i] = (cx, cy + offset, thickness, length)
+            else:
+                rects[i] = (cx + offset, cy, length, thickness)
+            offset += length
+        if horizontal:
+            cx += thickness
+            cw -= thickness
+        else:
+            cy += thickness
+            ch -= thickness
+
+    for index in order:
+        if values[index] <= 0:
+            rects[index] = (cx, cy, 0.0, 0.0)
+            continue
+        side = ch if cw >= ch else cw
+        if row and worst(row + [index], side) > worst(row, side):
+            place(row)
+            row = [index]
+        else:
+            row.append(index)
+    if row:
+        place(row)
+    return [rects[i] for i in range(len(values))]
+
+
+class Treemap:
+    """A squarified treemap of one trace metric over a time slice."""
+
+    def __init__(self, cells: list[TreemapCell], metric: str, tslice: TimeSlice) -> None:
+        self._cells = cells
+        self._by_path = {c.path: c for c in cells}
+        self.metric = metric
+        self.tslice = tslice
+
+    @classmethod
+    def build(
+        cls,
+        trace: Trace,
+        tslice: TimeSlice | None = None,
+        metric: str = CAPACITY,
+        max_depth: int | None = None,
+        kind: str | None = "host",
+        width: float = 800.0,
+        height: float = 600.0,
+    ) -> "Treemap":
+        """Build the treemap of *metric* for *trace*.
+
+        Parameters
+        ----------
+        max_depth:
+            Deepest hierarchy level to subdivide into (None = leaves) —
+            the treemap counterpart of spatial aggregation.
+        kind:
+            Restrict leaves to one entity kind (hosts by default, since
+            mixing host and link units in one area makes little sense).
+        """
+        if width <= 0 or height <= 0:
+            raise AggregationError(f"bad treemap extent {width}x{height}")
+        if tslice is None:
+            start, end = trace.span()
+            tslice = TimeSlice(start, end)
+        hierarchy = Hierarchy.from_trace(trace)
+
+        def leaf_value(name: str) -> float:
+            entity = trace.entity(name)
+            if kind is not None and entity.kind != kind:
+                return 0.0
+            signal = entity.metrics.get(metric)
+            return tslice.value_of(signal) if signal is not None else 0.0
+
+        def subtree_value(path: GroupPath) -> float:
+            return sum(leaf_value(name) for name in hierarchy.leaves(path))
+
+        cells: list[TreemapCell] = []
+
+        def recurse(path: GroupPath, x, y, w, h, depth) -> None:
+            children: list[tuple[GroupPath, float, bool]] = []
+            for group in hierarchy.children(path):
+                value = subtree_value(group)
+                if value > 0:
+                    children.append((group, value, False))
+            for name in hierarchy.leaves(path):
+                if hierarchy.path_of(name)[:-1] != path:
+                    continue
+                value = leaf_value(name)
+                if value > 0:
+                    children.append((hierarchy.path_of(name), value, True))
+            if not children or (max_depth is not None and depth >= max_depth):
+                return
+            rects = squarify([v for _, v, _ in children], x, y, w, h)
+            for (child, value, is_leaf), (rx, ry, rw, rh) in zip(children, rects):
+                cells.append(
+                    TreemapCell(
+                        path=child,
+                        label=child[-1],
+                        value=value,
+                        depth=depth + 1,
+                        is_leaf=is_leaf,
+                        x=rx,
+                        y=ry,
+                        width=rw,
+                        height=rh,
+                    )
+                )
+                if not is_leaf:
+                    recurse(child, rx, ry, rw, rh, depth + 1)
+
+        total = subtree_value(())
+        if total <= 0:
+            raise AggregationError(
+                f"metric {metric!r} has no positive value to lay out"
+            )
+        recurse((), 0.0, 0.0, width, height, 0)
+        return cls(cells, metric, tslice)
+
+    # ------------------------------------------------------------------
+    def cells(self, depth: int | None = None) -> list[TreemapCell]:
+        """All cells, or only those at one hierarchy *depth*."""
+        if depth is None:
+            return list(self._cells)
+        return [c for c in self._cells if c.depth == depth]
+
+    def cell(self, path: GroupPath) -> TreemapCell:
+        """The cell of the hierarchy node at *path*."""
+        try:
+            return self._by_path[tuple(path)]
+        except KeyError:
+            raise AggregationError(f"no treemap cell for {path!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    # ------------------------------------------------------------------
+    def render_svg(self, path: str | Path | None = None, leaf_depth_only: bool = False) -> str:
+        """Nested-rectangle SVG; deeper cells drawn on top."""
+        if not self._cells:
+            raise RenderError("empty treemap")
+        max_depth = max(c.depth for c in self._cells)
+        top_groups = sorted({c.path[0] for c in self._cells})
+        palette = category_palette(top_groups)
+        width = max(c.x + c.width for c in self._cells)
+        height = max(c.y + c.height for c in self._cells)
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+            f'height="{height:.0f}">',
+        ]
+        for cell in sorted(self._cells, key=lambda c: c.depth):
+            if leaf_depth_only and not (
+                cell.is_leaf or cell.depth == max_depth
+            ):
+                continue
+            base = palette[cell.path[0]]
+            shade = lighten(base, 0.75 - 0.55 * cell.depth / max(max_depth, 1))
+            parts.append(
+                f'<rect x="{cell.x:.1f}" y="{cell.y:.1f}" '
+                f'width="{cell.width:.1f}" height="{cell.height:.1f}" '
+                f'fill="{shade}" stroke="{darken(base, 0.4)}" '
+                f'stroke-width="{max(0.4, 2.0 - 0.5 * cell.depth):.1f}">'
+                f"<title>{'/'.join(cell.path)}: {cell.value:g}</title></rect>"
+            )
+        parts.append("</svg>")
+        markup = "\n".join(parts)
+        if path is not None:
+            Path(path).write_text(markup, encoding="utf-8")
+        return markup

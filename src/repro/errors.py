@@ -1,0 +1,82 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so a
+caller can catch everything coming from this package with a single
+``except`` clause while still being able to discriminate precise failure
+modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TraceError",
+    "SignalError",
+    "PlatformError",
+    "RoutingError",
+    "SimulationError",
+    "DeadlockError",
+    "MpiError",
+    "HierarchyError",
+    "AggregationError",
+    "MappingError",
+    "LayoutError",
+    "RenderError",
+    "DeploymentError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class TraceError(ReproError):
+    """Malformed trace data, unknown entities or bad trace files."""
+
+
+class SignalError(TraceError):
+    """Invalid operation on a piecewise-constant signal."""
+
+
+class PlatformError(ReproError):
+    """Inconsistent platform description (duplicate ids, bad capacity)."""
+
+
+class RoutingError(PlatformError):
+    """No route can be computed between two endpoints."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation engine."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation stopped with blocked processes and no pending event."""
+
+
+class MpiError(SimulationError):
+    """Misuse of the message-passing layer (bad rank, tag, payload)."""
+
+
+class HierarchyError(ReproError):
+    """Invalid resource-hierarchy construction or navigation."""
+
+
+class AggregationError(ReproError):
+    """Invalid spatial/temporal aggregation request."""
+
+
+class MappingError(ReproError):
+    """Invalid trace-metric to visual-property mapping."""
+
+
+class LayoutError(ReproError):
+    """Invalid layout operation (unknown node, bad parameters)."""
+
+
+class RenderError(ReproError):
+    """Rendering failures (unsupported shape, bad canvas size)."""
+
+
+class DeploymentError(ReproError):
+    """Process placement errors (not enough hosts, unknown strategy)."""

@@ -1,0 +1,46 @@
+"""Message-passing layer (SMPI-equivalent) and the NAS-DT benchmark."""
+
+from repro.mpi.collectives import alltoall, barrier, bcast, gather, reduce
+from repro.mpi.comm import MpiWorld, RankContext
+from repro.mpi.deployment import (
+    clusters_of,
+    crossing_traffic,
+    locality_deployment,
+    round_robin_deployment,
+    sequential_deployment,
+)
+from repro.mpi.nasdt import (
+    DT_CLASSES,
+    DTClass,
+    DTGraph,
+    NasDTResult,
+    black_hole,
+    dt_graph,
+    run_nas_dt,
+    shuffle,
+    white_hole,
+)
+
+__all__ = [
+    "DT_CLASSES",
+    "DTClass",
+    "DTGraph",
+    "MpiWorld",
+    "NasDTResult",
+    "RankContext",
+    "alltoall",
+    "barrier",
+    "bcast",
+    "black_hole",
+    "clusters_of",
+    "crossing_traffic",
+    "dt_graph",
+    "gather",
+    "locality_deployment",
+    "reduce",
+    "round_robin_deployment",
+    "run_nas_dt",
+    "sequential_deployment",
+    "shuffle",
+    "white_hole",
+]

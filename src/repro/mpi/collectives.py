@@ -1,0 +1,150 @@
+"""Collective communication built on the point-to-point layer.
+
+Small library of the classic collectives (broadcast, reduce, gather,
+all-to-all) implemented as generator helpers usable from any rank
+program via ``yield from``.  Broadcast and reduce use binomial trees —
+the textbook O(log p) algorithms — so collective traffic exhibits the
+tree-shaped locality the topology view is good at exposing.
+
+Example::
+
+    def program(rank_ctx):
+        data = yield from bcast(rank_ctx, root=0, size=1_000_000,
+                                payload="weights")
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import MpiError
+from repro.mpi.comm import RankContext
+
+__all__ = ["bcast", "reduce", "gather", "alltoall", "barrier"]
+
+#: Tag namespace so collective traffic never collides with user tags.
+_TAG_BASE = 1 << 20
+
+
+def _check_root(rank_ctx: RankContext, root: int) -> None:
+    if not 0 <= root < rank_ctx.size:
+        raise MpiError(f"invalid root {root} for world of {rank_ctx.size}")
+
+
+def bcast(rank_ctx: RankContext, root: int, size: float, payload: Any = None):
+    """Binomial-tree broadcast; every rank returns the payload.
+
+    O(log p) rounds: in round r, ranks below 2^r forward to their
+    partner 2^r away (in root-relative numbering).
+    """
+    _check_root(rank_ctx, root)
+    p = rank_ctx.size
+    me = (rank_ctx.rank - root) % p
+    value = payload
+    if me != 0:
+        # The parent sent to us in the round whose stride equals our
+        # highest set bit: clear it to find the parent.
+        parent = me ^ (1 << (me.bit_length() - 1))
+        message = yield rank_ctx.recv(
+            (parent + root) % p, tag=_TAG_BASE + 1
+        )
+        value = message.payload
+    stride = 1
+    while stride < p:
+        if me < stride:
+            partner = me + stride
+            if partner < p:
+                yield rank_ctx.send(
+                    (partner + root) % p, size, tag=_TAG_BASE + 1, payload=value
+                )
+        stride *= 2
+    return value
+
+
+def reduce(rank_ctx: RankContext, root: int, size: float, value: Any, op=None):
+    """Binomial-tree reduction; *root* returns the combined value.
+
+    ``op`` combines two payloads (default: addition).  Non-root ranks
+    return ``None``.
+    """
+    _check_root(rank_ctx, root)
+    if op is None:
+        op = lambda a, b: a + b  # noqa: E731 - tiny default combiner
+    p = rank_ctx.size
+    me = (rank_ctx.rank - root) % p
+    accumulated = value
+    stride = 1
+    while stride < p:
+        if me % (2 * stride) == 0:
+            partner = me + stride
+            if partner < p:
+                message = yield rank_ctx.recv(
+                    (partner + root) % p, tag=_TAG_BASE + 2
+                )
+                accumulated = op(accumulated, message.payload)
+        elif me % (2 * stride) == stride:
+            parent = me - stride
+            yield rank_ctx.send(
+                (parent + root) % p, size, tag=_TAG_BASE + 2, payload=accumulated
+            )
+            return None
+        stride *= 2
+    return accumulated if me == 0 else None
+
+
+def gather(rank_ctx: RankContext, root: int, size: float, value: Any):
+    """Flat gather; *root* returns the list of payloads in rank order."""
+    _check_root(rank_ctx, root)
+    if rank_ctx.rank == root:
+        values: list[Any] = [None] * rank_ctx.size
+        values[root] = value
+        for other in range(rank_ctx.size):
+            if other == root:
+                continue
+            message = yield rank_ctx.recv(other, tag=_TAG_BASE + 3)
+            values[other] = message.payload
+        return values
+    yield rank_ctx.send(root, size, tag=_TAG_BASE + 3, payload=value)
+    return None
+
+
+def alltoall(rank_ctx: RankContext, size: float, values: list[Any]):
+    """Personalized all-to-all; returns the column addressed to me.
+
+    ``values[i]`` goes to rank *i*.  Sends are non-blocking so all p^2
+    flows contend simultaneously — the densest traffic pattern, great
+    for stressing the network view.
+    """
+    if len(values) != rank_ctx.size:
+        raise MpiError(
+            f"alltoall needs {rank_ctx.size} values, got {len(values)}"
+        )
+    received: list[Any] = [None] * rank_ctx.size
+    received[rank_ctx.rank] = values[rank_ctx.rank]
+    handles = []
+    for other in range(rank_ctx.size):
+        if other == rank_ctx.rank:
+            continue
+        handles.append(
+            (
+                yield rank_ctx.isend(
+                    other, size, tag=_TAG_BASE + 4, payload=values[other]
+                )
+            )
+        )
+    for other in range(rank_ctx.size):
+        if other == rank_ctx.rank:
+            continue
+        message = yield rank_ctx.recv(other, tag=_TAG_BASE + 4)
+        received[other] = message.payload
+    if handles:
+        yield rank_ctx.wait(handles)
+    return received
+
+
+def barrier(rank_ctx: RankContext):
+    """A barrier as a zero-byte reduce-then-broadcast around rank 0."""
+    yield from reduce(rank_ctx, root=0, size=0.0, value=0, op=lambda a, b: 0)
+    yield from bcast(rank_ctx, root=0, size=0.0)
+    return None

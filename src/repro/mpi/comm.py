@@ -1,0 +1,164 @@
+"""A small message-passing layer on top of the simulator.
+
+This is the SMPI-equivalent substrate (see DESIGN.md): applications are
+written against ranks, tags and point-to-point messages, and replayed on
+a simulated platform.  :class:`MpiWorld` owns the rank-to-host placement
+(the *host file* of Section 5.1 — the deployment the paper tunes for
+locality) and spawns one simulated process per rank.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import MpiError
+from repro.platform.model import Host
+from repro.simulation.engine import Simulator
+from repro.simulation.process import ProcessContext, Put, Get, Wait
+
+__all__ = ["MpiWorld", "RankContext"]
+
+
+class RankContext:
+    """Rank-level API handed to every MPI process function.
+
+    Wraps the plain :class:`ProcessContext` with rank addressing: ranks
+    send to ranks (not hosts), with a tag, through per-pair mailboxes.
+    """
+
+    def __init__(self, world: "MpiWorld", rank: int, ctx: ProcessContext) -> None:
+        self.world = world
+        self.rank = rank
+        self._ctx = ctx
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self.world.size
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._ctx.now
+
+    @property
+    def host(self) -> Host:
+        """The host this rank is placed on."""
+        return self._ctx.host
+
+    # -- point-to-point --------------------------------------------------
+    def send(
+        self, dst: int, size: float, tag: int = 0, payload: Any = None
+    ) -> Put:
+        """Blocking send of *size* bytes to rank *dst*."""
+        return self._put(dst, size, tag, payload, blocking=True)
+
+    def isend(
+        self, dst: int, size: float, tag: int = 0, payload: Any = None
+    ) -> Put:
+        """Non-blocking send; resumes immediately with the flow handle."""
+        return self._put(dst, size, tag, payload, blocking=False)
+
+    def _put(self, dst, size, tag, payload, blocking) -> Put:
+        self.world.check_rank(dst)
+        host = self.world.host_of(dst)
+        mailbox = self.world.mailbox(src=self.rank, dst=dst, tag=tag)
+        if blocking:
+            return self._ctx.send(
+                host.name, size, mailbox, payload, category=self.world.category
+            )
+        return self._ctx.isend(
+            host.name, size, mailbox, payload, category=self.world.category
+        )
+
+    def recv(self, src: int, tag: int = 0) -> Get:
+        """Blocking receive of the next message from rank *src*."""
+        self.world.check_rank(src)
+        return self._ctx.recv(self.world.mailbox(src=src, dst=self.rank, tag=tag))
+
+    def wait(self, handles) -> Wait:
+        """Block until every handle (from :meth:`isend`) completes."""
+        return self._ctx.wait(handles)
+
+    def execute(self, flops: float):
+        """Run a local computation of *flops* on this rank's host."""
+        return self._ctx.execute(flops, category=self.world.category)
+
+    def sleep(self, duration: float):
+        """Block for *duration* simulated seconds."""
+        return self._ctx.sleep(duration)
+
+
+class MpiWorld:
+    """A set of ranks placed on hosts, sharing a mailbox namespace.
+
+    Parameters
+    ----------
+    simulator:
+        The engine to spawn rank processes into.
+    hosts:
+        The placement: ``hosts[i]`` runs rank ``i`` (the *host file*).
+    name:
+        Namespace prefix, so several worlds can coexist in one run.
+    category:
+        Activity category used for all the world's traffic and compute
+        (drives per-application trace attribution).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        hosts: Sequence[str | Host],
+        name: str = "mpi",
+        category: str = "",
+    ) -> None:
+        if not hosts:
+            raise MpiError("an MPI world needs at least one host")
+        self.simulator = simulator
+        self.name = name
+        self.category = category
+        self._hosts: list[Host] = [
+            simulator.platform.host(h) if isinstance(h, str) else h for h in hosts
+        ]
+
+    @property
+    def size(self) -> int:
+        return len(self._hosts)
+
+    def host_of(self, rank: int) -> Host:
+        """The host running *rank*."""
+        self.check_rank(rank)
+        return self._hosts[rank]
+
+    def check_rank(self, rank: int) -> None:
+        """Raise :class:`MpiError` unless *rank* is valid in this world."""
+        if not isinstance(rank, int) or not 0 <= rank < self.size:
+            raise MpiError(f"invalid rank {rank!r} (world size {self.size})")
+
+    def mailbox(self, src: int, dst: int, tag: int) -> str:
+        """The mailbox name for the (src, dst, tag) channel."""
+        return f"{self.name}:{src}->{dst}#{tag}"
+
+    def launch(self, fn: Callable, *args, ranks: Sequence[int] | None = None):
+        """Spawn ``fn(rank_ctx, *args)`` for every rank (or a subset).
+
+        Returns the created :class:`~repro.simulation.process.Process`
+        objects, in rank order.
+        """
+        processes = []
+        for rank in ranks if ranks is not None else range(self.size):
+            self.check_rank(rank)
+            processes.append(self._spawn(fn, rank, args))
+        return processes
+
+    def _spawn(self, fn, rank, args):
+        world = self
+
+        def rank_main(ctx: ProcessContext):
+            rank_ctx = RankContext(world, rank, ctx)
+            return (yield from fn(rank_ctx, *args))
+
+        return self.simulator.spawn(
+            rank_main, self._hosts[rank], f"{self.name}-rank{rank}"
+        )

@@ -1,0 +1,207 @@
+"""Process placement strategies (host files).
+
+Section 5.1 shows the same NAS-DT run under two deployments: processes
+"allocated sequentially, starting on the hosts of Adonis cluster"
+(the ordinary host file), and "a host file designed to explore
+communication locality" that keeps communicating processes inside the
+same cluster.  This module implements both, plus a round-robin baseline.
+
+The locality strategy is a communication-aware partitioner: a greedy
+topological-order seeding followed by a Kernighan-Lin-style refinement
+(single moves into clusters with spare capacity and pairwise swaps) that
+keeps shrinking the inter-cluster traffic until a local optimum.  For
+tree-shaped graphs such as White Hole this groups each forwarder with
+its subtree of sinks, which is exactly the hand-crafted host file the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import DeploymentError
+from repro.mpi.nasdt import DTGraph
+from repro.platform.topology import Platform
+
+__all__ = [
+    "clusters_of",
+    "sequential_deployment",
+    "round_robin_deployment",
+    "locality_deployment",
+    "crossing_traffic",
+]
+
+
+def clusters_of(
+    platform: Platform, hosts: Iterable[str] | None = None
+) -> dict[tuple[str, ...], list[str]]:
+    """Group host names by their innermost hierarchy group (cluster).
+
+    Hosts are returned in platform declaration order inside each
+    cluster; *hosts* restricts the grouping to a subset.
+    """
+    wanted = set(hosts) if hosts is not None else None
+    grouped: dict[tuple[str, ...], list[str]] = defaultdict(list)
+    for host in platform.hosts:
+        if wanted is not None and host.name not in wanted:
+            continue
+        grouped[host.path[:-1]].append(host.name)
+    return dict(grouped)
+
+
+def sequential_deployment(hosts: Sequence[str], n_nodes: int) -> list[str]:
+    """Rank *i* on ``hosts[i]`` — the paper's "ordinary host file"."""
+    if len(hosts) < n_nodes:
+        raise DeploymentError(
+            f"need {n_nodes} hosts, got {len(hosts)}"
+        )
+    return list(hosts[:n_nodes])
+
+
+def round_robin_deployment(
+    platform: Platform, hosts: Sequence[str], n_nodes: int
+) -> list[str]:
+    """Ranks dealt across clusters in turn (a locality-hostile baseline)."""
+    grouped = clusters_of(platform, hosts)
+    if not grouped:
+        raise DeploymentError("no hosts to deploy on")
+    queues = [list(members) for members in grouped.values()]
+    placement: list[str] = []
+    index = 0
+    while len(placement) < n_nodes:
+        queue = queues[index % len(queues)]
+        if queue:
+            placement.append(queue.pop(0))
+        index += 1
+        if all(not q for q in queues) and len(placement) < n_nodes:
+            raise DeploymentError(
+                f"need {n_nodes} hosts, only {len(placement)} available"
+            )
+    return placement
+
+
+def locality_deployment(
+    graph: DTGraph, platform: Platform, hosts: Sequence[str]
+) -> list[str]:
+    """A host file exploring communication locality (Section 5.1).
+
+    Greedy partitioning: nodes are visited layer by layer (sources
+    first); each node is assigned to the cluster — among those with
+    spare capacity — with the largest communication weight to nodes
+    already placed there, breaking ties towards the emptiest cluster so
+    subtrees spread evenly.  Within a cluster, nodes take hosts in
+    declaration order.
+    """
+    if len(hosts) < graph.n_nodes:
+        raise DeploymentError(
+            f"need {graph.n_nodes} hosts, got {len(hosts)}"
+        )
+    grouped = clusters_of(platform, hosts)
+    capacity = {cluster: len(members) for cluster, members in grouped.items()}
+    assignment: dict[int, tuple[str, ...]] = {}
+    # Communication weight between a node and a cluster's current members.
+    for layer in graph.layers:
+        for node in layer:
+            weights: dict[tuple[str, ...], float] = {}
+            for neighbour in graph.predecessors(node) + graph.successors(node):
+                cluster = assignment.get(neighbour)
+                if cluster is not None:
+                    weights[cluster] = weights.get(cluster, 0.0) + graph.cls.payload
+            candidates = [c for c, cap in capacity.items() if cap > 0]
+            if not candidates:
+                raise DeploymentError("ran out of cluster capacity")
+            best = max(
+                candidates,
+                key=lambda c: (weights.get(c, 0.0), capacity[c]),
+            )
+            assignment[node] = best
+            capacity[best] -= 1
+    _refine_partition(graph, assignment, capacity)
+    # Materialize: hand out concrete hosts per cluster in order.
+    cursors = {cluster: 0 for cluster in grouped}
+    placement: list[str] = []
+    for node in range(graph.n_nodes):
+        cluster = assignment[node]
+        placement.append(grouped[cluster][cursors[cluster]])
+        cursors[cluster] += 1
+    return placement
+
+
+def _refine_partition(
+    graph: DTGraph,
+    assignment: dict[int, tuple[str, ...]],
+    capacity: dict[tuple[str, ...], int],
+    max_passes: int = 50,
+) -> None:
+    """Kernighan-Lin-style local search lowering inter-cluster traffic.
+
+    Alternates two kinds of improving steps until none applies (or
+    *max_passes* passes): moving one node into a cluster with spare
+    capacity, and swapping two nodes across clusters.  Every applied
+    step strictly reduces the crossing weight, so the loop terminates.
+    """
+    neighbours: dict[int, list[int]] = {
+        node: graph.predecessors(node) + graph.successors(node)
+        for layer in graph.layers
+        for node in layer
+    }
+    nodes = sorted(assignment)
+
+    def external_weight(node: int, cluster: tuple[str, ...]) -> float:
+        """Crossing weight of *node*'s edges if it sat in *cluster*."""
+        return sum(
+            graph.cls.payload
+            for other in neighbours[node]
+            if assignment[other] != cluster
+        )
+
+    for _ in range(max_passes):
+        improved = False
+        clusters = list(capacity)
+        for node in nodes:
+            current = assignment[node]
+            for target in clusters:
+                if target == current or capacity[target] <= 0:
+                    continue
+                gain = external_weight(node, current) - external_weight(
+                    node, target
+                )
+                if gain > 0:
+                    assignment[node] = target
+                    capacity[target] -= 1
+                    capacity[current] += 1
+                    improved = True
+                    break
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                ca, cb = assignment[a], assignment[b]
+                if ca == cb:
+                    continue
+                before = external_weight(a, ca) + external_weight(b, cb)
+                assignment[a], assignment[b] = cb, ca
+                after = external_weight(a, cb) + external_weight(b, ca)
+                if after < before:
+                    improved = True
+                else:
+                    assignment[a], assignment[b] = ca, cb
+        if not improved:
+            break
+
+
+def crossing_traffic(
+    graph: DTGraph, placement: Sequence[str], platform: Platform
+) -> float:
+    """Bytes that cross cluster boundaries under *placement*.
+
+    The quantity the locality host file minimizes; Figures 6 and 7
+    visualize exactly this traffic on the inter-cluster links.
+    """
+    cluster_by_host: Mapping[str, tuple[str, ...]] = {
+        h.name: h.path[:-1] for h in platform.hosts
+    }
+    total = 0.0
+    for src, dst in graph.arcs:
+        if cluster_by_host[placement[src]] != cluster_by_host[placement[dst]]:
+            total += graph.cls.payload
+    return total

@@ -1,0 +1,272 @@
+"""The NAS-DT (Data Traffic) benchmark, re-implemented on the MPI layer.
+
+NAS-DT stresses the network with a directed acyclic communication graph:
+*source* nodes generate feature arrays, *forwarder/comparator* layers
+process and relay them, *sink* nodes consume them.  Three graph shapes
+exist in the NPB suite:
+
+* **BH (Black Hole)** — many sources funnel down (fan-in 4 per layer)
+  into a single sink;
+* **WH (White Hole)** — the mirror image: one source fans out (fan-out
+  4 per layer) to many sinks.  This is the shape of Section 5.1;
+* **SH (SHuffle)** — constant-width layers with a butterfly/shuffle
+  exchange between consecutive layers.
+
+Problem classes scale the wide-end width and the per-arc payload by 4
+per class, following the NPB scaling discipline (exact byte counts of
+the original Fortran/C generator are not public constants; the values
+below preserve the class-A-on-22-hosts setting of the paper: class A
+BH/WH graphs have 21 nodes, matching the 2x11-host platform).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import MpiError
+from repro.mpi.comm import MpiWorld, RankContext
+from repro.platform.topology import Platform
+from repro.simulation.engine import Simulator
+from repro.simulation.monitors import UsageMonitor
+
+__all__ = [
+    "DTClass",
+    "DT_CLASSES",
+    "DTGraph",
+    "black_hole",
+    "white_hole",
+    "shuffle",
+    "dt_graph",
+    "NasDTResult",
+    "run_nas_dt",
+]
+
+#: Fan-in (BH) / fan-out (WH) between consecutive layers, per NPB.
+FAN = 4
+
+
+@dataclass(frozen=True)
+class DTClass:
+    """One NAS problem class: wide-end width and per-arc payload bytes."""
+
+    name: str
+    width: int
+    payload: float  # bytes per arc
+    #: Local processing cost of received data.  The default calibrates
+    #: the compute/communication ratio so the locality-vs-sequential
+    #: improvement on the two-cluster platform lands at the ~20% the
+    #: paper reports (Section 5.1).
+    flops_per_byte: float = 40.0
+
+
+#: Problem classes: width and payload both scale 4x per class.
+DT_CLASSES: dict[str, DTClass] = {
+    "S": DTClass("S", 4, 176_640.0),
+    "W": DTClass("W", 8, 706_560.0),
+    "A": DTClass("A", 16, 2_826_240.0),
+    "B": DTClass("B", 32, 11_304_960.0),
+}
+
+
+@dataclass
+class DTGraph:
+    """A DT task graph: nodes in layers, directed arcs with payloads.
+
+    ``layers[0]`` holds the sources; arcs only go from layer *k* to
+    layer *k+1*.  Node ids are dense integers in layer order — the NPB
+    rank numbering, which is what "sequential allocation" places in
+    order on the host file.
+    """
+
+    kind: str
+    cls: DTClass
+    layers: list[list[int]] = field(default_factory=list)
+    arcs: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def n_nodes(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+    @property
+    def sources(self) -> list[int]:
+        return list(self.layers[0])
+
+    @property
+    def sinks(self) -> list[int]:
+        return list(self.layers[-1])
+
+    def predecessors(self, node: int) -> list[int]:
+        """Nodes sending to *node*."""
+        return [a for a, b in self.arcs if b == node]
+
+    def successors(self, node: int) -> list[int]:
+        """Nodes *node* sends to."""
+        return [b for a, b in self.arcs if a == node]
+
+    def layer_of(self, node: int) -> int:
+        """The layer index containing *node*."""
+        for index, layer in enumerate(self.layers):
+            if node in layer:
+                return index
+        raise MpiError(f"node {node} is not in the graph")
+
+    def total_traffic(self) -> float:
+        """Total bytes sent over all arcs."""
+        return len(self.arcs) * self.cls.payload
+
+
+def _layer_widths(width: int) -> list[int]:
+    """Widths from the wide end down to 1, dividing by FAN (ceil)."""
+    widths = [width]
+    while widths[-1] > 1:
+        widths.append(max(1, math.ceil(widths[-1] / FAN)))
+    return widths
+
+
+def black_hole(cls: str | DTClass = "A") -> DTGraph:
+    """The BH graph: ``width`` sources funnel into one sink."""
+    dt_cls = _resolve_class(cls)
+    widths = _layer_widths(dt_cls.width)
+    graph = DTGraph("BH", dt_cls)
+    _build_layers(graph, widths)
+    # Arcs: layer k node i feeds layer k+1 node i // FAN.
+    for k in range(len(widths) - 1):
+        for i, node in enumerate(graph.layers[k]):
+            target = graph.layers[k + 1][min(i // FAN, len(graph.layers[k + 1]) - 1)]
+            graph.arcs.append((node, target))
+    return graph
+
+
+def white_hole(cls: str | DTClass = "A") -> DTGraph:
+    """The WH graph: one source fans out to ``width`` sinks.
+
+    The mirror image of :func:`black_hole`: layers widen by FAN from the
+    single source down to the sinks.
+    """
+    dt_cls = _resolve_class(cls)
+    widths = list(reversed(_layer_widths(dt_cls.width)))
+    graph = DTGraph("WH", dt_cls)
+    _build_layers(graph, widths)
+    for k in range(len(widths) - 1):
+        for i, node in enumerate(graph.layers[k + 1]):
+            source = graph.layers[k][min(i // FAN, len(graph.layers[k]) - 1)]
+            graph.arcs.append((source, node))
+    return graph
+
+
+def shuffle(cls: str | DTClass = "A", n_layers: int | None = None) -> DTGraph:
+    """The SH graph: constant-width layers with butterfly connectivity.
+
+    Layer *k* node *i* feeds layer *k+1* nodes *i* and ``i XOR 2^k``
+    (mod width); with ``log2(width)+1`` layers every source reaches
+    every sink — the shuffle exchange of the NPB SH graph.
+    """
+    dt_cls = _resolve_class(cls)
+    width = dt_cls.width
+    if n_layers is None:
+        n_layers = max(2, int(math.log2(width)) + 1)
+    graph = DTGraph("SH", dt_cls)
+    _build_layers(graph, [width] * n_layers)
+    for k in range(n_layers - 1):
+        stride = 2 ** k % width
+        for i in range(width):
+            src = graph.layers[k][i]
+            graph.arcs.append((src, graph.layers[k + 1][i]))
+            partner = i ^ stride if stride else (i + 1) % width
+            if partner != i and partner < width:
+                graph.arcs.append((src, graph.layers[k + 1][partner]))
+    return graph
+
+
+def dt_graph(kind: str, cls: str | DTClass = "A") -> DTGraph:
+    """Build a DT graph by NPB name: ``"BH"``, ``"WH"`` or ``"SH"``."""
+    builders = {"BH": black_hole, "WH": white_hole, "SH": shuffle}
+    try:
+        return builders[kind.upper()](cls)
+    except KeyError:
+        raise MpiError(f"unknown DT graph kind {kind!r}") from None
+
+
+def _resolve_class(cls: str | DTClass) -> DTClass:
+    if isinstance(cls, DTClass):
+        return cls
+    try:
+        return DT_CLASSES[cls.upper()]
+    except KeyError:
+        raise MpiError(f"unknown NAS class {cls!r}") from None
+
+
+def _build_layers(graph: DTGraph, widths: Iterable[int]) -> None:
+    next_id = 0
+    for width in widths:
+        layer = list(range(next_id, next_id + width))
+        graph.layers.append(layer)
+        next_id += width
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NasDTResult:
+    """Outcome of one NAS-DT run."""
+
+    makespan: float
+    graph: DTGraph
+    placement: tuple[str, ...]  # host name per node id
+    bytes_sent: float
+
+
+def _dt_node(rank_ctx: RankContext, graph: DTGraph) -> Iterable:
+    """The per-rank program: gather inputs, process, scatter outputs."""
+    node = rank_ctx.rank
+    cls = graph.cls
+    payload = cls.payload
+    for pred in graph.predecessors(node):
+        yield rank_ctx.recv(pred)
+    received = len(graph.predecessors(node))
+    if received == 0:
+        # Sources synthesize their feature array.
+        yield rank_ctx.execute(payload * cls.flops_per_byte)
+    else:
+        yield rank_ctx.execute(received * payload * cls.flops_per_byte)
+    handles = []
+    for succ in graph.successors(node):
+        handles.append((yield rank_ctx.isend(succ, payload)))
+    if handles:
+        yield rank_ctx.wait(handles)
+
+
+def run_nas_dt(
+    platform: Platform,
+    hostfile: Iterable[str],
+    graph: DTGraph,
+    monitor: UsageMonitor | None = None,
+    category: str = "dt",
+) -> NasDTResult:
+    """Run the DT graph with node *i* placed on ``hostfile[i]``.
+
+    The *hostfile* is the deployment under study: Section 5.1 contrasts
+    an "ordinary" (sequential) host file against one "designed to
+    explore communication locality".  Returns the makespan and the
+    placement actually used.
+    """
+    hosts = list(hostfile)
+    if len(hosts) < graph.n_nodes:
+        raise MpiError(
+            f"hostfile has {len(hosts)} hosts but the graph needs "
+            f"{graph.n_nodes}"
+        )
+    hosts = hosts[: graph.n_nodes]
+    simulator = Simulator(platform, monitor)
+    world = MpiWorld(simulator, hosts, name=f"dt-{graph.kind}", category=category)
+    world.launch(_dt_node, graph)
+    makespan = simulator.run()
+    return NasDTResult(
+        makespan=makespan,
+        graph=graph,
+        placement=tuple(hosts),
+        bytes_sent=graph.total_traffic(),
+    )

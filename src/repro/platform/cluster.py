@@ -1,0 +1,104 @@
+"""Cluster-level platform builders.
+
+These helpers assemble the standard building blocks of the paper's two
+case studies: homogeneous clusters whose hosts hang off a switch, and
+pairs of clusters joined by an interconnection link (the NAS-DT setting
+of Section 5.1: Adonis and Griffon, eleven hosts each).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlatformError
+from repro.platform.model import GBPS, GFLOPS, Host, Link, LinkSharing, Router
+from repro.platform.topology import Platform
+
+__all__ = ["add_cluster", "two_cluster_platform", "NAS_DT_CLUSTERS"]
+
+#: Cluster names used by the NAS-DT case study (Section 5.1).
+NAS_DT_CLUSTERS = ("adonis", "griffon")
+
+
+def add_cluster(
+    platform: Platform,
+    name: str,
+    n_hosts: int,
+    host_power: float = 1.0 * GFLOPS,
+    link_bandwidth: float = 1.0 * GBPS,
+    link_latency: float = 50e-6,
+    path_prefix: tuple[str, ...] = (),
+) -> Router:
+    """Add a star-topology cluster and return its switch.
+
+    Creates *n_hosts* hosts ``{name}-{i}``, one private link per host
+    ``{name}-{i}-l`` (bandwidth *link_bandwidth*) and a switch router
+    ``{name}-sw`` all hosts connect to.  The hierarchy path of every
+    element is ``path_prefix + (name, element)``.
+    """
+    if n_hosts <= 0:
+        raise PlatformError(f"cluster {name!r}: n_hosts must be > 0")
+    base = tuple(path_prefix) + (name,)
+    switch = platform.add_router(Router(f"{name}-sw", base + (f"{name}-sw",)))
+    for i in range(n_hosts):
+        host_name = f"{name}-{i}"
+        platform.add_host(
+            Host(host_name, host_power, base + (host_name,))
+        )
+        link_name = f"{host_name}-l"
+        platform.add_link(
+            Link(
+                link_name,
+                link_bandwidth,
+                link_latency,
+                base + (link_name,),
+            ),
+            host_name,
+            switch.name,
+        )
+    return switch
+
+
+def two_cluster_platform(
+    n_hosts: int = 11,
+    host_power: float = 1.0 * GFLOPS,
+    intra_bandwidth: float = 1.0 * GBPS,
+    inter_bandwidth: float = 1.0 * GBPS,
+    inter_latency: float = 500e-6,
+    cluster_names: tuple[str, str] = NAS_DT_CLUSTERS,
+) -> Platform:
+    """The NAS-DT experimental platform (Section 5.1).
+
+    Two homogeneous clusters of *n_hosts* hosts each, interconnected by
+    a single shared link — the link Figures 6 and 7 show saturating (or
+    not) depending on the deployment.
+    """
+    first, second = cluster_names
+    platform = Platform(f"{first}+{second}")
+    sw_a = add_cluster(
+        platform,
+        first,
+        n_hosts,
+        host_power,
+        intra_bandwidth,
+        path_prefix=("grid",),
+    )
+    sw_b = add_cluster(
+        platform,
+        second,
+        n_hosts,
+        host_power,
+        intra_bandwidth,
+        path_prefix=("grid",),
+    )
+    inter_name = f"{first}-{second}"
+    platform.add_link(
+        Link(
+            inter_name,
+            inter_bandwidth,
+            inter_latency,
+            ("grid", inter_name),
+            LinkSharing.SHARED,
+        ),
+        sw_a.name,
+        sw_b.name,
+    )
+    return platform

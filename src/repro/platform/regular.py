@@ -1,0 +1,150 @@
+"""Regular interconnection topologies: torus and fat-tree.
+
+The paper's related work notes that existing traffic-visualization
+techniques "are limited to regular topologies such as those found in
+Blue Gene systems" [24, 34], while the topology-based view handles any
+graph.  These builders provide exactly those regular topologies so the
+claim can be exercised: a 2D/3D torus (Blue Gene-style) and a k-ary
+fat-tree (Clos), both routed by the generic fewest-hops machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.errors import PlatformError
+from repro.platform.model import GBPS, GFLOPS, Host, Link, Router
+from repro.platform.topology import Platform
+
+__all__ = ["torus_platform", "fattree_platform"]
+
+
+def torus_platform(
+    dims: Sequence[int],
+    host_power: float = 1.0 * GFLOPS,
+    link_bandwidth: float = 1.0 * GBPS,
+    link_latency: float = 1e-6,
+    name: str = "torus",
+) -> Platform:
+    """A k-dimensional torus of hosts with wrap-around links.
+
+    Each lattice point is a host directly linked to its 2*len(dims)
+    neighbours (with wrap-around).  Host names encode coordinates
+    (``t-1-2-0``); hierarchy paths group by the first coordinate so the
+    spatial aggregation has planes/rows to collapse.
+    """
+    if not dims or any(d < 1 for d in dims):
+        raise PlatformError(f"invalid torus dimensions {dims!r}")
+    platform = Platform(name)
+    coords = list(itertools.product(*(range(d) for d in dims)))
+
+    def host_name(coord) -> str:
+        return f"{name}-" + "-".join(str(c) for c in coord)
+
+    for coord in coords:
+        slab = f"{name}-plane{coord[0]}"
+        platform.add_host(
+            Host(
+                host_name(coord),
+                host_power,
+                (name, slab, host_name(coord)),
+            )
+        )
+    seen = set()
+    for coord in coords:
+        for axis, extent in enumerate(dims):
+            if extent < 2:
+                continue
+            neighbour = list(coord)
+            neighbour[axis] = (coord[axis] + 1) % extent
+            neighbour = tuple(neighbour)
+            key = frozenset((coord, neighbour))
+            if key in seen or coord == neighbour:
+                continue
+            seen.add(key)
+            link_name = f"{host_name(coord)}~{axis}"
+            platform.add_link(
+                Link(
+                    link_name,
+                    link_bandwidth,
+                    link_latency,
+                    (name, link_name),
+                ),
+                host_name(coord),
+                host_name(neighbour),
+            )
+    return platform
+
+
+def fattree_platform(
+    k: int = 4,
+    host_power: float = 1.0 * GFLOPS,
+    edge_bandwidth: float = 1.0 * GBPS,
+    core_bandwidth: float = 10.0 * GBPS,
+    link_latency: float = 1e-6,
+    name: str = "fattree",
+) -> Platform:
+    """A k-ary fat-tree (Clos): k pods, (k/2)^2 hosts per pod.
+
+    Standard data-center topology: each pod holds k/2 edge and k/2
+    aggregation switches; (k/2)^2 core switches connect the pods.
+    Hosts live under ``<name>/pod<i>/edge<j>`` so the hierarchy mirrors
+    the physical packaging.
+    """
+    if k < 2 or k % 2 != 0:
+        raise PlatformError(f"fat-tree arity must be even and >= 2, got {k}")
+    platform = Platform(name)
+    half = k // 2
+    core_switches = []
+    for i in range(half * half):
+        router = Router(f"{name}-core{i}", (name, f"{name}-core{i}"))
+        platform.add_router(router)
+        core_switches.append(router)
+    for pod in range(k):
+        pod_path = (name, f"pod{pod}")
+        aggregates = []
+        for a in range(half):
+            router = Router(
+                f"{name}-p{pod}-agg{a}", pod_path + (f"{name}-p{pod}-agg{a}",)
+            )
+            platform.add_router(router)
+            aggregates.append(router)
+            for c in range(half):
+                core = core_switches[a * half + c]
+                link_name = f"{core.name}~p{pod}a{a}"
+                platform.add_link(
+                    Link(link_name, core_bandwidth, link_latency,
+                         (name, link_name)),
+                    router.name,
+                    core.name,
+                )
+        for e in range(half):
+            edge_path = pod_path + (f"edge{e}",)
+            edge = Router(
+                f"{name}-p{pod}-edge{e}", edge_path + (f"{name}-p{pod}-edge{e}",)
+            )
+            platform.add_router(edge)
+            for agg in aggregates:
+                link_name = f"{agg.name}~e{e}"
+                platform.add_link(
+                    Link(link_name, core_bandwidth, link_latency,
+                         (name, link_name)),
+                    edge.name,
+                    agg.name,
+                )
+            for h in range(half):
+                host = Host(
+                    f"{name}-p{pod}-e{e}-h{h}",
+                    host_power,
+                    edge_path + (f"{name}-p{pod}-e{e}-h{h}",),
+                )
+                platform.add_host(host)
+                link_name = f"{host.name}-l"
+                platform.add_link(
+                    Link(link_name, edge_bandwidth, link_latency,
+                         edge_path + (link_name,)),
+                    host.name,
+                    edge.name,
+                )
+    return platform

@@ -1,0 +1,210 @@
+"""The platform graph and its routing.
+
+A :class:`Platform` is an undirected multigraph whose vertices are hosts
+and routers and whose edges are links.  Routes between hosts follow
+fewest-hops paths (breadth-first search with per-source caching, so a
+master talking to thousands of workers costs a single BFS).
+
+The platform also exports its structure as a :class:`~repro.trace.Trace`
+skeleton — the fixed connectivity source of Section 3.1.1 — through
+:meth:`Platform.topology_edges`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.errors import PlatformError, RoutingError
+from repro.platform.model import Host, Link, Route, Router
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """A described platform: hosts, routers, links and routing."""
+
+    def __init__(self, name: str = "platform") -> None:
+        self.name = name
+        self._hosts: dict[str, Host] = {}
+        self._routers: dict[str, Router] = {}
+        self._links: dict[str, Link] = {}
+        # adjacency: node name -> list of (neighbour name, link)
+        self._adjacency: dict[str, list[tuple[str, Link]]] = {}
+        # src -> (BFS parent table, memoized link chains per destination)
+        self._route_cache: dict[
+            str,
+            tuple[dict[str, tuple[str, Link]], dict[str, tuple[Link, ...]]],
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_host(self, host: Host) -> Host:
+        """Register *host* as a vertex of the platform graph."""
+        self._check_new_node(host.name)
+        self._hosts[host.name] = host
+        self._adjacency[host.name] = []
+        return host
+
+    def add_router(self, router: Router) -> Router:
+        """Register *router* as a vertex of the platform graph."""
+        self._check_new_node(router.name)
+        self._routers[router.name] = router
+        self._adjacency[router.name] = []
+        return router
+
+    def add_link(self, link: Link, a: str, b: str) -> Link:
+        """Register *link* as an edge between nodes *a* and *b*."""
+        if link.name in self._links:
+            raise PlatformError(f"duplicate link {link.name!r}")
+        for end in (a, b):
+            if end not in self._adjacency:
+                raise PlatformError(
+                    f"link {link.name!r}: unknown endpoint {end!r}"
+                )
+        if a == b:
+            raise PlatformError(f"link {link.name!r}: self-loop on {a!r}")
+        self._links[link.name] = link
+        self._adjacency[a].append((b, link))
+        self._adjacency[b].append((a, link))
+        self._route_cache.clear()
+        return link
+
+    def _check_new_node(self, name: str) -> None:
+        if name in self._adjacency:
+            raise PlatformError(f"duplicate node {name!r}")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        """The host called *name*."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise PlatformError(f"unknown host {name!r}") from None
+
+    def link(self, name: str) -> Link:
+        """The link called *name*."""
+        try:
+            return self._links[name]
+        except KeyError:
+            raise PlatformError(f"unknown link {name!r}") from None
+
+    def router(self, name: str) -> Router:
+        """The router called *name*."""
+        try:
+            return self._routers[name]
+        except KeyError:
+            raise PlatformError(f"unknown router {name!r}") from None
+
+    @property
+    def hosts(self) -> list[Host]:
+        return list(self._hosts.values())
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    @property
+    def routers(self) -> list[Router]:
+        return list(self._routers.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._adjacency
+
+    def host_names(self) -> list[str]:
+        """Every host name, in declaration order."""
+        return list(self._hosts)
+
+    def hosts_under(self, *prefix: str) -> list[Host]:
+        """Hosts whose hierarchy path starts with *prefix*.
+
+        ``platform.hosts_under("grid", "nancy")`` returns every host of
+        the nancy site; with no argument, every host.
+        """
+        return [
+            h
+            for h in self._hosts.values()
+            if h.path[: len(prefix)] == tuple(prefix)
+        ]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, src: str, dst: str) -> Route:
+        """The fewest-hops route between hosts/routers *src* and *dst*.
+
+        Routes are symmetric and cached per source.  A route from a node
+        to itself has no links.
+        """
+        if src not in self._adjacency:
+            raise RoutingError(f"unknown route source {src!r}")
+        if dst not in self._adjacency:
+            raise RoutingError(f"unknown route destination {dst!r}")
+        if src == dst:
+            return Route(src, dst, ())
+        # Routes are symmetric: reuse the reverse direction if cached.
+        if src not in self._route_cache and dst in self._route_cache:
+            reverse = self.route(dst, src)
+            return Route(src, dst, tuple(reversed(reverse.links)))
+        if src not in self._route_cache:
+            self._route_cache[src] = (self._bfs(src), {})
+        parents, chains = self._route_cache[src]
+        links = chains.get(dst)
+        if links is None:
+            if dst not in parents:
+                raise RoutingError(f"no route from {src!r} to {dst!r}")
+            chain: list[Link] = []
+            node = dst
+            while node != src:
+                parent, link = parents[node]
+                chain.append(link)
+                node = parent
+            links = chains[dst] = tuple(reversed(chain))
+        return Route(src, dst, links)
+
+    def _bfs(self, src: str) -> dict[str, tuple[str, Link]]:
+        """Single-source fewest-hops search, returning the parent table."""
+        parents: dict[str, tuple[str, Link]] = {}
+        seen = {src}
+        queue = deque([src])
+        while queue:
+            node = queue.popleft()
+            for neighbour, link in self._adjacency[node]:
+                if neighbour in seen:
+                    continue
+                seen.add(neighbour)
+                parents[neighbour] = (node, link)
+                queue.append(neighbour)
+        return parents
+
+    # ------------------------------------------------------------------
+    # Topology export
+    # ------------------------------------------------------------------
+    def topology_edges(self) -> Iterator[tuple[str, str, str]]:
+        """Yield ``(node_a, node_b, link_name)`` for every link.
+
+        This is the "fixed, previously defined" connectivity source of
+        Section 3.1.1, used by the trace monitors to connect entities.
+        """
+        seen: set[str] = set()
+        for node, neighbours in self._adjacency.items():
+            for neighbour, link in neighbours:
+                if link.name in seen:
+                    continue
+                seen.add(link.name)
+                yield (node, neighbour, link.name)
+
+    def degree(self, name: str) -> int:
+        """Number of links attached to node *name*."""
+        if name not in self._adjacency:
+            raise PlatformError(f"unknown node {name!r}")
+        return len(self._adjacency[name])
+
+    def __repr__(self) -> str:
+        return (
+            f"Platform({self.name!r}: {len(self._hosts)} hosts, "
+            f"{len(self._routers)} routers, {len(self._links)} links)"
+        )

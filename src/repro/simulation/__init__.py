@@ -1,0 +1,48 @@
+"""SimGrid-like discrete-event simulator with a flow-level network model.
+
+The paper's traces come from SMPI [11] and SimGrid [9]; this package is
+the from-scratch substitute (see DESIGN.md): generator-based processes,
+max-min fair bandwidth sharing on multi-link routes, fair CPU sharing,
+and monitors that turn resource allocation into traces.
+"""
+
+from repro.simulation.activities import (
+    Activity,
+    ComputeActivity,
+    FlowActivity,
+    Message,
+)
+from repro.simulation.cpu import CpuModel
+from repro.simulation.engine import Simulator
+from repro.simulation.monitors import UsageMonitor, category_metric
+from repro.simulation.network import NetworkModel
+from repro.simulation.process import (
+    Execute,
+    Get,
+    Process,
+    ProcessContext,
+    Put,
+    Sleep,
+    Wait,
+)
+from repro.simulation.sharing import maxmin_allocate
+
+__all__ = [
+    "Activity",
+    "ComputeActivity",
+    "CpuModel",
+    "Execute",
+    "FlowActivity",
+    "Get",
+    "Message",
+    "NetworkModel",
+    "Process",
+    "ProcessContext",
+    "Put",
+    "Simulator",
+    "Sleep",
+    "UsageMonitor",
+    "Wait",
+    "category_metric",
+    "maxmin_allocate",
+]

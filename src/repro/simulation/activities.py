@@ -1,0 +1,170 @@
+"""Simulated activities: computations, network flows and messages.
+
+An *activity* is a quantity of work progressing at a rate decided by the
+resource models (CPU fair sharing, network max-min sharing).  The engine
+tracks ``remaining`` work lazily: whenever an activity's rate changes,
+:meth:`Activity.progress_to` settles the work done so far, and the next
+completion event is predicted from the new rate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.platform.model import Host, Link, LinkSharing, Route
+
+__all__ = ["Activity", "ComputeActivity", "FlowActivity", "Message"]
+
+_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """A payload delivered to a mailbox when its carrying flow finishes."""
+
+    src_host: str
+    dst_host: str
+    size: float
+    mailbox: str
+    payload: Any = None
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+class Activity:
+    """Base class of rate-driven work.
+
+    Attributes
+    ----------
+    remaining:
+        Work still to be done (flops or bytes).
+    rate:
+        Current progress rate, set by the resource models.
+    category:
+        Free-form label used by the monitors to attribute resource usage
+        to an application (e.g. ``"app1"``) — the per-application views
+        of Fig. 8 rely on it.
+    """
+
+    __slots__ = (
+        "id",
+        "remaining",
+        "rate",
+        "last_update",
+        "done",
+        "cancelled",
+        "category",
+        "version",
+        "waiters",
+    )
+
+    def __init__(self, amount: float, category: str = "") -> None:
+        if amount < 0 or not math.isfinite(amount):
+            raise SimulationError(f"invalid work amount {amount!r}")
+        self.id = next(_ids)
+        self.remaining = float(amount)
+        self.rate = 0.0
+        self.last_update = 0.0
+        self.done = False
+        self.cancelled = False
+        self.category = category
+        #: bumped whenever the scheduled completion event becomes stale
+        self.version = 0
+        #: processes blocked on this activity
+        self.waiters: list = []
+
+    def progress_to(self, now: float) -> None:
+        """Settle the work performed since ``last_update`` at ``rate``."""
+        if self.done:
+            return
+        elapsed = now - self.last_update
+        if elapsed > 0 and self.rate > 0:
+            self.remaining = max(0.0, self.remaining - self.rate * elapsed)
+        self.last_update = now
+
+    def eta(self, now: float) -> float:
+        """Predicted completion time given the current rate."""
+        if self.done:
+            return now
+        if self.remaining <= 0:
+            return now
+        if self.rate <= 0:
+            return math.inf
+        return now + self.remaining / self.rate
+
+    def finish(self, now: float) -> None:
+        """Mark the activity complete."""
+        self.remaining = 0.0
+        self.done = True
+        self.last_update = now
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else f"{self.remaining:.3g} left"
+        return f"{type(self).__name__}#{self.id}({state})"
+
+
+class ComputeActivity(Activity):
+    """A computation of ``amount`` flops running on ``host``."""
+
+    __slots__ = ("host",)
+
+    def __init__(self, host: Host, amount: float, category: str = "") -> None:
+        super().__init__(amount, category)
+        self.host = host
+
+
+class FlowActivity(Activity):
+    """A data transfer of ``amount`` bytes along ``route``.
+
+    The flow holds the message it will deliver on completion (``None``
+    for raw transfers).  ``shared_links`` caches the contended links of
+    the route; ``bound`` is the narrowest fatpipe bandwidth (the flow's
+    private rate cap, infinite when the route has no fatpipe link).
+    """
+
+    __slots__ = (
+        "route",
+        "shared_links",
+        "fatpipe_links",
+        "bound",
+        "message",
+        "started",
+    )
+
+    def __init__(
+        self,
+        route: Route,
+        amount: float,
+        message: Message | None = None,
+        category: str = "",
+    ) -> None:
+        super().__init__(amount, category)
+        self.route = route
+        self.shared_links: tuple[Link, ...] = tuple(
+            l for l in route.links if l.sharing == LinkSharing.SHARED
+        )
+        self.fatpipe_links: tuple[Link, ...] = tuple(
+            l for l in route.links if l.sharing == LinkSharing.FATPIPE
+        )
+        self.bound = (
+            min(l.bandwidth for l in self.fatpipe_links)
+            if self.fatpipe_links
+            else math.inf
+        )
+        self.message = message
+        #: False while the flow's latency has not elapsed yet
+        self.started = False
+
+    def bound_at(self, now: float) -> float:
+        """The flow's private rate cap at *now*.
+
+        The narrowest fatpipe link of the route, honouring availability
+        profiles; infinite when the route has no fatpipe link.
+        """
+        if not self.fatpipe_links:
+            return math.inf
+        return min(l.bandwidth_at(now) for l in self.fatpipe_links)

@@ -1,0 +1,228 @@
+"""Simulated processes and their request API.
+
+A simulated process is a Python generator: it yields *requests* to the
+engine and is resumed when they complete (with the request's result as
+the value of the ``yield`` expression).
+
+.. code-block:: python
+
+    def worker(ctx):
+        while True:
+            message = yield ctx.recv(f"worker-{ctx.name}")
+            if message.payload is None:        # poison pill
+                return
+            yield ctx.execute(message.payload["flops"], category="app1")
+
+    sim.spawn(worker, host="griffon-0", name="w0")
+
+Requests
+--------
+* ``ctx.execute(flops)`` — run a computation on the process's host.
+* ``ctx.send(dst, size, mailbox)`` — transfer *size* bytes to host
+  *dst*, deliver a :class:`Message` into *mailbox*, block until done.
+* ``ctx.isend(...)`` — same but non-blocking: resumes immediately with
+  the :class:`FlowActivity` handle.
+* ``ctx.recv(mailbox)`` — block until a message arrives in *mailbox*.
+* ``ctx.wait(handles)`` — block until every listed activity is done.
+* ``ctx.sleep(duration)`` — block for *duration* seconds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator, Sequence
+
+from repro.errors import SimulationError
+from repro.platform.model import Host
+from repro.simulation.activities import Activity
+
+__all__ = [
+    "Execute",
+    "Put",
+    "Get",
+    "Sleep",
+    "Wait",
+    "Process",
+    "ProcessContext",
+]
+
+_proc_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Execute:
+    """Request: compute *amount* flops on the issuing process's host."""
+
+    amount: float
+    category: str = ""
+
+
+@dataclass(frozen=True)
+class Put:
+    """Request: transfer *size* bytes to *dst_host*, deliver to *mailbox*."""
+
+    dst_host: str
+    size: float
+    mailbox: str
+    payload: Any = None
+    category: str = ""
+    blocking: bool = True
+
+
+@dataclass(frozen=True)
+class Get:
+    """Request: receive the next message from *mailbox*.
+
+    With a finite *timeout*, the process resumes with ``None`` if no
+    message arrives within that many simulated seconds.
+    """
+
+    mailbox: str
+    timeout: float | None = None
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Request: block for *duration* simulated seconds."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Request: block until every activity in *activities* is done."""
+
+    activities: tuple[Activity, ...]
+
+
+class Process:
+    """Book-keeping for one simulated process."""
+
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+    __slots__ = (
+        "id",
+        "name",
+        "host",
+        "generator",
+        "state",
+        "pending_waits",
+        "blocked_on_mailbox",
+        "recv_version",
+    )
+
+    def __init__(self, name: str, host: Host, generator: Generator) -> None:
+        self.id = next(_proc_ids)
+        self.name = name
+        self.host = host
+        self.generator = generator
+        self.state = Process.READY
+        #: activities this process still waits for (empty when runnable)
+        self.pending_waits: set[Activity] = set()
+        #: mailbox name the process is blocked receiving on, if any
+        self.blocked_on_mailbox: str | None = None
+        #: bumped on every mailbox wake-up; invalidates stale timeouts
+        self.recv_version = 0
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r} on {self.host.name}, {self.state})"
+
+
+class ProcessContext:
+    """The API object handed to every process function.
+
+    Request-building methods return request objects the process must
+    ``yield``; properties expose the simulation clock and placement.
+    """
+
+    def __init__(self, simulator, process: Process) -> None:
+        self._simulator = simulator
+        self._process = process
+
+    # -- introspection --------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._simulator.now
+
+    @property
+    def host(self) -> Host:
+        """The host this process runs on."""
+        return self._process.host
+
+    @property
+    def name(self) -> str:
+        """The process name."""
+        return self._process.name
+
+    @property
+    def platform(self):
+        """The simulated platform (routes, capacities)."""
+        return self._simulator.platform
+
+    # -- requests --------------------------------------------------------
+    def execute(self, amount: float, category: str = "") -> Execute:
+        """Compute *amount* flops on :attr:`host` (blocking)."""
+        return Execute(amount, category)
+
+    def send(
+        self,
+        dst_host: str,
+        size: float,
+        mailbox: str,
+        payload: Any = None,
+        category: str = "",
+    ) -> Put:
+        """Send *size* bytes to *dst_host*'s *mailbox* (blocking)."""
+        return Put(dst_host, size, mailbox, payload, category, blocking=True)
+
+    def isend(
+        self,
+        dst_host: str,
+        size: float,
+        mailbox: str,
+        payload: Any = None,
+        category: str = "",
+    ) -> Put:
+        """Start a send and resume immediately with its activity handle."""
+        return Put(dst_host, size, mailbox, payload, category, blocking=False)
+
+    def recv(self, mailbox: str, timeout: float | None = None) -> Get:
+        """Receive the next :class:`Message` from *mailbox* (blocking).
+
+        With a finite *timeout* the yield evaluates to ``None`` when no
+        message arrives in time.
+        """
+        if timeout is not None and timeout < 0:
+            raise SimulationError(f"negative recv timeout {timeout!r}")
+        return Get(mailbox, timeout)
+
+    def cancel(self, activity: Activity) -> None:
+        """Abort an in-flight activity (from :meth:`isend`).
+
+        The activity completes immediately as *cancelled*: its flow
+        stops consuming bandwidth and its message is never delivered.
+        Waiters blocked on it resume.  Idempotent on finished
+        activities.
+        """
+        self._simulator.cancel(activity)
+
+    def wait(self, activities: Sequence[Activity] | Activity) -> Wait:
+        """Block until the given activity (or all of them) completes."""
+        if isinstance(activities, Activity):
+            activities = (activities,)
+        return Wait(tuple(activities))
+
+    def sleep(self, duration: float) -> Sleep:
+        """Block for *duration* simulated seconds."""
+        if duration < 0:
+            raise SimulationError(f"negative sleep duration {duration!r}")
+        return Sleep(duration)
+
+    # -- immediate actions (no yield needed) ------------------------------
+    def spawn(self, fn, host: str | Host, name: str | None = None, *args, **kwargs):
+        """Start a new process immediately (see :meth:`Simulator.spawn`)."""
+        return self._simulator.spawn(fn, host, name, *args, **kwargs)

@@ -1,0 +1,52 @@
+"""Trace substrate: signals, events, containers and text I/O.
+
+The visualization pipeline consumes :class:`~repro.trace.trace.Trace`
+objects.  They are produced either by the simulation monitors
+(:mod:`repro.simulation.monitors`), by the synthetic generators
+(:mod:`repro.trace.synthetic`) or parsed from the text format
+(:mod:`repro.trace.reader`).
+"""
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.events import PointEvent, VariableEvent
+from repro.trace.connect import (
+    communication_matrix,
+    edges_from_messages,
+    with_communication_edges,
+)
+from repro.trace.filter import filter_trace
+from repro.trace.reader import loads, read_trace
+from repro.trace.signal import Signal, SignalBuilder, combine, constant
+from repro.trace.trace import (
+    CAPACITY,
+    USAGE,
+    Entity,
+    MetricInfo,
+    Trace,
+    TraceEdge,
+)
+from repro.trace.writer import dumps, write_trace
+
+__all__ = [
+    "CAPACITY",
+    "USAGE",
+    "Entity",
+    "MetricInfo",
+    "PointEvent",
+    "Signal",
+    "SignalBuilder",
+    "Trace",
+    "TraceBuilder",
+    "TraceEdge",
+    "VariableEvent",
+    "combine",
+    "communication_matrix",
+    "constant",
+    "dumps",
+    "edges_from_messages",
+    "filter_trace",
+    "loads",
+    "read_trace",
+    "with_communication_edges",
+    "write_trace",
+]

@@ -1,0 +1,101 @@
+"""Deriving topology-view connectivity from observed communications.
+
+Section 3.1.1 lists three sources for how entities are connected in the
+graph: the *communication pattern* from message traces, the *fixed*
+network topology, and edges the *analyst* draws.  The platform monitors
+cover the second and :meth:`GroupingState`-level interaction the third;
+this module implements the first — turning recorded message events into
+``source="communication"`` edges, optionally weighted and thresholded
+so only significant exchanges shape the layout.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import TraceError
+from repro.trace.trace import Trace, TraceEdge
+
+__all__ = ["communication_matrix", "edges_from_messages", "with_communication_edges"]
+
+
+def communication_matrix(trace: Trace) -> dict[tuple[str, str], float]:
+    """Total bytes exchanged per undirected entity pair.
+
+    This is the data behind the classical "communication matrix" view
+    (related work, Section 2.2); pairs are canonically ordered.
+    """
+    totals: dict[tuple[str, str], float] = defaultdict(float)
+    for event in trace.events_of_kind("message"):
+        if not event.target or event.source == event.target:
+            continue
+        pair = (
+            (event.source, event.target)
+            if event.source <= event.target
+            else (event.target, event.source)
+        )
+        totals[pair] += float(event.payload.get("size", 0.0))
+    return dict(totals)
+
+
+def edges_from_messages(
+    trace: Trace,
+    min_bytes: float = 0.0,
+    top: int | None = None,
+) -> list[TraceEdge]:
+    """Communication-pattern edges between traced entities.
+
+    Parameters
+    ----------
+    min_bytes:
+        Drop pairs that exchanged fewer bytes in total.
+    top:
+        Keep only the *top* heaviest pairs (None = all).
+
+    Only pairs whose both endpoints are trace entities become edges
+    (messages may reference processes that are not monitored entities).
+    """
+    matrix = communication_matrix(trace)
+    rows = [
+        (pair, volume)
+        for pair, volume in matrix.items()
+        if volume >= min_bytes and pair[0] in trace and pair[1] in trace
+    ]
+    rows.sort(key=lambda item: -item[1])
+    if top is not None:
+        if top < 0:
+            raise TraceError(f"top must be >= 0, got {top}")
+        rows = rows[:top]
+    return [
+        TraceEdge(a, b, source="communication") for (a, b), _ in rows
+    ]
+
+
+def with_communication_edges(
+    trace: Trace,
+    min_bytes: float = 0.0,
+    top: int | None = None,
+    replace: bool = False,
+) -> Trace:
+    """A new trace whose edge set includes the communication pattern.
+
+    With ``replace=True`` the derived edges *replace* the existing ones
+    (a pure logical-communication view, like ParaGraph's); otherwise
+    they are merged with the topology edges, skipping pairs already
+    connected.
+    """
+    derived = edges_from_messages(trace, min_bytes=min_bytes, top=top)
+    if replace:
+        edges = derived
+    else:
+        existing = {edge.key() for edge in trace.edges}
+        edges = list(trace.edges) + [
+            e for e in derived if e.key() not in existing
+        ]
+    return Trace(
+        entities=list(trace),
+        edges=edges,
+        events=trace.events,
+        metrics_info=trace.metrics_info,
+        meta=dict(trace.meta),
+    )

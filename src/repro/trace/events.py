@@ -1,0 +1,56 @@
+"""Raw trace event records.
+
+Traces are streams of timestamped events (Section 3.1).  Two families
+matter for the topology-based visualization:
+
+* :class:`VariableEvent` — "metric of entity takes value v from time t";
+  these become the piecewise-constant signals aggregation operates on.
+* :class:`PointEvent` — instantaneous occurrences (a message, a task
+  dispatch).  They do not define signals but carry the communication
+  pattern that can be used to connect entities in the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["VariableEvent", "PointEvent"]
+
+
+@dataclass(frozen=True, order=True)
+class VariableEvent:
+    """A step of a monitored variable: *metric* of *entity* becomes *value*.
+
+    Ordering is by timestamp first so lists of events sort into replay
+    order.
+    """
+
+    time: float
+    entity: str = field(compare=False)
+    metric: str = field(compare=False)
+    value: float = field(compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "time", float(self.time))
+        object.__setattr__(self, "value", float(self.value))
+
+
+@dataclass(frozen=True, order=True)
+class PointEvent:
+    """An instantaneous event, e.g. a message between two entities.
+
+    ``kind`` is a free-form label ("message", "task-start", ...);
+    ``source``/``target`` name entities when the event is relational,
+    otherwise ``target`` is empty.  ``payload`` carries event-specific
+    details (message size, tag, application name...).
+    """
+
+    time: float
+    kind: str = field(compare=False)
+    source: str = field(compare=False)
+    target: str = field(compare=False, default="")
+    payload: Mapping[str, Any] = field(compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "time", float(self.time))

@@ -1,0 +1,85 @@
+"""Trace filtering: restrict an analysis to a subset of the system.
+
+Selecting "a proper subset of trace values ... enables the analyst to
+reduce the analysis complexity" (Section 3.1).  :func:`filter_trace`
+produces a new trace containing only the requested entities (by kind,
+hierarchy subtree or name predicate); edges whose endpoints drop out are
+removed, and edges whose ``via`` link drops out degrade to plain edges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import TraceError
+from repro.trace.trace import Entity, Trace, TraceEdge
+
+__all__ = ["filter_trace"]
+
+
+def filter_trace(
+    trace: Trace,
+    kinds: Iterable[str] | None = None,
+    under: Sequence[str] | None = None,
+    predicate: Callable[[Entity], bool] | None = None,
+    keep_events: bool = True,
+) -> Trace:
+    """A new trace keeping only the selected entities.
+
+    Parameters
+    ----------
+    kinds:
+        Entity kinds to keep (None = all kinds).
+    under:
+        Hierarchy path prefix; only entities whose path starts with it
+        survive (e.g. ``("grid5000", "nancy")`` keeps one site).
+    predicate:
+        Arbitrary extra filter on :class:`Entity`.
+    keep_events:
+        Whether point events between surviving entities are kept.
+
+    Raises
+    ------
+    TraceError
+        When the selection removes every entity.
+    """
+    kind_set = set(kinds) if kinds is not None else None
+    prefix = tuple(under) if under is not None else None
+
+    def selected(entity: Entity) -> bool:
+        if kind_set is not None and entity.kind not in kind_set:
+            return False
+        if prefix is not None and entity.path[: len(prefix)] != prefix:
+            return False
+        if predicate is not None and not predicate(entity):
+            return False
+        return True
+
+    survivors = [e for e in trace if selected(e)]
+    if not survivors:
+        raise TraceError("the filter removed every entity")
+    names = {e.name for e in survivors}
+
+    edges = []
+    for edge in trace.edges:
+        if edge.a not in names or edge.b not in names:
+            continue
+        via = edge.via if edge.via in names else ""
+        edges.append(TraceEdge(edge.a, edge.b, via=via, source=edge.source))
+
+    events = (
+        [
+            ev
+            for ev in trace.events
+            if ev.source in names and (not ev.target or ev.target in names)
+        ]
+        if keep_events
+        else []
+    )
+    return Trace(
+        entities=survivors,
+        edges=edges,
+        events=events,
+        metrics_info=trace.metrics_info,
+        meta=dict(trace.meta),
+    )

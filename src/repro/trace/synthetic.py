@@ -1,0 +1,228 @@
+"""Synthetic trace generators.
+
+These reproduce the paper's illustrative inputs (the two-hosts/one-link
+trace of Fig. 1-2, the grouped trace of Fig. 3, the scaling scenario of
+Fig. 4) and provide parameterized random traces used by the scalability
+benchmarks and the property-based tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import CAPACITY, USAGE, Trace
+
+__all__ = [
+    "figure1_trace",
+    "figure3_trace",
+    "figure4_trace",
+    "random_hierarchical_trace",
+    "sine_usage_trace",
+]
+
+
+def figure1_trace() -> Trace:
+    """The running example of Fig. 1 and 2: HostA, HostB and LinkA.
+
+    Availability (capacity) and utilization (usage) vary over ``[0, 12]``
+    so the three cursors A (t=2), B (t=6) and C (t=10) of Fig. 1 see
+    clearly different values: HostA shrinks over time while HostB grows,
+    and LinkA's utilization ramps up then drops.
+    """
+    b = TraceBuilder()
+    b.declare_metric(CAPACITY, "MFlops|Mbits", "available capacity")
+    b.declare_metric(USAGE, "MFlops|Mbits", "resource utilization")
+    b.declare_entity("HostA", "host", ("root", "HostA"))
+    b.declare_entity("HostB", "host", ("root", "HostB"))
+    b.declare_entity("LinkA", "link", ("root", "LinkA"))
+    # HostA: capacity decays 100 -> 40, utilization tracks then falls.
+    for t, cap, use in [
+        (0.0, 100.0, 20.0),
+        (2.0, 100.0, 60.0),
+        (4.0, 80.0, 70.0),
+        (6.0, 60.0, 50.0),
+        (8.0, 50.0, 20.0),
+        (10.0, 40.0, 10.0),
+    ]:
+        b.record("HostA", CAPACITY, t, cap)
+        b.record("HostA", USAGE, t, use)
+    # HostB: capacity grows 25 -> 90.
+    for t, cap, use in [
+        (0.0, 25.0, 5.0),
+        (2.0, 30.0, 15.0),
+        (4.0, 45.0, 30.0),
+        (6.0, 60.0, 55.0),
+        (8.0, 80.0, 70.0),
+        (10.0, 90.0, 60.0),
+    ]:
+        b.record("HostB", CAPACITY, t, cap)
+        b.record("HostB", USAGE, t, use)
+    # LinkA: fixed 10 Gbit/s capacity, bursty utilization.
+    b.set_constant("LinkA", CAPACITY, 10000.0)
+    for t, use in [
+        (0.0, 1000.0),
+        (2.0, 4000.0),
+        (4.0, 9000.0),
+        (6.0, 9500.0),
+        (8.0, 3000.0),
+        (10.0, 500.0),
+    ]:
+        b.record("LinkA", USAGE, t, use)
+    b.connect("HostA", "HostB", via="LinkA")
+    b.set_meta("end_time", 12.0)
+    b.set_meta("scenario", "figure1")
+    return b.build()
+
+
+def figure3_trace() -> Trace:
+    """The spatial-aggregation example of Fig. 3.
+
+    Three hosts and three links arranged in two nested groups: GroupA
+    holds two hosts and one internal link, GroupB holds everything.
+    """
+    b = TraceBuilder()
+    hosts = {
+        "h1": (("GroupB", "GroupA", "h1"), 100.0, 80.0),
+        "h2": (("GroupB", "GroupA", "h2"), 50.0, 10.0),
+        "h3": (("GroupB", "h3"), 75.0, 30.0),
+    }
+    for name, (path, cap, use) in hosts.items():
+        b.declare_entity(name, "host", path)
+        b.set_constant(name, CAPACITY, cap)
+        b.set_constant(name, USAGE, use)
+    links = {
+        "l12": (("GroupB", "GroupA", "l12"), 1000.0, 900.0, ("h1", "h2")),
+        "l13": (("GroupB", "l13"), 100.0, 20.0, ("h1", "h3")),
+        "l23": (("GroupB", "l23"), 100.0, 60.0, ("h2", "h3")),
+    }
+    for name, (path, cap, use, (a, c)) in links.items():
+        b.declare_entity(name, "link", path)
+        b.set_constant(name, CAPACITY, cap)
+        b.set_constant(name, USAGE, use)
+        b.connect(a, c, via=name)
+    b.set_meta("end_time", 1.0)
+    b.set_meta("scenario", "figure3")
+    return b.build()
+
+
+def figure4_trace() -> Trace:
+    """The per-type scaling scenario of Fig. 4.
+
+    Two time slices give the values quoted in the figure: in slice A
+    (``[0, 5]``) HostA=100, HostB=25 MFlops; in slice B (``[5, 10]``)
+    HostA=10, HostB=40 MFlops.  LinkA is 10000 Mbit/s throughout.
+    """
+    b = TraceBuilder()
+    b.declare_entity("HostA", "host", ("root", "HostA"))
+    b.declare_entity("HostB", "host", ("root", "HostB"))
+    b.declare_entity("LinkA", "link", ("root", "LinkA"))
+    b.record("HostA", CAPACITY, 0.0, 100.0)
+    b.record("HostA", CAPACITY, 5.0, 10.0)
+    b.record("HostB", CAPACITY, 0.0, 25.0)
+    b.record("HostB", CAPACITY, 5.0, 40.0)
+    b.set_constant("LinkA", CAPACITY, 10000.0)
+    b.connect("HostA", "HostB", via="LinkA")
+    b.set_meta("end_time", 10.0)
+    b.set_meta("scenario", "figure4")
+    return b.build()
+
+
+def random_hierarchical_trace(
+    n_sites: int = 4,
+    clusters_per_site: int = 3,
+    hosts_per_cluster: int = 8,
+    end_time: float = 100.0,
+    steps: int = 20,
+    seed: int = 0,
+) -> Trace:
+    """A random trace over a grid-like hierarchy.
+
+    Hosts live under ``grid/site-i/cluster-j``; every cluster has an
+    uplink to its site router, sites are chained by backbone links.
+    Capacities are constant, usages are random walks clipped to
+    ``[0, capacity]``.  Deterministic for a given *seed*.
+    """
+    rng = random.Random(seed)
+    b = TraceBuilder()
+    b.declare_metric(CAPACITY, "MFlops|Mbits")
+    b.declare_metric(USAGE, "MFlops|Mbits")
+    site_names = [f"site-{i}" for i in range(n_sites)]
+    previous_site: str | None = None
+    for site in site_names:
+        for c in range(clusters_per_site):
+            cluster = f"{site}.cl{c}"
+            cluster_hosts = []
+            for h in range(hosts_per_cluster):
+                host = f"{cluster}.n{h}"
+                path = ("grid", site, cluster, host)
+                b.declare_entity(host, "host", path)
+                capacity = rng.choice([50.0, 100.0, 150.0, 200.0])
+                b.set_constant(host, CAPACITY, capacity)
+                _random_walk(b, rng, host, capacity, end_time, steps)
+                cluster_hosts.append(host)
+            uplink = f"{cluster}.up"
+            b.declare_entity(uplink, "link", ("grid", site, cluster, uplink))
+            b.set_constant(uplink, CAPACITY, 1000.0)
+            _random_walk(b, rng, uplink, 1000.0, end_time, steps)
+            # Star inside the cluster: every host connects through the uplink.
+            for host in cluster_hosts[1:]:
+                b.connect(cluster_hosts[0], host, via=uplink)
+        if previous_site is not None:
+            backbone = f"bb.{previous_site}-{site}"
+            b.declare_entity(backbone, "link", ("grid", backbone))
+            b.set_constant(backbone, CAPACITY, 10000.0)
+            _random_walk(b, rng, backbone, 10000.0, end_time, steps)
+            b.connect(
+                f"{previous_site}.cl0.n0", f"{site}.cl0.n0", via=backbone
+            )
+        previous_site = site
+    b.set_meta("end_time", end_time)
+    b.set_meta("scenario", "random_hierarchical")
+    return b.build()
+
+
+def _random_walk(
+    b: TraceBuilder,
+    rng: random.Random,
+    entity: str,
+    capacity: float,
+    end_time: float,
+    steps: int,
+) -> None:
+    value = rng.uniform(0.0, capacity)
+    for i in range(steps):
+        t = end_time * i / steps
+        value = min(capacity, max(0.0, value + rng.gauss(0.0, capacity / 8.0)))
+        b.record(entity, USAGE, t, value)
+
+
+def sine_usage_trace(
+    n_hosts: int = 8,
+    end_time: float = 10.0,
+    samples: int = 50,
+    capacity: float = 100.0,
+) -> Trace:
+    """Hosts whose utilization follows phase-shifted sine waves.
+
+    Handy for testing temporal aggregation: the mean over a full period
+    is ``capacity / 2`` for every host regardless of phase.
+    """
+    b = TraceBuilder()
+    names = [f"host-{i}" for i in range(n_hosts)]
+    for i, name in enumerate(names):
+        b.declare_entity(name, "host", ("root", name))
+        b.set_constant(name, CAPACITY, capacity)
+        phase = 2.0 * math.pi * i / max(1, n_hosts)
+        for s in range(samples):
+            t = end_time * s / samples
+            omega = 2.0 * math.pi * t / end_time
+            value = capacity * 0.5 * (1.0 + math.sin(omega + phase))
+            b.record(name, USAGE, t, value)
+    for a, c in zip(names, names[1:]):
+        b.connect(a, c, source="analyst")
+    b.set_meta("end_time", end_time)
+    b.set_meta("scenario", "sine")
+    return b.build()

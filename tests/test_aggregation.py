@@ -1,0 +1,187 @@
+"""Tests for spatial aggregation (Section 3.2.2), incl. invariants."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import aggregate_view, unit_key
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.core.timeslice import TimeSlice
+from repro.errors import AggregationError
+from repro.trace import CAPACITY, USAGE, TraceBuilder
+from repro.trace.synthetic import figure3_trace, random_hierarchical_trace
+
+
+def session_parts(trace):
+    hierarchy = Hierarchy.from_trace(trace)
+    return trace, GroupingState(hierarchy)
+
+
+class TestFigure3Semantics:
+    """The exact walk-through of Fig. 3."""
+
+    def test_no_aggregation(self):
+        trace, grouping = session_parts(figure3_trace())
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        assert len(view.units) == 6
+        assert view.unit("h1").value(CAPACITY) == 100.0
+        assert not view.unit("h1").is_aggregate
+
+    def test_first_aggregation_square_plus_diamond(self):
+        trace, grouping = session_parts(figure3_trace())
+        grouping.collapse(("GroupB", "GroupA"))
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        keys = set(view.units)
+        assert keys == {
+            "GroupB/GroupA::host",
+            "GroupB/GroupA::link",
+            "h3",
+            "l13",
+            "l23",
+        }
+        hosts = view.unit("GroupB/GroupA::host")
+        assert hosts.value(CAPACITY) == 150.0  # 100 + 50
+        assert hosts.value(USAGE) == 90.0  # 80 + 10
+        assert hosts.weight == 2
+        links = view.unit("GroupB/GroupA::link")
+        assert links.members == ("l12",)
+
+    def test_first_aggregation_edges(self):
+        trace, grouping = session_parts(figure3_trace())
+        grouping.collapse(("GroupB", "GroupA"))
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        pairs = {e.key() for e in view.edges}
+        # internal l12 edge collapses into host<->link of the group
+        assert ("GroupB/GroupA::host", "GroupB/GroupA::link") in pairs
+        assert ("GroupB/GroupA::host", "l13") in pairs
+        assert ("h3", "l13") in pairs
+
+    def test_second_aggregation_single_pair(self):
+        trace, grouping = session_parts(figure3_trace())
+        grouping.collapse(("GroupB", "GroupA"))
+        grouping.collapse(("GroupB",))
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        assert set(view.units) == {"GroupB::host", "GroupB::link"}
+        assert view.unit("GroupB::host").value(CAPACITY) == 225.0
+        assert view.unit("GroupB::link").value(CAPACITY) == 1200.0
+        assert len(view.edges) == 1
+        assert view.edges[0].multiplicity == 6
+
+
+class TestAggregationMechanics:
+    def test_unit_key_forms(self):
+        assert unit_key(None, "host", "h1") == "h1"
+        assert unit_key(("a", "b"), "link") == "a/b::link"
+
+    def test_unknown_unit_raises(self):
+        trace, grouping = session_parts(figure3_trace())
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        with pytest.raises(AggregationError):
+            view.unit("ghost")
+
+    def test_units_of_kind_and_neighbours(self):
+        trace, grouping = session_parts(figure3_trace())
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        assert {u.key for u in view.units_of_kind("host")} == {"h1", "h2", "h3"}
+        assert set(view.neighbours("l13")) == {"h1", "h3"}
+
+    def test_metric_subset(self):
+        trace, grouping = session_parts(figure3_trace())
+        view = aggregate_view(
+            trace, grouping, TimeSlice(0.0, 1.0), metrics=[CAPACITY]
+        )
+        assert USAGE not in view.unit("h1").values
+
+    def test_custom_space_op_mean(self):
+        trace, grouping = session_parts(figure3_trace())
+        grouping.collapse(("GroupB",))
+        view = aggregate_view(
+            trace,
+            grouping,
+            TimeSlice(0.0, 1.0),
+            space_op=statistics.mean,
+        )
+        assert view.unit("GroupB::host").value(CAPACITY) == pytest.approx(75.0)
+
+    def test_missing_metric_not_zero_filled(self):
+        b = TraceBuilder()
+        b.declare_entity("a", "host", ("g", "a"))
+        b.declare_entity("b", "host", ("g", "b"))
+        b.set_constant("a", CAPACITY, 10.0)
+        b.set_meta("end_time", 1.0)
+        trace = b.build()
+        trace, grouping = session_parts(trace)
+        grouping.collapse(("g",))
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        # Only `a` carries the metric; the aggregate value is its alone.
+        assert view.unit("g::host").value(CAPACITY) == 10.0
+
+    def test_temporal_and_spatial_compose(self):
+        b = TraceBuilder()
+        for name, level in (("a", 10.0), ("b", 30.0)):
+            b.declare_entity(name, "host", ("g", name))
+            b.record(name, USAGE, 0.0, level)
+            b.record(name, USAGE, 1.0, level * 2)
+        b.set_meta("end_time", 2.0)
+        trace, grouping = session_parts(b.build())
+        grouping.collapse(("g",))
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 2.0))
+        # mean(a) = 15, mean(b) = 45 -> sum = 60
+        assert view.unit("g::host").value(USAGE) == pytest.approx(60.0)
+
+
+class TestAggregationInvariants:
+    """Conservation laws that must hold at every scale."""
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_total_capacity_conserved(self, depth):
+        trace = random_hierarchical_trace(n_sites=3, seed=7)
+        hierarchy = Hierarchy.from_trace(trace)
+        grouping = GroupingState(hierarchy)
+        tslice = TimeSlice(0.0, 100.0)
+        detailed = aggregate_view(trace, grouping, tslice)
+        total = sum(u.value(CAPACITY) for u in detailed.units.values())
+        grouping.collapse_depth(depth)
+        collapsed = aggregate_view(trace, grouping, tslice)
+        total_collapsed = sum(
+            u.value(CAPACITY) for u in collapsed.units.values()
+        )
+        assert total_collapsed == pytest.approx(total)
+        assert len(collapsed) <= len(detailed)
+
+    def test_every_entity_in_exactly_one_unit(self):
+        trace = random_hierarchical_trace(seed=3)
+        hierarchy = Hierarchy.from_trace(trace)
+        grouping = GroupingState(hierarchy)
+        grouping.collapse_depth(2)
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 50.0))
+        seen = [m for u in view.units.values() for m in u.members]
+        assert sorted(seen) == sorted(e.name for e in trace)
+
+    def test_weight_equals_member_count(self):
+        trace, grouping = session_parts(figure3_trace())
+        grouping.collapse(("GroupB",))
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        assert view.unit("GroupB::host").weight == 3
+        assert view.unit("GroupB::link").weight == 3
+
+    @given(
+        depth=st.integers(min_value=1, max_value=3),
+        a=st.floats(min_value=0.0, max_value=90.0),
+        width=st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_usage_totals_conserved_any_slice(self, depth, a, width):
+        trace = random_hierarchical_trace(n_sites=2, seed=11)
+        hierarchy = Hierarchy.from_trace(trace)
+        grouping = GroupingState(hierarchy)
+        tslice = TimeSlice(a, a + width)
+        before = aggregate_view(trace, grouping, tslice)
+        total = sum(u.value(USAGE) for u in before.units.values())
+        grouping.collapse_depth(depth)
+        after = aggregate_view(trace, grouping, tslice)
+        assert sum(
+            u.value(USAGE) for u in after.units.values()
+        ) == pytest.approx(total)

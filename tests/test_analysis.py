@@ -1,0 +1,205 @@
+"""Tests for the analysis package: statistics, anomalies, comparison."""
+
+import pytest
+
+from repro.analysis import (
+    compare_runs,
+    group_statistics,
+    heterogeneous_units,
+    scan_anomalies,
+)
+from repro.core import TimeSlice
+from repro.core.aggregation import aggregate_view
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.errors import AggregationError
+from repro.trace import CAPACITY, USAGE, TraceBuilder
+from repro.trace.synthetic import figure3_trace
+
+
+def grid_trace(utils):
+    """One cluster per entry in *utils*: hosts with given utilizations."""
+    b = TraceBuilder()
+    for c, levels in enumerate(utils):
+        for h, level in enumerate(levels):
+            name = f"c{c}h{h}"
+            b.declare_entity(name, "host", ("grid", f"c{c}", name))
+            b.set_constant(name, CAPACITY, 100.0)
+            b.set_constant(name, USAGE, level)
+    b.set_meta("end_time", 1.0)
+    return b.build()
+
+
+class TestGroupStatistics:
+    def make_unit(self, trace, path):
+        hierarchy = Hierarchy.from_trace(trace)
+        grouping = GroupingState(hierarchy)
+        grouping.collapse(path)
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        key = "/".join(path) + "::host"
+        return view.unit(key)
+
+    def test_statistics_values(self):
+        trace = grid_trace([[10.0, 30.0, 50.0]])
+        unit = self.make_unit(trace, ("grid", "c0"))
+        stats = group_statistics(trace, unit, TimeSlice(0.0, 1.0), USAGE)
+        assert stats.count == 3
+        assert stats.total == pytest.approx(90.0)
+        assert stats.mean == pytest.approx(30.0)
+        assert stats.median == pytest.approx(30.0)
+        assert stats.minimum == 10.0 and stats.maximum == 50.0
+        assert stats.variance == pytest.approx(266.6667, rel=1e-4)
+        assert stats.std == pytest.approx(stats.variance ** 0.5)
+
+    def test_cv_zero_for_homogeneous(self):
+        trace = grid_trace([[40.0, 40.0, 40.0]])
+        unit = self.make_unit(trace, ("grid", "c0"))
+        stats = group_statistics(trace, unit, TimeSlice(0.0, 1.0), USAGE)
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_missing_metric_raises(self):
+        trace = grid_trace([[10.0]])
+        unit = self.make_unit(trace, ("grid", "c0"))
+        with pytest.raises(AggregationError):
+            group_statistics(trace, unit, TimeSlice(0.0, 1.0), "nope")
+
+    def test_heterogeneous_units_flags_and_sorts(self):
+        trace = grid_trace(
+            [[50.0, 50.0], [1.0, 99.0], [20.0, 80.0]]
+        )
+        hierarchy = Hierarchy.from_trace(trace)
+        grouping = GroupingState(hierarchy)
+        grouping.collapse_depth(2)
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        flagged = heterogeneous_units(
+            trace, list(view.units.values()), TimeSlice(0.0, 1.0), USAGE,
+            cv_threshold=0.3,
+        )
+        keys = [u.key for u, _ in flagged]
+        assert keys == ["grid/c1::host", "grid/c2::host"]  # most diverse first
+
+    def test_singletons_skipped(self):
+        trace = grid_trace([[100.0]])
+        hierarchy = Hierarchy.from_trace(trace)
+        grouping = GroupingState(hierarchy)
+        grouping.collapse_depth(2)
+        view = aggregate_view(trace, grouping, TimeSlice(0.0, 1.0))
+        assert (
+            heterogeneous_units(
+                trace, list(view.units.values()), TimeSlice(0.0, 1.0), USAGE
+            )
+            == []
+        )
+
+
+class TestAnomalies:
+    def test_outlier_cluster_detected(self):
+        # 7 calm clusters, one saturated.
+        utils = [[10.0, 10.0]] * 7 + [[95.0, 95.0]]
+        trace = grid_trace(utils)
+        findings = scan_anomalies(trace, TimeSlice(0.0, 1.0))
+        assert findings
+        assert findings[0].group == ("grid", "c7")
+        assert findings[0].z_score > 2.0
+
+    def test_uniform_system_has_no_anomalies(self):
+        trace = grid_trace([[50.0, 50.0]] * 6)
+        assert scan_anomalies(trace, TimeSlice(0.0, 1.0)) == []
+
+    def test_too_few_siblings_skipped(self):
+        trace = grid_trace([[10.0], [99.0]])
+        assert scan_anomalies(trace, TimeSlice(0.0, 1.0)) == []
+
+    def test_str_rendering(self):
+        utils = [[10.0, 10.0]] * 5 + [[99.0, 99.0]]
+        findings = scan_anomalies(grid_trace(utils), TimeSlice(0.0, 1.0))
+        text = str(findings[0])
+        assert "grid/c5" in text and "z=" in text
+
+
+class TestRunComparison:
+    def run_pair(self, before_util, after_util, before_end=10.0, after_end=8.0):
+        def make(util, end):
+            b = TraceBuilder()
+            b.declare_entity("h", "host", ("g", "h"))
+            b.set_constant("h", CAPACITY, 100.0)
+            b.record("h", USAGE, 0.0, util)
+            b.set_meta("end_time", end)
+            return b.build()
+
+        return compare_runs(make(before_util, before_end), make(after_util, after_end))
+
+    def test_speedup_and_improvement(self):
+        comparison = self.run_pair(50.0, 80.0)
+        assert comparison.speedup == pytest.approx(10.0 / 8.0)
+        assert comparison.improvement == pytest.approx(0.2)
+
+    def test_deltas(self):
+        comparison = self.run_pair(50.0, 80.0)
+        delta = comparison.resource("h")
+        assert delta.before == pytest.approx(0.5)
+        assert delta.after == pytest.approx(0.8)
+        assert delta.delta == pytest.approx(0.3)
+
+    def test_unknown_resource(self):
+        comparison = self.run_pair(1.0, 2.0)
+        with pytest.raises(AggregationError):
+            comparison.resource("ghost")
+
+    def test_most_changed_ordering(self):
+        def make(utils, end):
+            b = TraceBuilder()
+            for name, u in utils.items():
+                b.declare_entity(name, "host", ("g", name))
+                b.set_constant(name, CAPACITY, 100.0)
+                b.record(name, USAGE, 0.0, u)
+            b.set_meta("end_time", end)
+            return b.build()
+
+        before = make({"a": 10.0, "b": 50.0}, 10.0)
+        after = make({"a": 90.0, "b": 55.0}, 10.0)
+        comparison = compare_runs(before, after)
+        changed = comparison.most_changed(1)
+        assert changed[0].name == "a"
+
+    def test_disjoint_traces_rejected(self):
+        b1 = TraceBuilder()
+        b1.declare_entity("x", "host")
+        b1.set_constant("x", CAPACITY, 1.0)
+        b1.set_meta("end_time", 1.0)
+        b2 = TraceBuilder()
+        b2.declare_entity("y", "host")
+        b2.set_constant("y", CAPACITY, 1.0)
+        b2.set_meta("end_time", 1.0)
+        with pytest.raises(AggregationError):
+            compare_runs(b1.build(), b2.build())
+
+    def test_nasdt_comparison_end_to_end(self):
+        """Wire the comparison to actual NAS-DT runs (Fig. 6 vs Fig. 7)."""
+        from repro.mpi import (
+            locality_deployment,
+            run_nas_dt,
+            sequential_deployment,
+            white_hole,
+        )
+        from repro.platform import two_cluster_platform
+        from repro.simulation import UsageMonitor
+
+        graph = white_hole("A")
+
+        def traced_run(deploy_fn):
+            platform = two_cluster_platform()
+            hosts = sorted(
+                (h.name for h in platform.hosts),
+                key=lambda n: (not n.startswith("adonis"), int(n.rsplit("-", 1)[1])),
+            )
+            monitor = UsageMonitor(platform)
+            run_nas_dt(platform, deploy_fn(platform, hosts), graph, monitor)
+            return monitor.build_trace()
+
+        seq = traced_run(lambda p, h: sequential_deployment(h, graph.n_nodes))
+        loc = traced_run(lambda p, h: locality_deployment(graph, p, h))
+        comparison = compare_runs(seq, loc)
+        # ~20% improvement, and the inter-cluster link relaxes.
+        assert 0.1 < comparison.improvement < 0.4
+        inter = comparison.resource("adonis-griffon")
+        assert inter.after < inter.before

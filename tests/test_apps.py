@@ -1,0 +1,265 @@
+"""Tests for the master-worker applications (Section 5.2 substrate)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps import (
+    AppSpec,
+    Policy,
+    cpu_bound_app,
+    network_bound_app,
+    paper_workload,
+    run_master_worker,
+)
+from repro.errors import SimulationError
+from repro.platform import (
+    GBPS,
+    GFLOPS,
+    ClusterSpec,
+    SiteSpec,
+    grid5000_platform,
+    two_cluster_platform,
+)
+from repro.simulation import UsageMonitor
+from repro.trace import USAGE
+
+
+def small_grid():
+    """A 2-site, 4-cluster, 24-host grid — fast enough for unit tests."""
+    sites = (
+        SiteSpec(
+            "alpha",
+            (
+                ClusterSpec("a1", 6, 2 * GFLOPS),
+                ClusterSpec("a2", 6, 2 * GFLOPS),
+            ),
+        ),
+        SiteSpec(
+            "beta",
+            (
+                ClusterSpec("b1", 6, 2 * GFLOPS),
+                ClusterSpec("b2", 6, 2 * GFLOPS),
+            ),
+        ),
+    )
+    return grid5000_platform(sites=sites, grid_name="minigrid")
+
+
+class TestAppSpec:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            AppSpec("a", "m", 0, 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            AppSpec("a", "m", 1, 0.0, 1.0)
+        with pytest.raises(SimulationError):
+            AppSpec("a", "m", 1, 1.0, -1.0)
+        with pytest.raises(SimulationError):
+            AppSpec("a", "m", 1, 1.0, 1.0, prefetch=0)
+        with pytest.raises(SimulationError):
+            AppSpec("a", "m", 1, 1.0, 1.0, parallel_sends=0)
+
+    def test_comm_to_comp_ratio(self):
+        cpu = cpu_bound_app("m", 10)
+        net = network_bound_app("m", 10)
+        assert net.comm_to_comp > cpu.comm_to_comp
+
+    def test_zero_flops_ratio_is_infinite(self):
+        spec = AppSpec("a", "m", 1, 1.0, 0.0)
+        assert spec.comm_to_comp == float("inf")
+
+
+class TestRunValidation:
+    def test_unknown_policy(self):
+        p = small_grid()
+        app = cpu_bound_app(p.hosts[0].name, 1)
+        with pytest.raises(SimulationError):
+            run_master_worker(p, [app], policy="bogus")
+
+    def test_no_apps(self):
+        with pytest.raises(SimulationError):
+            run_master_worker(small_grid(), [])
+
+    def test_duplicate_app_names(self):
+        p = small_grid()
+        a = cpu_bound_app(p.hosts[0].name, 1, name="x")
+        b = cpu_bound_app(p.hosts[1].name, 1, name="x")
+        with pytest.raises(SimulationError):
+            run_master_worker(p, [a, b])
+
+    def test_no_workers(self):
+        p = small_grid()
+        app = cpu_bound_app(p.hosts[0].name, 1)
+        with pytest.raises(SimulationError):
+            run_master_worker(p, [app], workers=[])
+
+
+class TestSingleApp:
+    def test_all_tasks_complete(self):
+        p = small_grid()
+        app = cpu_bound_app(p.hosts[0].name, 30)
+        result = run_master_worker(p, [app])
+        r = result.app("app1")
+        assert r.tasks_served == 30
+        assert r.tasks_completed == 30
+        assert r.finished_at <= result.makespan
+        assert sum(r.served_per_worker.values()) == 30
+
+    def test_unknown_app_lookup(self):
+        p = small_grid()
+        result = run_master_worker(p, [cpu_bound_app(p.hosts[0].name, 2)])
+        with pytest.raises(SimulationError):
+            result.app("ghost")
+
+    def test_completion_times_monotonic(self):
+        p = small_grid()
+        result = run_master_worker(p, [cpu_bound_app(p.hosts[0].name, 20)])
+        times = result.app("app1").completion_times
+        assert len(times) == 20
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_until_cuts_run_short(self):
+        p = small_grid()
+        app = cpu_bound_app(p.hosts[0].name, 500)
+        result = run_master_worker(p, [app], until=5.0)
+        assert result.makespan == pytest.approx(5.0)
+        assert result.app("app1").tasks_completed < 500
+
+    def test_explicit_worker_subset(self):
+        p = small_grid()
+        workers = [h.name for h in p.hosts_under("minigrid", "alpha")][:4]
+        app = cpu_bound_app(p.hosts[-1].name, 20)
+        result = run_master_worker(p, [app], workers=workers)
+        r = result.app("app1")
+        assert set(r.served_per_worker) <= set(workers)
+        assert r.tasks_completed == 20
+
+    def test_prefetch_bounds_worker_queue(self):
+        # With prefetch=1 and 1 worker, served count can never exceed
+        # completed by more than prefetch.
+        p = small_grid()
+        app = AppSpec(
+            "solo", p.hosts[0].name, 10, 1e6, 1e9, prefetch=1, parallel_sends=1
+        )
+        worker = [p.hosts[1].name]
+        result = run_master_worker(p, [app], workers=worker)
+        assert result.app("solo").tasks_completed == 10
+
+
+class TestBandwidthCentricLocality:
+    def test_bandwidth_centric_prefers_close_workers(self):
+        """Phenomenon 2 of Section 5.2: locality for the comm-heavy app."""
+        p = small_grid()
+        master = p.hosts_under("minigrid", "alpha")[0].name
+        app = network_bound_app(master, 20, name="net")
+        result = run_master_worker(p, [app], policy=Policy.BANDWIDTH_CENTRIC)
+        served = result.app("net").served_per_worker
+        by_site = Counter()
+        for worker, count in served.items():
+            by_site[p.host(worker).path[1]] += count
+        assert by_site["alpha"] > by_site["beta"]
+
+    def test_fifo_spreads_uniformly(self):
+        """The paper's FIFO contrast: no locality, uniform resource usage."""
+        p = small_grid()
+        master = p.hosts_under("minigrid", "alpha")[0].name
+        app = network_bound_app(master, 46, name="net")
+        result = run_master_worker(p, [app], policy=Policy.FIFO)
+        served = result.app("net").served_per_worker
+        # 23 workers, 46 tasks, FIFO: every worker served at least once.
+        assert len(served) == 23
+
+    def test_bandwidth_centric_more_concentrated_than_fifo(self):
+        p = small_grid()
+        master = p.hosts_under("minigrid", "alpha")[0].name
+
+        def concentration(policy):
+            app = network_bound_app(master, 40, name="net")
+            result = run_master_worker(p, [app], policy=policy)
+            served = result.app("net").served_per_worker
+            return max(served.values()) if served else 0
+
+        assert concentration(Policy.BANDWIDTH_CENTRIC) >= concentration(
+            Policy.FIFO
+        )
+
+
+class TestCompetingApps:
+    def test_two_apps_complete_and_interfere(self):
+        """Phenomena 1 and 3: CPU-bound wins usage; both share hosts."""
+        p = small_grid()
+        alpha = p.hosts_under("minigrid", "alpha")[0].name
+        beta = p.hosts_under("minigrid", "beta")[0].name
+        app1 = cpu_bound_app(alpha, 40)
+        app2 = network_bound_app(beta, 15)
+        monitor = UsageMonitor(p)
+        result = run_master_worker(p, [app1, app2], monitor=monitor)
+        assert result.app("app1").tasks_completed == 40
+        assert result.app("app2").tasks_completed == 15
+        trace = monitor.build_trace()
+        start, end = trace.span()
+        work1 = sum(
+            e.signal_or("usage_app1").integrate(start, end)
+            for e in trace.entities("host")
+        )
+        work2 = sum(
+            e.signal_or("usage_app2").integrate(start, end)
+            for e in trace.entities("host")
+        )
+        # Work integrals match the flops actually submitted.
+        assert work1 == pytest.approx(40 * app1.task_flops, rel=1e-6)
+        assert work2 == pytest.approx(15 * app2.task_flops, rel=1e-6)
+        # Phenomenon 1: the CPU-bound app extracts more compute overall.
+        assert work1 > work2
+        # Phenomenon 3: at least one host computed for both applications.
+        shared = [
+            e.name
+            for e in trace.entities("host")
+            if e.signal_or("usage_app1").integrate(start, end) > 0
+            and e.signal_or("usage_app2").integrate(start, end) > 0
+        ]
+        assert shared
+
+    def test_usage_never_exceeds_capacity(self):
+        p = small_grid()
+        alpha = p.hosts_under("minigrid", "alpha")[0].name
+        beta = p.hosts_under("minigrid", "beta")[0].name
+        monitor = UsageMonitor(p)
+        run_master_worker(
+            p,
+            [cpu_bound_app(alpha, 30), network_bound_app(beta, 10)],
+            monitor=monitor,
+        )
+        trace = monitor.build_trace()
+        start, end = trace.span()
+        for entity in trace.entities("host"):
+            usage = entity.signal_or(USAGE)
+            cap = entity.signal("capacity")(0.0)
+            assert usage.maximum(start, end) <= cap * (1 + 1e-9)
+
+
+class TestPaperWorkload:
+    def test_masters_on_distinct_sites(self):
+        p = small_grid()
+        app1, app2 = paper_workload(p)
+        assert p.host(app1.master).path[1] != p.host(app2.master).path[1]
+
+    def test_cpu_bound_first(self):
+        app1, app2 = paper_workload(small_grid())
+        assert app1.comm_to_comp < app2.comm_to_comp
+
+    def test_explicit_master_sites(self):
+        p = small_grid()
+        app1, app2 = paper_workload(p, master_sites=("beta", "alpha"))
+        assert p.host(app1.master).path[1] == "beta"
+        assert p.host(app2.master).path[1] == "alpha"
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(SimulationError):
+            paper_workload(small_grid(), master_sites=("nowhere", "alpha"))
+
+    def test_task_counts_scale_with_workers(self):
+        p = small_grid()
+        a1, a2 = paper_workload(p, tasks_per_worker=1.0)
+        assert a1.n_tasks == len(p.hosts) - 2
+        assert a2.n_tasks == a1.n_tasks // 4

@@ -1,0 +1,200 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trace import write_trace
+from repro.trace.synthetic import figure1_trace, random_hierarchical_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "trace.txt"
+    write_trace(figure1_trace(), path)
+    return path
+
+
+@pytest.fixture()
+def grid_file(tmp_path):
+    path = tmp_path / "grid.txt"
+    write_trace(random_hierarchical_trace(n_sites=3, seed=1), path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_info_summary(self, trace_file, capsys):
+        assert main(["info", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "entities : 3" in out
+        assert "host" in out and "link" in out
+        assert "span     : [0, 12]" in out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "missing.txt")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRender:
+    def test_ascii_to_stdout(self, trace_file, capsys):
+        assert main(["render", str(trace_file), "--steps", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "HostA [host]" in out
+
+    def test_svg_to_file(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "view.svg"
+        code = main(
+            ["render", str(trace_file), "--out", str(out_path),
+             "--labels", "--heat", "--steps", "20"]
+        )
+        assert code == 0
+        assert out_path.read_text().startswith("<svg")
+        assert "3 nodes" in capsys.readouterr().out
+
+    def test_slice_option(self, trace_file, capsys):
+        assert main(
+            ["render", str(trace_file), "--slice", "0", "4", "--steps", "5"]
+        ) == 0
+        assert "slice [0, 4]" in capsys.readouterr().out
+
+    def test_depth_option(self, grid_file, tmp_path):
+        out_path = tmp_path / "sites.svg"
+        assert main(
+            ["render", str(grid_file), "--depth", "2", "--out", str(out_path),
+             "--steps", "20"]
+        ) == 0
+        assert out_path.exists()
+
+
+class TestAnimate:
+    def test_frames_written(self, trace_file, tmp_path, capsys):
+        out_dir = tmp_path / "frames"
+        code = main(
+            ["animate", str(trace_file), "--out-dir", str(out_dir),
+             "--frames", "3"]
+        )
+        assert code == 0
+        frames = sorted(out_dir.glob("frame_*.svg"))
+        assert len(frames) == 3
+
+
+class TestAnomalies:
+    def test_no_findings(self, trace_file, capsys):
+        assert main(["anomalies", str(trace_file)]) == 0
+        assert "no anomalies" in capsys.readouterr().out
+
+    def test_findings_printed(self, tmp_path, capsys):
+        from repro.trace import CAPACITY, USAGE, TraceBuilder
+
+        b = TraceBuilder()
+        for c in range(6):
+            for h in range(2):
+                name = f"c{c}h{h}"
+                b.declare_entity(name, "host", ("g", f"c{c}", name))
+                b.set_constant(name, CAPACITY, 100.0)
+                b.set_constant(name, USAGE, 95.0 if c == 5 else 10.0)
+        b.set_meta("end_time", 1.0)
+        path = tmp_path / "hot.txt"
+        write_trace(b.build(), path)
+        assert main(["anomalies", str(path), "--z", "1.5"]) == 0
+        assert "g/c5" in capsys.readouterr().out
+
+
+class TestTimelineCommand:
+    @pytest.fixture()
+    def state_trace_file(self, tmp_path):
+        from repro.platform import Host, Link, Platform
+        from repro.simulation import Simulator, UsageMonitor
+
+        p = Platform()
+        p.add_host(Host("a", 100.0))
+        p.add_host(Host("b", 100.0))
+        p.add_link(Link("l", 1000.0), "a", "b")
+        monitor = UsageMonitor(p, record_states=True, record_messages=True)
+        sim = Simulator(p, monitor)
+
+        def producer(ctx):
+            yield ctx.execute(100.0)
+            yield ctx.send("b", 500.0, "m")
+
+        def consumer(ctx):
+            yield ctx.recv("m")
+
+        sim.spawn(producer, "a", "prod")
+        sim.spawn(consumer, "b", "cons")
+        sim.run()
+        path = tmp_path / "states.txt"
+        write_trace(monitor.build_trace(), path)
+        return path
+
+    def test_ascii_timeline(self, state_trace_file, capsys):
+        assert main(["timeline", str(state_trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "prod" in out and "#" in out
+
+    def test_svg_timeline(self, state_trace_file, tmp_path):
+        out = tmp_path / "gantt.svg"
+        assert main(["timeline", str(state_trace_file), "--out", str(out)]) == 0
+        assert out.read_text().startswith("<svg")
+
+    def test_by_host_rows(self, state_trace_file, capsys):
+        assert main(["timeline", str(state_trace_file), "--by-host"]) == 0
+        assert "a " in capsys.readouterr().out
+
+    def test_timeline_without_states_errors(self, trace_file, capsys):
+        assert main(["timeline", str(trace_file)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTreemapCommand:
+    def test_treemap_svg(self, grid_file, tmp_path, capsys):
+        out = tmp_path / "tm.svg"
+        assert main(["treemap", str(grid_file), "--out", str(out)]) == 0
+        assert out.read_text().startswith("<svg")
+        assert "cells" in capsys.readouterr().out
+
+    def test_treemap_usage_metric(self, grid_file, tmp_path):
+        out = tmp_path / "tm.svg"
+        code = main(
+            ["treemap", str(grid_file), "--out", str(out),
+             "--metric", "usage", "--max-depth", "2"]
+        )
+        assert code == 0
+
+
+class TestAnimateHtml:
+    def test_html_page(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "anim.html"
+        code = main(
+            ["animate", str(trace_file), "--html", str(out), "--frames", "3"]
+        )
+        assert code == 0
+        assert out.read_text().startswith("<!DOCTYPE html>")
+        assert "3 frames" in capsys.readouterr().out
+
+    def test_requires_exactly_one_target(self, trace_file, tmp_path, capsys):
+        assert main(["animate", str(trace_file)]) == 2
+        assert main(
+            ["animate", str(trace_file), "--html", str(tmp_path / "a.html"),
+             "--out-dir", str(tmp_path / "d")]
+        ) == 2
+
+
+class TestPajeInput:
+    def test_info_on_paje_file(self, tmp_path, capsys):
+        from repro.trace.paje import write_paje
+
+        path = tmp_path / "t.paje"
+        write_paje(figure1_trace(), path)
+        assert main(["--paje", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "host" in out

@@ -1,0 +1,160 @@
+"""Tests for behavioral clustering (Vampir-style row reduction)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import (
+    Cluster,
+    cluster_entities,
+    cluster_timeline,
+    kmeans,
+    state_profiles,
+    usage_profiles,
+)
+from repro.core import TimeSlice
+from repro.core.timeline import Timeline
+from repro.errors import AggregationError
+from repro.trace import CAPACITY, USAGE, TraceBuilder
+
+
+def two_behavior_trace(n_busy=4, n_idle=4):
+    """Hosts that are flat-out busy vs hosts that idle."""
+    b = TraceBuilder()
+    for i in range(n_busy):
+        name = f"busy{i}"
+        b.declare_entity(name, "host", ("g", name))
+        b.set_constant(name, CAPACITY, 100.0)
+        b.record(name, USAGE, 0.0, 90.0 + i)
+    for i in range(n_idle):
+        name = f"idle{i}"
+        b.declare_entity(name, "host", ("g", name))
+        b.set_constant(name, CAPACITY, 100.0)
+        b.record(name, USAGE, 0.0, 5.0 + i)
+    b.set_meta("end_time", 10.0)
+    return b.build()
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self):
+        points = np.asarray(
+            [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [5.0, 5.0], [5.1, 5.0]]
+        )
+        labels = kmeans(points, 2, seed=1)
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3]
+
+    def test_k_validation(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(AggregationError):
+            kmeans(points, 0)
+        with pytest.raises(AggregationError):
+            kmeans(points, 4)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(7)
+        points = rng.normal(size=(30, 4))
+        assert (kmeans(points, 3, seed=5) == kmeans(points, 3, seed=5)).all()
+
+    def test_k_equals_n(self):
+        points = np.asarray([[0.0], [1.0], [2.0]])
+        labels = kmeans(points, 3, seed=0)
+        assert len(set(labels.tolist())) == 3
+
+    def test_identical_points(self):
+        points = np.ones((5, 2))
+        labels = kmeans(points, 2, seed=0)
+        assert len(labels) == 5  # no crash on zero spread
+
+
+class TestUsageProfiles:
+    def test_profiles_normalized_by_capacity(self):
+        trace = two_behavior_trace(1, 0)
+        profiles = usage_profiles(trace, bins=4)
+        assert profiles["busy0"] == pytest.approx([0.9] * 4)
+
+    def test_bins_validated(self):
+        with pytest.raises(AggregationError):
+            usage_profiles(two_behavior_trace(), bins=0)
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(AggregationError):
+            usage_profiles(two_behavior_trace(), metric="nope")
+
+
+class TestClusterEntities:
+    def test_busy_and_idle_separate(self):
+        clusters = cluster_entities(two_behavior_trace(), k=2, seed=3)
+        assert len(clusters) == 2
+        groups = [set(c.members) for c in clusters]
+        busy = {f"busy{i}" for i in range(4)}
+        idle = {f"idle{i}" for i in range(4)}
+        assert busy in groups and idle in groups
+
+    def test_medoid_is_a_member(self):
+        for cluster in cluster_entities(two_behavior_trace(), k=2):
+            assert cluster.medoid in cluster.members
+
+    def test_k1_groups_everything(self):
+        clusters = cluster_entities(two_behavior_trace(), k=1)
+        assert len(clusters) == 1
+        assert len(clusters[0]) == 8
+
+    def test_clusters_sorted_largest_first(self):
+        clusters = cluster_entities(two_behavior_trace(6, 2), k=2, seed=1)
+        assert len(clusters[0]) >= len(clusters[-1])
+
+    def test_respects_time_slice(self):
+        b = TraceBuilder()
+        for name, early, late in (("x", 90.0, 10.0), ("y", 10.0, 90.0)):
+            b.declare_entity(name, "host", ("g", name))
+            b.set_constant(name, CAPACITY, 100.0)
+            b.record(name, USAGE, 0.0, early)
+            b.record(name, USAGE, 5.0, late)
+        b.set_meta("end_time", 10.0)
+        trace = b.build()
+        # Over the early window the two hosts behave oppositely.
+        clusters = cluster_entities(
+            trace, k=2, tslice=TimeSlice(0.0, 5.0), bins=4
+        )
+        assert {c.members for c in clusters} == {("x",), ("y",)}
+
+
+class TestClusterTimeline:
+    def make_timeline(self):
+        from repro.platform import Host, Link, Platform
+        from repro.simulation import Simulator, UsageMonitor
+
+        p = Platform()
+        for name in ("a", "b", "c", "d"):
+            p.add_host(Host(name, 100.0))
+        p.add_link(Link("l", 1e6), "a", "b")
+        p.add_link(Link("l2", 1e6), "c", "d")
+        monitor = UsageMonitor(p, record_states=True)
+        sim = Simulator(p, monitor)
+
+        def computer(ctx):
+            yield ctx.execute(1000.0)
+
+        def sleeper(ctx):
+            yield ctx.sleep(10.0)
+
+        sim.spawn(computer, "a", "comp1")
+        sim.spawn(computer, "b", "comp2")
+        sim.spawn(sleeper, "c", "sleep1")
+        sim.spawn(sleeper, "d", "sleep2")
+        sim.run()
+        return Timeline.from_trace(monitor.build_trace())
+
+    def test_state_profiles_shape(self):
+        timeline = self.make_timeline()
+        profiles = state_profiles(timeline)
+        assert set(profiles) == {"comp1", "comp2", "sleep1", "sleep2"}
+        for vector in profiles.values():
+            assert len(vector) == len(timeline.states())
+
+    def test_computers_and_sleepers_separate(self):
+        clusters = cluster_timeline(self.make_timeline(), k=2, seed=2)
+        groups = {c.members for c in clusters}
+        assert ("comp1", "comp2") in groups
+        assert ("sleep1", "sleep2") in groups

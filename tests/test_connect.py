@@ -1,0 +1,107 @@
+"""Tests for communication-derived connectivity (Section 3.1.1)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import CAPACITY, TraceBuilder
+from repro.trace.connect import (
+    communication_matrix,
+    edges_from_messages,
+    with_communication_edges,
+)
+
+
+def message_trace():
+    b = TraceBuilder()
+    for name in ("a", "b", "c"):
+        b.declare_entity(name, "host", ("g", name))
+        b.set_constant(name, CAPACITY, 1.0)
+    b.point(1.0, "message", "a", "b", size=100)
+    b.point(2.0, "message", "b", "a", size=50)  # same undirected pair
+    b.point(3.0, "message", "a", "c", size=10)
+    b.point(4.0, "message", "a", "ghost", size=999)  # unknown endpoint
+    b.point(5.0, "message", "a", "a", size=5)  # self message ignored
+    b.connect("a", "b", source="topology")
+    b.set_meta("end_time", 10.0)
+    return b.build()
+
+
+class TestCommunicationMatrix:
+    def test_undirected_totals(self):
+        matrix = communication_matrix(message_trace())
+        assert matrix[("a", "b")] == 150.0
+        assert matrix[("a", "c")] == 10.0
+
+    def test_self_messages_ignored(self):
+        assert ("a", "a") not in communication_matrix(message_trace())
+
+    def test_unknown_pairs_present_in_matrix(self):
+        # The matrix itself is raw; filtering happens in edge derivation.
+        assert ("a", "ghost") in communication_matrix(message_trace())
+
+
+class TestEdgesFromMessages:
+    def test_all_edges(self):
+        edges = edges_from_messages(message_trace())
+        keys = {e.key() for e in edges}
+        assert keys == {("a", "b"), ("a", "c")}
+        assert all(e.source == "communication" for e in edges)
+
+    def test_min_bytes_threshold(self):
+        edges = edges_from_messages(message_trace(), min_bytes=50.0)
+        assert {e.key() for e in edges} == {("a", "b")}
+
+    def test_top_keeps_heaviest(self):
+        edges = edges_from_messages(message_trace(), top=1)
+        assert edges[0].key() == ("a", "b")
+        with pytest.raises(TraceError):
+            edges_from_messages(message_trace(), top=-1)
+
+    def test_unknown_endpoints_dropped(self):
+        edges = edges_from_messages(message_trace())
+        assert all("ghost" not in e.endpoints() for e in edges)
+
+
+class TestWithCommunicationEdges:
+    def test_merge_skips_existing_pairs(self):
+        enriched = with_communication_edges(message_trace())
+        # a-b existed as topology; only a-c is added.
+        sources = sorted(e.source for e in enriched.edges)
+        assert sources == ["communication", "topology"]
+
+    def test_replace_mode(self):
+        replaced = with_communication_edges(message_trace(), replace=True)
+        assert all(e.source == "communication" for e in replaced.edges)
+        assert len(replaced.edges) == 2
+
+    def test_enriched_trace_feeds_session(self):
+        from repro.core import AnalysisSession
+
+        enriched = with_communication_edges(message_trace(), replace=True)
+        view = AnalysisSession(enriched).view(settle=False)
+        assert len(view.edges) == 2
+
+    def test_simulated_messages_round_trip(self):
+        """Edges derived from a real simulated run's message events."""
+        from repro.platform import Host, Link, Platform
+        from repro.simulation import Simulator, UsageMonitor
+
+        p = Platform()
+        for name in ("x", "y"):
+            p.add_host(Host(name, 1.0))
+        p.add_link(Link("l", 100.0), "x", "y")
+        monitor = UsageMonitor(p, record_messages=True)
+        sim = Simulator(p, monitor)
+
+        def sender(ctx):
+            yield ctx.send("y", 100.0, "m")
+
+        def receiver(ctx):
+            yield ctx.recv("m")
+
+        sim.spawn(sender, "x")
+        sim.spawn(receiver, "y")
+        sim.run()
+        trace = monitor.build_trace()
+        edges = edges_from_messages(trace)
+        assert [e.key() for e in edges] == [("x", "y")]

@@ -1,0 +1,154 @@
+"""Tests for critical-path extraction."""
+
+import pytest
+
+from repro.analysis.critical_path import critical_path
+from repro.errors import TraceError
+from repro.platform import Host, Link, Platform
+from repro.simulation import Simulator, UsageMonitor
+
+
+def run_and_trace(programs, bandwidth=1000.0, power=100.0):
+    """programs: list of (host, name, generator fn)."""
+    p = Platform()
+    hosts = {host for host, _, _ in programs}
+    p.add_router(Router := __import__("repro.platform.model", fromlist=["Router"]).Router("r"))
+    for host in sorted(hosts):
+        p.add_host(Host(host, power))
+        p.add_link(Link(f"{host}-l", bandwidth), host, "r")
+    monitor = UsageMonitor(p, record_states=True, record_messages=True)
+    sim = Simulator(p, monitor)
+    for host, name, fn in programs:
+        sim.spawn(fn, host, name)
+    makespan = sim.run()
+    return monitor.build_trace(), makespan
+
+
+class TestTwoProcessChain:
+    def build(self):
+        def producer(ctx):
+            yield ctx.execute(200.0)  # 2s
+            yield ctx.send("b", 1000.0, "mb")  # 1s at the 1000 B/s bottleneck
+
+        def consumer(ctx):
+            yield ctx.recv("mb")
+            yield ctx.execute(300.0)  # 3s
+
+        return run_and_trace(
+            [("a", "producer", producer), ("b", "consumer", consumer)]
+        )
+
+    def test_path_spans_makespan(self):
+        trace, makespan = self.build()
+        path = critical_path(trace)
+        assert path.span[0] == pytest.approx(0.0)
+        assert path.span[1] == pytest.approx(makespan)
+        assert path.length == pytest.approx(makespan)
+
+    def test_path_visits_both_processes(self):
+        trace, __ = self.build()
+        path = critical_path(trace)
+        assert path.processes() == ["producer", "consumer"]
+
+    def test_breakdown_matches_phases(self):
+        trace, __ = self.build()
+        breakdown = critical_path(trace).time_by_state()
+        # 2s producer compute + 1s transfer (comm) + 3s consumer compute.
+        assert breakdown["compute"] == pytest.approx(5.0)
+        assert breakdown["comm"] == pytest.approx(1.0)
+
+    def test_str_rendering(self):
+        trace, __ = self.build()
+        text = str(critical_path(trace))
+        assert "producer" in text and "consumer" in text and "<-" in text
+
+
+class TestBranchSelection:
+    def test_path_follows_slow_sender(self):
+        """Consumer waits on two inputs; the path goes through the slow one."""
+
+        def fast(ctx):
+            yield ctx.execute(100.0)  # 1s
+            yield ctx.send("c", 100.0, "in-fast")
+
+        def slow(ctx):
+            yield ctx.execute(800.0)  # 8s
+            yield ctx.send("c", 100.0, "in-slow")
+
+        def consumer(ctx):
+            yield ctx.recv("in-fast")
+            yield ctx.recv("in-slow")
+            yield ctx.execute(100.0)
+
+        trace, makespan = run_and_trace(
+            [("a", "fast", fast), ("b", "slow", slow), ("c", "consumer", consumer)]
+        )
+        path = critical_path(trace)
+        visited = path.processes()
+        assert "slow" in visited
+        assert "fast" not in visited
+        assert path.span[1] == pytest.approx(makespan)
+
+
+class TestSingleProcess:
+    def test_pure_compute_path(self):
+        def job(ctx):
+            yield ctx.execute(500.0)
+
+        trace, makespan = run_and_trace([("a", "solo", job)])
+        path = critical_path(trace)
+        assert path.processes() == ["solo"]
+        assert path.time_by_state()["compute"] == pytest.approx(makespan)
+
+
+class TestValidation:
+    def test_needs_messages_for_multi_process(self):
+        p = Platform()
+        p.add_host(Host("a", 100.0))
+        p.add_host(Host("b", 100.0))
+        p.add_link(Link("l", 100.0), "a", "b")
+        monitor = UsageMonitor(p, record_states=True)  # no messages!
+        sim = Simulator(p, monitor)
+
+        def sender(ctx):
+            yield ctx.send("b", 100.0, "m")
+
+        def receiver(ctx):
+            yield ctx.recv("m")
+
+        sim.spawn(sender, "a")
+        sim.spawn(receiver, "b")
+        sim.run()
+        with pytest.raises(TraceError):
+            critical_path(monitor.build_trace())
+
+    def test_needs_state_events(self):
+        from repro.trace.synthetic import figure1_trace
+
+        with pytest.raises(TraceError):
+            critical_path(figure1_trace())
+
+
+class TestNasDTCriticalPath:
+    def test_wh_path_starts_at_source(self):
+        from repro.mpi import run_nas_dt, sequential_deployment, white_hole
+        from repro.platform import two_cluster_platform
+
+        platform = two_cluster_platform()
+        hosts = sorted(
+            (h.name for h in platform.hosts),
+            key=lambda n: (not n.startswith("adonis"), int(n.rsplit("-", 1)[1])),
+        )
+        graph = white_hole("A")
+        monitor = UsageMonitor(
+            platform, record_states=True, record_messages=True
+        )
+        result = run_nas_dt(
+            platform, sequential_deployment(hosts, graph.n_nodes), graph, monitor
+        )
+        path = critical_path(monitor.build_trace())
+        visited = path.processes()
+        # The WH graph's chain: source -> forwarder -> sink.
+        assert visited[0] == "dt-WH-rank0"
+        assert len(visited) >= 3
+        assert path.span[1] == pytest.approx(result.makespan)

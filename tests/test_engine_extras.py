@@ -1,0 +1,234 @@
+"""Tests for receive timeouts and activity cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.platform import Host, Link, Platform
+from repro.simulation import Simulator, UsageMonitor
+from repro.trace import USAGE
+
+
+def make_platform(bandwidth=1000.0):
+    p = Platform()
+    p.add_host(Host("a", 100.0))
+    p.add_host(Host("b", 100.0))
+    p.add_link(Link("l", bandwidth, latency=0.0), "a", "b")
+    return p
+
+
+class TestRecvTimeout:
+    def test_timeout_fires_when_no_message(self):
+        sim = Simulator(make_platform())
+        out = []
+
+        def waiter(ctx):
+            message = yield ctx.recv("never", timeout=3.0)
+            out.append((ctx.now, message))
+
+        sim.spawn(waiter, "a")
+        sim.run()
+        assert out == [(3.0, None)]
+
+    def test_message_beats_timeout(self):
+        sim = Simulator(make_platform())
+        out = []
+
+        def sender(ctx):
+            yield ctx.send("b", 1000.0, "m", payload="hi")  # arrives t=1
+
+        def waiter(ctx):
+            message = yield ctx.recv("m", timeout=5.0)
+            out.append((ctx.now, message.payload))
+            # The stale timeout at t=5 must NOT wake us again.
+            second = yield ctx.recv("m", timeout=10.0)
+            out.append((ctx.now, second))
+
+        sim.spawn(sender, "a")
+        sim.spawn(waiter, "b")
+        sim.run()
+        assert out[0] == (pytest.approx(1.0), "hi")
+        assert out[1] == (pytest.approx(11.0), None)
+
+    def test_zero_timeout_polls(self):
+        sim = Simulator(make_platform())
+        out = []
+
+        def waiter(ctx):
+            message = yield ctx.recv("empty", timeout=0.0)
+            out.append(message)
+
+        sim.spawn(waiter, "a")
+        sim.run()
+        assert out == [None]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator(make_platform())
+
+        def bad(ctx):
+            yield ctx.recv("m", timeout=-1.0)
+
+        sim.spawn(bad, "a")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_infinite_timeout_is_plain_recv(self):
+        sim = Simulator(make_platform())
+
+        def waiter(ctx):
+            yield ctx.recv("never", timeout=float("inf"))
+
+        sim.spawn(waiter, "a")
+        sim.run(on_blocked="ignore")
+        assert len(sim.blocked_processes()) == 1
+
+
+class TestCancellation:
+    def test_cancel_flow_stops_bandwidth_and_delivery(self):
+        p = make_platform(bandwidth=100.0)
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+        received = []
+
+        def sender(ctx):
+            handle = yield ctx.isend("b", 1000.0, "m", payload="x")
+            yield ctx.sleep(2.0)
+            ctx.cancel(handle)
+            yield ctx.sleep(0.0)
+
+        def receiver(ctx):
+            message = yield ctx.recv("m", timeout=20.0)
+            received.append(message)
+
+        sim.spawn(sender, "a")
+        sim.spawn(receiver, "b")
+        end = sim.run()
+        assert received == [None]  # never delivered
+        trace = monitor.build_trace()
+        # Only 2 seconds of transfer at 100 B/s happened.
+        assert trace.entity("l").signal(USAGE).integrate(0.0, end) == (
+            pytest.approx(200.0)
+        )
+
+    def test_cancel_wakes_waiter(self):
+        sim = Simulator(make_platform(bandwidth=1.0))  # very slow link
+        out = []
+
+        def sender(ctx):
+            handle = yield ctx.isend("b", 1e9, "m")
+            ctx.spawn(canceller, "a", "canceller", handle)
+            yield ctx.wait(handle)
+            out.append(ctx.now)
+
+        def canceller(ctx, handle):
+            yield ctx.sleep(5.0)
+            ctx.cancel(handle)
+
+        def receiver(ctx):
+            yield ctx.recv("m", timeout=10.0)
+
+        sim.spawn(sender, "a")
+        sim.spawn(receiver, "b")
+        sim.run()
+        assert out == [pytest.approx(5.0)]
+
+    def test_cancel_compute_frees_share(self):
+        p = make_platform()
+        sim = Simulator(p)
+        ends = {}
+
+        def victim(ctx):
+            yield ctx.execute(1e12)  # would take ages
+
+        def killer(ctx, handle_box):
+            yield ctx.sleep(1.0)
+            ctx.cancel(handle_box[0])
+
+        def regular(ctx):
+            yield ctx.execute(400.0)
+            ends["regular"] = ctx.now
+
+        # Start the victim via the engine to grab its activity handle.
+        box = []
+
+        def victim_wrapper(ctx):
+            from repro.simulation.process import Execute
+
+            request = ctx.execute(1e12)
+            # start and observe: emulate by isend-like manual dispatch
+            yield request
+
+        proc = sim.spawn(victim_wrapper, "a", "victim")
+        sim.spawn(regular, "a", "regular")
+
+        def grab_and_kill(ctx):
+            yield ctx.sleep(0.5)
+            # the victim's single pending activity
+            box.extend(proc.pending_waits)
+            yield ctx.sleep(0.5)
+            ctx.cancel(box[0])
+
+        sim.spawn(grab_and_kill, "b", "killer")
+        sim.run(on_blocked="ignore")
+        # regular shares 100 f/s with the victim until the cancel at
+        # t=1 (50 of 400 flops done at 50 f/s), then runs at full
+        # speed: 1 + 350/100 = 4.5.
+        assert ends["regular"] == pytest.approx(4.5)
+
+    def test_cancel_latent_flow(self):
+        p = Platform()
+        p.add_host(Host("a", 1.0))
+        p.add_host(Host("b", 1.0))
+        p.add_link(Link("l", 100.0, latency=10.0), "a", "b")
+        sim = Simulator(p)
+        out = []
+
+        def sender(ctx):
+            handle = yield ctx.isend("b", 100.0, "m")
+            ctx.cancel(handle)  # cancelled before the latency elapsed
+            yield ctx.wait(handle)
+            out.append(ctx.now)
+
+        def receiver(ctx):
+            message = yield ctx.recv("m", timeout=60.0)
+            out.append(message)
+
+        sim.spawn(sender, "a")
+        sim.spawn(receiver, "b")
+        sim.run()
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] is None
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator(make_platform())
+
+        def proc(ctx):
+            handle = yield ctx.isend("b", 10.0, "m")
+            yield ctx.wait(handle)
+            ctx.cancel(handle)  # already done: no-op
+            ctx.cancel(handle)
+            yield ctx.sleep(0.0)
+
+        def receiver(ctx):
+            yield ctx.recv("m")
+
+        sim.spawn(proc, "a")
+        sim.spawn(receiver, "b")
+        sim.run()
+
+    def test_cancelled_flag_set(self):
+        sim = Simulator(make_platform(bandwidth=1.0))
+        flags = []
+
+        def proc(ctx):
+            handle = yield ctx.isend("b", 1e9, "m")
+            ctx.cancel(handle)
+            flags.append((handle.done, handle.cancelled))
+            yield ctx.sleep(0.0)
+
+        def receiver(ctx):
+            yield ctx.recv("m", timeout=1.0)
+
+        sim.spawn(proc, "a")
+        sim.spawn(receiver, "b")
+        sim.run()
+        assert flags == [(True, True)]

@@ -1,0 +1,161 @@
+"""Property-based tests of simulation invariants.
+
+Random workloads on random star platforms must always satisfy the
+physical conservation laws the analytic tests check pointwise:
+
+* all work submitted is eventually done, exactly once;
+* monitored usage integrates to the work done;
+* usage never exceeds capacity anywhere;
+* the simulation is deterministic.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform import Host, Link, Platform, Router
+from repro.simulation import Simulator, UsageMonitor
+from repro.trace import CAPACITY, USAGE
+
+
+@st.composite
+def workloads(draw):
+    n_hosts = draw(st.integers(min_value=2, max_value=5))
+    power = draw(st.floats(min_value=10.0, max_value=1000.0))
+    bandwidth = draw(st.floats(min_value=10.0, max_value=10_000.0))
+    latency = draw(st.sampled_from([0.0, 1e-3, 0.1]))
+    jobs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_hosts - 1),  # host
+                st.floats(min_value=0.0, max_value=500.0),  # flops
+                st.floats(min_value=1.0, max_value=2000.0),  # bytes
+                st.integers(min_value=0, max_value=n_hosts - 1),  # peer
+                st.floats(min_value=0.0, max_value=2.0),  # start delay
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return n_hosts, power, bandwidth, latency, jobs
+
+
+def build_platform(n_hosts, power, bandwidth, latency):
+    p = Platform()
+    p.add_router(Router("r"))
+    for i in range(n_hosts):
+        p.add_host(Host(f"h{i}", power))
+        p.add_link(Link(f"l{i}", bandwidth, latency), f"h{i}", "r")
+    return p
+
+
+def run_workload(n_hosts, power, bandwidth, latency, jobs, monitor=None):
+    p = build_platform(n_hosts, power, bandwidth, latency)
+    sim = Simulator(p, monitor)
+    completed = []
+
+    def job(ctx, idx, flops, size, peer, delay):
+        yield ctx.sleep(delay)
+        yield ctx.execute(flops)
+        yield ctx.send(f"h{peer}", size, f"mb-{idx}")
+        completed.append(idx)
+
+    def sink(ctx, idx):
+        yield ctx.recv(f"mb-{idx}")
+
+    for idx, (host, flops, size, peer, delay) in enumerate(jobs):
+        sim.spawn(job, f"h{host}", f"job{idx}", idx, flops, size, peer, delay)
+        sim.spawn(sink, f"h{peer}", f"sink{idx}", idx)
+    end = sim.run()
+    return p, end, completed
+
+
+@given(workloads())
+@settings(max_examples=60, deadline=None)
+def test_every_job_completes_once(spec):
+    n_hosts, power, bandwidth, latency, jobs = spec
+    __, end, completed = run_workload(n_hosts, power, bandwidth, latency, jobs)
+    assert sorted(completed) == list(range(len(jobs)))
+    assert math.isfinite(end) and end >= 0.0
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_monitored_work_conserved(spec):
+    n_hosts, power, bandwidth, latency, jobs = spec
+    p = build_platform(n_hosts, power, bandwidth, latency)
+    monitor = UsageMonitor(p)
+    sim = Simulator(p, monitor)
+
+    def job(ctx, idx, flops, size, peer, delay):
+        yield ctx.sleep(delay)
+        yield ctx.execute(flops)
+        yield ctx.send(f"h{peer}", size, f"mb-{idx}")
+
+    def sink(ctx, idx):
+        yield ctx.recv(f"mb-{idx}")
+
+    for idx, (host, flops, size, peer, delay) in enumerate(jobs):
+        sim.spawn(job, f"h{host}", f"job{idx}", idx, flops, size, peer, delay)
+        sim.spawn(sink, f"h{peer}", f"sink{idx}", idx)
+    end = sim.run()
+    trace = monitor.build_trace()
+
+    total_flops = sum(flops for _, flops, _, _, _ in jobs)
+    done_flops = sum(
+        e.signal_or(USAGE).integrate(0.0, end + 1.0)
+        for e in trace.entities("host")
+    )
+    assert done_flops == pytest.approx(total_flops, rel=1e-6, abs=1e-6)
+
+    # Bytes: each non-local message crosses exactly two links.
+    crossing_bytes = sum(
+        size for _, (host, _, size, peer, _) in enumerate(jobs) if host != peer
+    )
+    moved = sum(
+        e.signal_or(USAGE).integrate(0.0, end + 1.0)
+        for e in trace.entities("link")
+    )
+    assert moved == pytest.approx(2.0 * crossing_bytes, rel=1e-6, abs=1e-6)
+
+
+@given(workloads())
+@settings(max_examples=40, deadline=None)
+def test_usage_bounded_by_capacity(spec):
+    n_hosts, power, bandwidth, latency, jobs = spec
+    p = build_platform(n_hosts, power, bandwidth, latency)
+    monitor = UsageMonitor(p)
+    sim = Simulator(p, monitor)
+
+    def job(ctx, idx, flops, size, peer, delay):
+        yield ctx.sleep(delay)
+        yield ctx.execute(flops)
+        yield ctx.send(f"h{peer}", size, f"mb-{idx}")
+
+    def sink(ctx, idx):
+        yield ctx.recv(f"mb-{idx}")
+
+    for idx, (host, flops, size, peer, delay) in enumerate(jobs):
+        sim.spawn(job, f"h{host}", f"job{idx}", idx, flops, size, peer, delay)
+        sim.spawn(sink, f"h{peer}", f"sink{idx}", idx)
+    end = sim.run()
+    trace = monitor.build_trace()
+    for entity in trace:
+        if not entity.metrics.get(USAGE):
+            continue
+        capacity = entity.signal(CAPACITY)(0.0)
+        assert entity.signal(USAGE).maximum(0.0, end + 1.0) <= capacity * (
+            1 + 1e-9
+        )
+
+
+@given(workloads())
+@settings(max_examples=30, deadline=None)
+def test_simulation_deterministic(spec):
+    n_hosts, power, bandwidth, latency, jobs = spec
+    __, end1, done1 = run_workload(n_hosts, power, bandwidth, latency, jobs)
+    __, end2, done2 = run_workload(n_hosts, power, bandwidth, latency, jobs)
+    assert end1 == end2
+    assert done1 == done2

@@ -1,0 +1,48 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The slow examples (the Grid'5000 master-worker study) are exercised by
+the benchmark fixtures instead; here we run the quick ones in-process
+so documentation rot fails the suite.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "anomaly_hunt", "paje_interop", "nasdt_deployment_study"],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert "SVG" in out or "svg" in out
+
+
+def test_quickstart_outputs_exist():
+    run_example("quickstart")
+    assert (EXAMPLES / "output" / "quickstart_whole_run.svg").exists()
+
+
+def test_nasdt_reports_improvement(capsys):
+    run_example("nasdt_deployment_study")
+    out = capsys.readouterr().out
+    assert "improvement" in out
+    assert "paper reports ~20%" in out

@@ -1,0 +1,113 @@
+"""Tests for composite (per-category) fills — the Section 6 extension."""
+
+import pytest
+
+from repro.core import AnalysisSession, SvgRenderer, VisualMapping
+from repro.core.aggregation import AggregatedUnit
+from repro.trace import CAPACITY, TraceBuilder
+
+
+def two_app_trace():
+    b = TraceBuilder()
+    for name, app1, app2 in (("h1", 30.0, 20.0), ("h2", 10.0, 0.0)):
+        b.declare_entity(name, "host", ("g", name))
+        b.set_constant(name, CAPACITY, 100.0)
+        b.record(name, "usage_app1", 0.0, app1)
+        b.record(name, "usage_app2", 0.0, app2)
+    b.connect("h1", "h2", source="analyst")
+    b.set_meta("end_time", 10.0)
+    return b.build()
+
+
+def unit(values, kind="host"):
+    return AggregatedUnit("u", "u", kind, ("u",), None, values)
+
+
+class TestMappingFillParts:
+    def mapping(self):
+        return VisualMapping.paper_default().with_fill_parts(
+            "host", ("usage_app1", "usage_app2")
+        )
+
+    def test_parts_computed(self):
+        style = self.mapping().style(
+            unit({CAPACITY: 100.0, "usage_app1": 30.0, "usage_app2": 20.0})
+        )
+        assert style.fill_parts == (
+            ("usage_app1", pytest.approx(0.3)),
+            ("usage_app2", pytest.approx(0.2)),
+        )
+        # total fill derives from the usual fill metric when present
+        assert style.fill_fraction is not None
+
+    def test_parts_clamped_to_capacity(self):
+        style = self.mapping().style(
+            unit({CAPACITY: 100.0, "usage_app1": 80.0, "usage_app2": 50.0})
+        )
+        fractions = [f for _, f in style.fill_parts]
+        assert sum(fractions) <= 1.0 + 1e-9
+        assert fractions[0] == pytest.approx(0.8)
+        assert fractions[1] == pytest.approx(0.2)  # clipped to the budget
+
+    def test_missing_metric_contributes_zero(self):
+        style = self.mapping().style(unit({CAPACITY: 100.0, "usage_app1": 40.0}))
+        assert style.fill_parts == (
+            ("usage_app1", pytest.approx(0.4)),
+            ("usage_app2", 0.0),
+        )
+
+    def test_no_capacity_no_parts(self):
+        style = self.mapping().style(unit({"usage_app1": 40.0}))
+        assert style.fill_parts == ()
+
+
+class TestEndToEnd:
+    def session(self):
+        session = AnalysisSession(two_app_trace(), seed=1)
+        session.set_mapping(
+            VisualMapping.paper_default().with_fill_parts(
+                "host", ("usage_app1", "usage_app2")
+            )
+        )
+        return session
+
+    def test_visnode_carries_parts(self):
+        view = self.session().view(settle=False)
+        node = view.node("h1")
+        assert dict(node.fill_parts)["usage_app1"] == pytest.approx(0.3)
+        assert dict(node.fill_parts)["usage_app2"] == pytest.approx(0.2)
+
+    def test_aggregated_parts(self):
+        session = self.session()
+        session.aggregate(("g",))
+        view = session.view(settle=False)
+        node = view.node("g::host")
+        parts = dict(node.fill_parts)
+        # (30+10)/200 and (20+0)/200
+        assert parts["usage_app1"] == pytest.approx(0.2)
+        assert parts["usage_app2"] == pytest.approx(0.1)
+
+    def test_svg_renders_stacked_segments(self):
+        view = self.session().view(settle=False)
+        markup = SvgRenderer().render(view)
+        # two hosts, each with up to 2 segment rects + outline + background
+        assert markup.count("<rect") >= 1 + 2 + 3
+
+    def test_svg_renders_concentric_for_other_shapes(self):
+        session = AnalysisSession(two_app_trace(), seed=1)
+        session.set_mapping(
+            VisualMapping(
+                rules={
+                    "host": __import__(
+                        "repro.core.mapping", fromlist=["ShapeRule"]
+                    ).ShapeRule(
+                        "circle",
+                        CAPACITY,
+                        "",
+                        fill_parts=("usage_app1", "usage_app2"),
+                    )
+                }
+            )
+        )
+        markup = SvgRenderer().render(session.view(settle=False))
+        assert markup.count("<circle") >= 4  # outlines + segments

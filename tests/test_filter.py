@@ -1,0 +1,77 @@
+"""Tests for trace filtering (subset selection, Section 3.1)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import filter_trace
+from repro.trace.synthetic import figure1_trace, random_hierarchical_trace
+
+
+class TestFilterTrace:
+    def test_by_kind(self):
+        trace = figure1_trace()
+        hosts = filter_trace(trace, kinds=["host"])
+        assert {e.name for e in hosts} == {"HostA", "HostB"}
+        assert hosts.kinds() == ["host"]
+
+    def test_edges_follow_entities(self):
+        trace = figure1_trace()
+        hosts = filter_trace(trace, kinds=["host"])
+        # The HostA--HostB edge survives but its via link is gone.
+        assert len(hosts.edges) == 1
+        assert hosts.edges[0].via == ""
+
+    def test_edge_dropped_with_endpoint(self):
+        trace = figure1_trace()
+        only_a = filter_trace(trace, predicate=lambda e: e.name != "HostB")
+        assert only_a.edges == ()
+
+    def test_by_subtree(self):
+        trace = random_hierarchical_trace(n_sites=3, seed=1)
+        site = filter_trace(trace, under=("grid", "site-1"))
+        assert len(site) > 0
+        for entity in site:
+            assert entity.path[:2] == ("grid", "site-1")
+
+    def test_combined_filters(self):
+        trace = random_hierarchical_trace(n_sites=3, seed=1)
+        links = filter_trace(trace, kinds=["link"], under=("grid", "site-0"))
+        assert all(e.kind == "link" for e in links)
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(TraceError):
+            filter_trace(figure1_trace(), kinds=["nonexistent"])
+
+    def test_meta_and_metric_info_preserved(self):
+        trace = figure1_trace()
+        filtered = filter_trace(trace, kinds=["host"])
+        assert filtered.meta["end_time"] == trace.meta["end_time"]
+        assert {m.name for m in filtered.metrics_info} == {
+            m.name for m in trace.metrics_info
+        }
+
+    def test_signals_shared_not_copied(self):
+        trace = figure1_trace()
+        filtered = filter_trace(trace, kinds=["host"])
+        assert filtered.entity("HostA").metrics is trace.entity("HostA").metrics
+
+    def test_events_filtered(self):
+        from repro.trace import TraceBuilder
+
+        b = TraceBuilder()
+        b.declare_entity("a", "host")
+        b.declare_entity("b", "link")
+        b.point(1.0, "msg", "a", "a")
+        b.point(2.0, "msg", "b", "a")
+        trace = b.build()
+        filtered = filter_trace(trace, kinds=["host"])
+        assert len(filtered.events) == 1
+        assert filter_trace(trace, kinds=["host"], keep_events=False).events == ()
+
+    def test_filtered_trace_feeds_a_session(self):
+        from repro.core import AnalysisSession
+
+        trace = random_hierarchical_trace(n_sites=3, seed=1)
+        session = AnalysisSession(filter_trace(trace, under=("grid", "site-0")))
+        view = session.view(settle=False)
+        assert len(view) > 0

@@ -1,0 +1,56 @@
+"""Tests for the interactive HTML animation export."""
+
+import pytest
+
+from repro.core import AnalysisSession, SvgRenderer, export_animation_html
+from repro.errors import RenderError
+from repro.trace.synthetic import sine_usage_trace
+
+
+@pytest.fixture()
+def frames():
+    session = AnalysisSession(sine_usage_trace(n_hosts=3, end_time=8.0), seed=1)
+    return list(session.animate(width=2.0, settle_steps=3))
+
+
+class TestExportAnimationHtml:
+    def test_writes_standalone_page(self, frames, tmp_path):
+        path = export_animation_html(frames, tmp_path / "anim.html",
+                                     title="Demo <run>")
+        text = path.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "Demo &lt;run&gt;" in text
+        assert text.count('<div class="frame"') == 4
+        assert "<svg" in text
+        assert "<script>" in text
+
+    def test_captions_carry_slices(self, frames, tmp_path):
+        path = export_animation_html(frames, tmp_path / "anim.html")
+        text = path.read_text()
+        assert "slice [0, 2]" in text
+        assert "slice [6, 8]" in text
+
+    def test_slider_bounds(self, frames, tmp_path):
+        text = export_animation_html(frames, tmp_path / "a.html").read_text()
+        assert 'max="3"' in text
+
+    def test_custom_renderer(self, frames, tmp_path):
+        renderer = SvgRenderer(width=200, height=150, show_labels=True)
+        text = export_animation_html(
+            frames, tmp_path / "a.html", renderer=renderer
+        ).read_text()
+        assert 'width="200"' in text
+
+    def test_empty_frames_rejected(self, tmp_path):
+        with pytest.raises(RenderError):
+            export_animation_html([], tmp_path / "a.html")
+
+    def test_bad_interval_rejected(self, frames, tmp_path):
+        with pytest.raises(RenderError):
+            export_animation_html(frames, tmp_path / "a.html", interval_ms=0)
+
+    def test_interval_embedded(self, frames, tmp_path):
+        text = export_animation_html(
+            frames, tmp_path / "a.html", interval_ms=250
+        ).read_text()
+        assert "250" in text

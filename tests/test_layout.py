@@ -1,0 +1,370 @@
+"""Tests for the force-directed layouts (Sections 3.3 and 4.2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import (
+    BarnesHutLayout,
+    DynamicLayout,
+    LayoutParams,
+    NaiveLayout,
+    QuadTree,
+    make_layout,
+)
+from repro.errors import LayoutError
+
+
+class TestLayoutParams:
+    def test_defaults_valid(self):
+        LayoutParams()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("charge", -1.0),
+            ("spring", -0.1),
+            ("spring_length", 0.0),
+            ("damping", 0.0),
+            ("damping", 1.5),
+            ("timestep", 0.0),
+            ("max_displacement", 0.0),
+            ("theta", -0.5),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(LayoutError):
+            LayoutParams(**{field: value})
+
+    def test_with_copies(self):
+        base = LayoutParams()
+        changed = base.with_(charge=123.0)
+        assert changed.charge == 123.0
+        assert base.charge != 123.0
+        assert changed.spring == base.spring
+
+
+class TestQuadTree:
+    def test_force_is_pairwise_exact_with_theta_zero(self):
+        points = [(0.0, 0.0), (10.0, 0.0), (3.0, 4.0), (-5.0, 2.0)]
+        masses = [1.0, 2.0, 3.0, 1.5]
+        tree = QuadTree(points, masses)
+        for i in range(len(points)):
+            fx, fy = tree.force_on(i, charge=100.0, theta=0.0)
+            ex = ey = 0.0
+            for j in range(len(points)):
+                if i == j:
+                    continue
+                dx = points[i][0] - points[j][0]
+                dy = points[i][1] - points[j][1]
+                d2 = dx * dx + dy * dy
+                f = 100.0 * masses[i] * masses[j] / d2
+                d = math.sqrt(d2)
+                ex += f * dx / d
+                ey += f * dy / d
+            assert fx == pytest.approx(ex, rel=1e-9)
+            assert fy == pytest.approx(ey, rel=1e-9)
+
+    def test_approximation_close_to_exact(self):
+        rng = np.random.default_rng(0)
+        points = [tuple(p) for p in rng.uniform(-100, 100, size=(200, 2))]
+        tree = QuadTree(points)
+        for i in range(0, 200, 17):
+            exact = tree.force_on(i, 50.0, theta=0.0)
+            approx = tree.force_on(i, 50.0, theta=0.7)
+            norm = math.hypot(*exact)
+            err = math.hypot(approx[0] - exact[0], approx[1] - exact[1])
+            assert err <= 0.15 * norm + 1e-9
+
+    def test_colocated_points_dont_crash(self):
+        tree = QuadTree([(1.0, 1.0)] * 5)
+        fx, fy = tree.force_on(0, 10.0, 0.7)
+        assert math.isfinite(fx) and math.isfinite(fy)
+
+    def test_mass_mismatch_rejected(self):
+        with pytest.raises(LayoutError):
+            QuadTree([(0.0, 0.0)], [1.0, 2.0])
+
+    def test_empty_tree(self):
+        tree = QuadTree([])
+        assert tree.root is None
+
+    def test_total_mass_preserved(self):
+        rng = np.random.default_rng(1)
+        pts = [tuple(p) for p in rng.uniform(-10, 10, size=(50, 2))]
+        masses = list(rng.uniform(0.5, 3.0, size=50))
+        tree = QuadTree(pts, masses)
+        assert tree.root.mass == pytest.approx(sum(masses))
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "barneshut"])
+class TestForceLayouts:
+    def test_structure_operations(self, algorithm):
+        layout = make_layout(algorithm, seed=1)
+        layout.add_node("a")
+        layout.add_node("b", weight=2.0)
+        layout.add_edge("a", "b")
+        assert len(layout) == 2
+        assert "a" in layout
+        assert layout.edges() == [("a", "b")]
+        layout.remove_node("a")
+        assert "a" not in layout
+        assert layout.edges() == []
+
+    def test_duplicate_node_rejected(self, algorithm):
+        layout = make_layout(algorithm)
+        layout.add_node("a")
+        with pytest.raises(LayoutError):
+            layout.add_node("a")
+
+    def test_bad_weight_rejected(self, algorithm):
+        layout = make_layout(algorithm)
+        with pytest.raises(LayoutError):
+            layout.add_node("a", weight=0.0)
+        layout.add_node("b")
+        with pytest.raises(LayoutError):
+            layout.set_weight("b", -1.0)
+
+    def test_self_edge_rejected(self, algorithm):
+        layout = make_layout(algorithm)
+        layout.add_node("a")
+        with pytest.raises(LayoutError):
+            layout.add_edge("a", "a")
+
+    def test_edge_endpoints_must_exist(self, algorithm):
+        layout = make_layout(algorithm)
+        layout.add_node("a")
+        with pytest.raises(LayoutError):
+            layout.add_edge("a", "ghost")
+
+    def test_deterministic_given_seed(self, algorithm):
+        def build():
+            layout = make_layout(algorithm, seed=42)
+            for i in range(10):
+                layout.add_node(f"n{i}")
+            for i in range(9):
+                layout.add_edge(f"n{i}", f"n{i + 1}")
+            layout.run(max_steps=50, tolerance=0.0)
+            return layout.positions()
+
+        assert build() == build()
+
+    def test_two_connected_nodes_approach_spring_length(self, algorithm):
+        params = LayoutParams(charge=0.0, spring=0.1, spring_length=50.0)
+        layout = make_layout(algorithm, params, seed=3)
+        layout.add_node("a", position=(0.0, 0.0))
+        layout.add_node("b", position=(200.0, 0.0))
+        layout.add_edge("a", "b")
+        layout.run(max_steps=500, tolerance=1e-3)
+        (ax, ay), (bx, by) = layout.position("a"), layout.position("b")
+        assert math.hypot(bx - ax, by - ay) == pytest.approx(50.0, abs=1.0)
+
+    def test_repulsion_pushes_apart(self, algorithm):
+        params = LayoutParams(spring=0.0, charge=500.0)
+        layout = make_layout(algorithm, params, seed=5)
+        layout.add_node("a", position=(0.0, 0.0))
+        layout.add_node("b", position=(1.0, 0.0))
+        before = 1.0
+        layout.run(max_steps=100, tolerance=1e-3)
+        (ax, ay), (bx, by) = layout.position("a"), layout.position("b")
+        assert math.hypot(bx - ax, by - ay) > before
+
+    def test_pinned_node_never_moves(self, algorithm):
+        layout = make_layout(algorithm, seed=7)
+        layout.add_node("fixed", position=(5.0, 5.0))
+        layout.add_node("free", position=(6.0, 5.0))
+        layout.add_edge("fixed", "free")
+        layout.pin("fixed")
+        assert layout.is_pinned("fixed")
+        layout.run(max_steps=50, tolerance=0.0)
+        assert layout.position("fixed") == (5.0, 5.0)
+        layout.pin("fixed", False)
+        assert not layout.is_pinned("fixed")
+
+    def test_move_resets_velocity_and_neighbors_follow(self, algorithm):
+        params = LayoutParams(charge=10.0, spring=0.2, spring_length=10.0)
+        layout = make_layout(algorithm, params, seed=9)
+        layout.add_node("a", position=(0.0, 0.0))
+        layout.add_node("b", position=(10.0, 0.0))
+        layout.add_edge("a", "b")
+        layout.run(max_steps=100, tolerance=1e-2)
+        # Drag = move while holding: the held node is pinned in place.
+        layout.move("a", (1000.0, 1000.0))
+        layout.pin("a")
+        layout.run(max_steps=500, tolerance=1e-2)
+        bx, by = layout.position("b")
+        # b followed a towards the new spot (Section 4.2).
+        assert math.hypot(bx - 1000.0, by - 1000.0) < 100.0
+        assert layout.position("a") == (1000.0, 1000.0)
+
+    def test_empty_layout_steps_safely(self, algorithm):
+        layout = make_layout(algorithm)
+        assert layout.step() == 0.0
+        assert layout.run() == 1
+
+    def test_run_validation(self, algorithm):
+        layout = make_layout(algorithm)
+        with pytest.raises(LayoutError):
+            layout.run(max_steps=-1)
+
+    def test_dispersion_grows_with_charge(self, algorithm):
+        """Fig. 5: higher charge -> more disperse nodes."""
+
+        def settle(charge):
+            params = LayoutParams(charge=charge, spring=0.05)
+            layout = make_layout(algorithm, params, seed=11)
+            for i in range(12):
+                layout.add_node(f"n{i}")
+            for i in range(12):
+                layout.add_edge(f"n{i}", f"n{(i + 1) % 12}")
+            layout.run(max_steps=400, tolerance=0.05)
+            return layout.dispersion()
+
+        assert settle(2000.0) > settle(50.0)
+
+    def test_edge_length_shrinks_with_spring(self, algorithm):
+        """Fig. 5: stronger springs -> connected nodes get closer."""
+
+        def settle(spring):
+            params = LayoutParams(charge=300.0, spring=spring)
+            layout = make_layout(algorithm, params, seed=13)
+            for i in range(10):
+                layout.add_node(f"n{i}")
+            for i in range(9):
+                layout.add_edge(f"n{i}", f"n{i + 1}")
+            layout.run(max_steps=400, tolerance=0.05)
+            return layout.mean_edge_length()
+
+        assert settle(0.5) < settle(0.01)
+
+
+class TestBarnesHutMatchesNaive:
+    def test_same_trajectories_with_theta_zero(self):
+        params = LayoutParams(theta=0.0)
+
+        def trajectory(cls):
+            layout = cls(params, seed=17)
+            for i in range(15):
+                layout.add_node(f"n{i}")
+            for i in range(14):
+                layout.add_edge(f"n{i}", f"n{i + 1}")
+            for _ in range(20):
+                layout.step()
+            return layout.positions()
+
+        naive = trajectory(NaiveLayout)
+        bh = trajectory(BarnesHutLayout)
+        for name in naive:
+            assert naive[name][0] == pytest.approx(bh[name][0], abs=1e-6)
+            assert naive[name][1] == pytest.approx(bh[name][1], abs=1e-6)
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(LayoutError):
+            make_layout("hexagonal")
+
+
+class TestDynamicLayout:
+    def graph(self, collapsed=False):
+        """Fig-3-like graph either detailed or aggregated."""
+        from repro.core import AnalysisSession
+        from repro.trace.synthetic import figure3_trace
+
+        session = AnalysisSession(figure3_trace(), seed=23)
+        if collapsed:
+            session.aggregate(("GroupB", "GroupA"))
+        return session
+
+    def test_sync_and_settle(self):
+        session = self.graph()
+        view = session.view()
+        assert set(view.positions) == {n.key for n in view.nodes()}
+
+    def test_aggregate_spawns_at_member_centroid(self):
+        session = self.graph()
+        before = session.view()
+        h1 = before.position("h1")
+        h2 = before.position("h2")
+        centroid = ((h1[0] + h2[0]) / 2, (h1[1] + h2[1]) / 2)
+        session.aggregate(("GroupB", "GroupA"))
+        created = session.dynamic.sync(
+            # Build the new graph without settling to observe the seed.
+            __import__("repro.core.visgraph", fromlist=["build_visgraph"]).build_visgraph(
+                __import__("repro.core.aggregation", fromlist=["aggregate_view"]).aggregate_view(
+                    session.trace, session.grouping, session.time_slice
+                ),
+                session.mapping,
+                session.scales,
+            )
+        )
+        key = "GroupB/GroupA::host"
+        assert key in created
+        x, y = created[key]
+        assert math.hypot(x - centroid[0], y - centroid[1]) < 2.5
+
+    def test_disaggregate_members_near_group(self):
+        session = self.graph(collapsed=True)
+        before = session.view()
+        group_pos = before.position("GroupB/GroupA::host")
+        session.disaggregate(("GroupB", "GroupA"))
+        aggregated = __import__(
+            "repro.core.aggregation", fromlist=["aggregate_view"]
+        ).aggregate_view(session.trace, session.grouping, session.time_slice)
+        graph = __import__(
+            "repro.core.visgraph", fromlist=["build_visgraph"]
+        ).build_visgraph(aggregated, session.mapping, session.scales)
+        created = session.dynamic.sync(graph)
+        for key in ("h1", "h2"):
+            x, y = created[key]
+            assert math.hypot(x - group_pos[0], y - group_pos[1]) < 2.5
+
+    def test_transition_smoothness_vs_fresh_layout(self):
+        """Persisting the layout beats relayout-from-scratch on node motion."""
+        session = self.graph()
+        before = session.view()
+        session.aggregate(("GroupB", "GroupA"))
+        after = session.view()
+        # Nodes surviving the transition (h3, l13, l23) stay close.
+        moved = [
+            math.dist(before.position(k), after.position(k))
+            for k in ("h3", "l13", "l23")
+        ]
+        fresh = DynamicLayout(seed=999)
+        fresh.sync(after.graph)
+        fresh.settle()
+        fresh_moved = [
+            math.dist(before.position(k), fresh.position(k))
+            for k in ("h3", "l13", "l23")
+        ]
+        assert sum(moved) < sum(fresh_moved)
+
+    def test_params_propagate(self):
+        dyn = DynamicLayout()
+        dyn.set_params(dyn.params.with_(charge=42.0))
+        assert dyn.layout.params.charge == 42.0
+
+    def test_drag_and_pin_via_session(self):
+        session = self.graph()
+        session.view()
+        session.drag("h3", (500.0, 500.0))
+        session.pin("h3")
+        view = session.view()
+        assert view.position("h3") == (500.0, 500.0)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_layout_positions_always_finite(n, seed):
+    layout = make_layout("barneshut", seed=seed)
+    for i in range(n):
+        layout.add_node(f"n{i}")
+    for i in range(n - 1):
+        layout.add_edge(f"n{i}", f"n{i + 1}")
+    layout.run(max_steps=30, tolerance=0.0)
+    for x, y in layout.positions().values():
+        assert math.isfinite(x) and math.isfinite(y)

@@ -1,0 +1,190 @@
+"""Tests for metric-to-shape mapping (Sec 3.1) and per-type scaling (Sec 4.1)."""
+
+import pytest
+
+from repro.core.aggregation import AggregatedUnit
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.core.mapping import SHAPES, NodeStyle, ShapeRule, VisualMapping
+from repro.core.scaling import ScaleSet
+from repro.core.timeslice import TimeSlice
+from repro.core.visgraph import build_visgraph
+from repro.core.aggregation import aggregate_view
+from repro.errors import MappingError
+from repro.trace import CAPACITY, USAGE
+from repro.trace.synthetic import figure4_trace
+
+
+def unit(kind="host", capacity=100.0, usage=50.0, key="u"):
+    return AggregatedUnit(
+        key=key,
+        label=key,
+        kind=kind,
+        members=(key,),
+        group=None,
+        values={CAPACITY: capacity, USAGE: usage},
+    )
+
+
+class TestShapeRule:
+    def test_only_paper_shapes_allowed(self):
+        for shape in SHAPES:
+            ShapeRule(shape=shape)
+        with pytest.raises(MappingError):
+            ShapeRule(shape="hexagon")
+
+
+class TestVisualMapping:
+    def test_paper_default_shapes(self):
+        mapping = VisualMapping.paper_default()
+        assert mapping.rule_for("host").shape == "square"
+        assert mapping.rule_for("link").shape == "diamond"
+        assert mapping.rule_for("router").shape == "circle"
+        # unknown kinds fall back to the default circle
+        assert mapping.rule_for("process").shape == "circle"
+
+    def test_style_size_and_fill(self):
+        mapping = VisualMapping.paper_default()
+        style = mapping.style(unit(capacity=200.0, usage=50.0))
+        assert style.shape == "square"
+        assert style.size_value == 200.0
+        assert style.fill_fraction == pytest.approx(0.25)
+
+    def test_fill_clamped_to_unit_interval(self):
+        mapping = VisualMapping.paper_default()
+        assert mapping.style(unit(usage=500.0)).fill_fraction == 1.0
+        assert mapping.style(unit(usage=-5.0)).fill_fraction == 0.0
+
+    def test_zero_capacity_has_no_fill(self):
+        mapping = VisualMapping.paper_default()
+        style = mapping.style(unit(capacity=0.0))
+        assert style.fill_fraction is None
+        assert style.size_value == 0.0
+
+    def test_router_rule_fixed(self):
+        mapping = VisualMapping.paper_default()
+        style = mapping.style(unit(kind="router"))
+        assert style.size_value == 0.0
+        assert style.fill_fraction is None
+
+    def test_with_rule_is_functional_update(self):
+        base = VisualMapping.paper_default()
+        changed = base.with_rule("host", ShapeRule("circle", CAPACITY, ""))
+        assert base.rule_for("host").shape == "square"
+        assert changed.rule_for("host").shape == "circle"
+
+    def test_with_metrics_redirects_fill(self):
+        mapping = VisualMapping.paper_default().with_metrics(
+            "host", CAPACITY, "usage_app1"
+        )
+        u = AggregatedUnit(
+            "u", "u", "host", ("u",), None,
+            {CAPACITY: 100.0, USAGE: 90.0, "usage_app1": 30.0},
+        )
+        assert mapping.style(u).fill_fraction == pytest.approx(0.3)
+
+
+class TestScaleSet:
+    def test_bounds_validation(self):
+        with pytest.raises(MappingError):
+            ScaleSet(max_pixel=0.0)
+        with pytest.raises(MappingError):
+            ScaleSet(max_pixel=10.0, min_pixel=20.0)
+
+    def test_slider_validation(self):
+        scales = ScaleSet()
+        with pytest.raises(MappingError):
+            scales.set_slider("host", 1.5)
+
+    def test_neutral_factor_is_one(self):
+        scales = ScaleSet()
+        assert scales.slider_factor("host") == pytest.approx(1.0)
+
+    def test_extreme_factors(self):
+        scales = ScaleSet()
+        scales.set_slider("host", 1.0)
+        assert scales.slider_factor("host") == pytest.approx(4.0)
+        scales.set_slider("host", 0.0)
+        assert scales.slider_factor("host") == pytest.approx(0.25)
+
+    def test_reset_sliders(self):
+        scales = ScaleSet()
+        scales.set_slider("host", 0.9)
+        scales.reset_sliders()
+        assert scales.slider(("host")) == ScaleSet.NEUTRAL
+
+    def test_biggest_object_maps_to_max_pixel(self):
+        scales = ScaleSet(max_pixel=60.0)
+        styles = {
+            "host": [
+                NodeStyle("square", 100.0, None, "#000"),
+                NodeStyle("square", 25.0, None, "#000"),
+            ]
+        }
+        scales.calibrate(styles)
+        assert scales.pixel_size("host", 100.0) == pytest.approx(60.0)
+        assert scales.pixel_size("host", 25.0) == pytest.approx(15.0)
+
+    def test_kinds_scale_independently(self):
+        scales = ScaleSet(max_pixel=60.0)
+        scales.calibrate(
+            {
+                "host": [NodeStyle("square", 100.0, None, "#000")],
+                "link": [NodeStyle("diamond", 10000.0, None, "#000")],
+            }
+        )
+        # A 10000-unit link and a 100-unit host both hit 60 px.
+        assert scales.pixel_size("host", 100.0) == pytest.approx(60.0)
+        assert scales.pixel_size("link", 10000.0) == pytest.approx(60.0)
+
+    def test_uncalibrated_or_zero_gets_min_pixel(self):
+        scales = ScaleSet(min_pixel=4.0)
+        assert scales.pixel_size("host", 50.0) == 4.0
+        scales.calibrate({"host": [NodeStyle("square", 10.0, None, "#000")]})
+        assert scales.pixel_size("host", 0.0) == 4.0
+
+    def test_pixel_cap(self):
+        scales = ScaleSet(max_pixel=60.0)
+        scales.calibrate({"host": [NodeStyle("square", 10.0, None, "#000")]})
+        scales.set_slider("host", 1.0)
+        # 4x slider would exceed the hard cap of 4*max_pixel: clamp.
+        assert scales.pixel_size("host", 10.0) <= 240.0
+
+
+class TestFigure4Schemes:
+    """The three schemes of Fig. 4, end to end."""
+
+    def make_graph(self, tslice, sliders=None):
+        trace = figure4_trace()
+        hierarchy = Hierarchy.from_trace(trace)
+        grouping = GroupingState(hierarchy)
+        view = aggregate_view(trace, grouping, tslice)
+        mapping = VisualMapping.paper_default()
+        scales = ScaleSet(max_pixel=60.0)
+        for kind, position in (sliders or {}).items():
+            scales.set_slider(kind, position)
+        return build_visgraph(view, mapping, scales)
+
+    def test_scheme_a(self):
+        """Slice A: HostA=100 is the biggest host -> max pixel size."""
+        graph = self.make_graph(TimeSlice(0.0, 5.0))
+        a = graph.node("HostA")
+        b = graph.node("HostB")
+        link = graph.node("LinkA")
+        assert a.size_px == pytest.approx(60.0)
+        assert b.size_px == pytest.approx(15.0)  # 25/100 of the scale
+        assert link.size_px == pytest.approx(60.0)  # its own kind's max
+
+    def test_scheme_b(self):
+        """Slice B: HostB=40 becomes the biggest host -> max pixel size."""
+        graph = self.make_graph(TimeSlice(5.0, 10.0))
+        assert graph.node("HostB").size_px == pytest.approx(60.0)
+        assert graph.node("HostA").size_px == pytest.approx(15.0)  # 10/40
+
+    def test_scheme_c_sliders(self):
+        """Hosts bigger, links smaller via the per-type sliders."""
+        neutral = self.make_graph(TimeSlice(5.0, 10.0))
+        adjusted = self.make_graph(
+            TimeSlice(5.0, 10.0), sliders={"host": 0.75, "link": 0.25}
+        )
+        assert adjusted.node("HostB").size_px > neutral.node("HostB").size_px
+        assert adjusted.node("LinkA").size_px < neutral.node("LinkA").size_px

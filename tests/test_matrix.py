@@ -1,0 +1,94 @@
+"""Tests for the communication-matrix view."""
+
+import pytest
+
+from repro.core.matrix import CommMatrix
+from repro.errors import RenderError, TraceError
+from repro.trace import CAPACITY, TraceBuilder
+
+
+def message_trace():
+    b = TraceBuilder()
+    for name, cluster in (("a", "c0"), ("b", "c0"), ("c", "c1"), ("d", "c1")):
+        b.declare_entity(name, "host", ("g", cluster, name))
+        b.set_constant(name, CAPACITY, 1.0)
+    b.point(1.0, "message", "a", "b", size=100)
+    b.point(2.0, "message", "a", "b", size=50)
+    b.point(3.0, "message", "a", "c", size=200)
+    b.point(4.0, "message", "d", "a", size=25)
+    b.set_meta("end_time", 10.0)
+    return b.build()
+
+
+class TestCommMatrix:
+    def test_cells_accumulate_directed(self):
+        matrix = CommMatrix.from_trace(message_trace())
+        assert matrix.volume("a", "b") == 150.0
+        assert matrix.volume("b", "a") == 0.0
+        assert matrix.volume("d", "a") == 25.0
+
+    def test_totals(self):
+        matrix = CommMatrix.from_trace(message_trace())
+        assert matrix.total() == 375.0
+        assert matrix.sent_by("a") == 350.0
+        assert matrix.received_by("a") == 25.0
+
+    def test_heaviest_pairs(self):
+        matrix = CommMatrix.from_trace(message_trace())
+        top = matrix.heaviest_pairs(2)
+        assert top[0] == ("a", "c", 200.0)
+        assert top[1] == ("a", "b", 150.0)
+
+    def test_requires_messages(self):
+        from repro.trace.synthetic import figure1_trace
+
+        with pytest.raises(TraceError):
+            CommMatrix.from_trace(figure1_trace())
+
+    def test_spatial_aggregation_by_depth(self):
+        matrix = CommMatrix.from_trace(message_trace(), depth=2)
+        assert matrix.labels == ["g/c0", "g/c1"]
+        # a->b folds onto the diagonal; a->c crosses.
+        assert matrix.volume("g/c0", "g/c0") == 150.0
+        assert matrix.volume("g/c0", "g/c1") == 200.0
+        assert matrix.volume("g/c1", "g/c0") == 25.0
+        assert matrix.total() == 375.0  # aggregation conserves volume
+
+    def test_topology_blind(self):
+        matrix = CommMatrix.from_trace(message_trace())
+        assert matrix.topology_blind
+
+    def test_render_svg(self, tmp_path):
+        matrix = CommMatrix.from_trace(message_trace())
+        path = tmp_path / "matrix.svg"
+        markup = matrix.render_svg(path)
+        assert markup.startswith("<svg")
+        assert path.exists()
+        assert "a -&gt; c: 200" in markup or "a -> c: 200" in markup
+
+    def test_render_validation(self):
+        matrix = CommMatrix.from_trace(message_trace())
+        with pytest.raises(RenderError):
+            matrix.render_svg(cell_px=0)
+
+    def test_from_simulated_run(self):
+        """Matrix built from actual monitor output."""
+        from repro.mpi import run_nas_dt, sequential_deployment, white_hole
+        from repro.platform import two_cluster_platform
+        from repro.simulation import UsageMonitor
+
+        platform = two_cluster_platform()
+        hosts = sorted(
+            (h.name for h in platform.hosts),
+            key=lambda n: (not n.startswith("adonis"), int(n.rsplit("-", 1)[1])),
+        )
+        graph = white_hole("S")
+        monitor = UsageMonitor(platform, record_messages=True)
+        run_nas_dt(
+            platform, sequential_deployment(hosts, graph.n_nodes), graph, monitor
+        )
+        matrix = CommMatrix.from_trace(monitor.build_trace())
+        # WH class S: the source fans out to 4 sinks.
+        assert matrix.sent_by("adonis-0") == pytest.approx(
+            4 * graph.cls.payload
+        )

@@ -1,0 +1,124 @@
+"""Focused unit tests for the usage monitor."""
+
+import pytest
+
+from repro.platform import Host, Link, Platform
+from repro.simulation import Simulator, UsageMonitor, category_metric
+from repro.trace import CAPACITY, USAGE
+
+
+def platform():
+    p = Platform()
+    p.add_host(Host("a", 100.0))
+    p.add_host(Host("b", 100.0))
+    p.add_link(Link("l", 1000.0), "a", "b")
+    return p
+
+
+class TestCategoryMetric:
+    def test_naming(self):
+        assert category_metric("") == USAGE
+        assert category_metric("app1") == "usage_app1"
+
+
+class TestMonitorMechanics:
+    def test_categories_collected(self):
+        p = platform()
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx, cat):
+            yield ctx.execute(50.0, category=cat)
+
+        sim.spawn(job, "a", None, "x")
+        sim.spawn(job, "b", None, "y")
+        sim.run()
+        assert monitor.categories() == ["x", "y"]
+
+    def test_mixed_categories_on_one_host(self):
+        p = platform()
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx, cat, flops):
+            yield ctx.execute(flops, category=cat)
+
+        sim.spawn(job, "a", None, "x", 100.0)
+        sim.spawn(job, "a", None, "y", 100.0)
+        end = sim.run()
+        trace = monitor.build_trace()
+        a = trace.entity("a")
+        # While both run, each category gets half the host.
+        assert a.signal("usage_x")(0.5) == pytest.approx(50.0)
+        assert a.signal("usage_y")(0.5) == pytest.approx(50.0)
+        assert a.signal(USAGE)(0.5) == pytest.approx(100.0)
+        # Work split per category is exact.
+        assert a.signal("usage_x").integrate(0.0, end) == pytest.approx(100.0)
+        assert a.signal("usage_y").integrate(0.0, end) == pytest.approx(100.0)
+
+    def test_uncategorized_work_only_in_total(self):
+        p = platform()
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx):
+            yield ctx.execute(10.0)
+
+        sim.spawn(job, "a")
+        sim.run()
+        trace = monitor.build_trace()
+        assert trace.entity("a").signal(USAGE)(0.05) == pytest.approx(100.0)
+        assert monitor.categories() == []
+
+    def test_idle_resources_have_no_usage_signal(self):
+        p = platform()
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx):
+            yield ctx.execute(10.0)
+
+        sim.spawn(job, "a")
+        sim.run()
+        trace = monitor.build_trace()
+        # Host b never ran anything: no usage metric recorded at all.
+        assert USAGE not in trace.entity("b").metrics
+        # Its capacity is still declared.
+        assert trace.entity("b").signal(CAPACITY)(0.0) == 100.0
+
+    def test_trace_meta_end_time(self):
+        p = platform()
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx):
+            yield ctx.sleep(7.5)
+
+        sim.spawn(job, "a")
+        sim.run()
+        assert monitor.build_trace().meta["end_time"] == pytest.approx(7.5)
+
+    def test_build_trace_is_repeatable(self):
+        p = platform()
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx):
+            yield ctx.execute(100.0)
+
+        sim.spawn(job, "a")
+        sim.run()
+        t1 = monitor.build_trace()
+        t2 = monitor.build_trace()
+        assert len(t1) == len(t2)
+        assert t1.entity("a").signal(USAGE) == t2.entity("a").signal(USAGE)
+
+    def test_monitorless_simulation_still_runs(self):
+        p = platform()
+        sim = Simulator(p)
+
+        def job(ctx):
+            yield ctx.execute(100.0)
+
+        sim.spawn(job, "a")
+        assert sim.run() == pytest.approx(1.0)

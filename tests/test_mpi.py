@@ -1,0 +1,300 @@
+"""Tests for the MPI layer, the DT graphs and deployments."""
+
+import pytest
+
+from repro.errors import DeploymentError, MpiError
+from repro.mpi import (
+    DT_CLASSES,
+    MpiWorld,
+    black_hole,
+    clusters_of,
+    crossing_traffic,
+    dt_graph,
+    locality_deployment,
+    round_robin_deployment,
+    run_nas_dt,
+    sequential_deployment,
+    shuffle,
+    white_hole,
+)
+from repro.platform import two_cluster_platform
+from repro.simulation import Simulator, UsageMonitor
+from repro.trace import USAGE
+
+
+@pytest.fixture()
+def platform():
+    return two_cluster_platform()
+
+
+@pytest.fixture()
+def hostfile(platform):
+    adonis = sorted(
+        (h.name for h in platform.hosts_under("grid", "adonis")),
+        key=lambda n: int(n.rsplit("-", 1)[1]),
+    )
+    griffon = sorted(
+        (h.name for h in platform.hosts_under("grid", "griffon")),
+        key=lambda n: int(n.rsplit("-", 1)[1]),
+    )
+    return adonis + griffon
+
+
+class TestMpiWorld:
+    def test_ping_pong(self, platform, hostfile):
+        sim = Simulator(platform)
+        world = MpiWorld(sim, hostfile[:2])
+        times = []
+
+        def program(rank_ctx):
+            if rank_ctx.rank == 0:
+                yield rank_ctx.send(1, 1000.0, payload="ping")
+                message = yield rank_ctx.recv(1)
+                times.append((rank_ctx.now, message.payload))
+            else:
+                yield rank_ctx.recv(0)
+                yield rank_ctx.send(0, 1000.0, payload="pong")
+
+        world.launch(program)
+        sim.run()
+        assert times and times[0][1] == "pong"
+        assert times[0][0] > 0
+
+    def test_tags_separate_channels(self, platform, hostfile):
+        sim = Simulator(platform)
+        world = MpiWorld(sim, hostfile[:2])
+        got = []
+
+        def program(rank_ctx):
+            if rank_ctx.rank == 0:
+                yield rank_ctx.send(1, 10.0, tag=1, payload="one")
+                yield rank_ctx.send(1, 10.0, tag=2, payload="two")
+            else:
+                # Receive tag 2 first: tags must not cross-deliver.
+                m2 = yield rank_ctx.recv(0, tag=2)
+                m1 = yield rank_ctx.recv(0, tag=1)
+                got.extend([m2.payload, m1.payload])
+
+        world.launch(program)
+        sim.run()
+        assert got == ["two", "one"]
+
+    def test_invalid_rank_rejected(self, platform, hostfile):
+        sim = Simulator(platform)
+        world = MpiWorld(sim, hostfile[:2])
+        with pytest.raises(MpiError):
+            world.host_of(5)
+        with pytest.raises(MpiError):
+            world.check_rank(-1)
+
+    def test_empty_world_rejected(self, platform):
+        sim = Simulator(platform)
+        with pytest.raises(MpiError):
+            MpiWorld(sim, [])
+
+    def test_launch_subset_of_ranks(self, platform, hostfile):
+        sim = Simulator(platform)
+        world = MpiWorld(sim, hostfile[:4])
+        ran = []
+
+        def program(rank_ctx):
+            ran.append(rank_ctx.rank)
+            yield rank_ctx.sleep(0.0)
+
+        world.launch(program, ranks=[1, 3])
+        sim.run()
+        assert sorted(ran) == [1, 3]
+
+    def test_two_worlds_do_not_collide(self, platform, hostfile):
+        sim = Simulator(platform)
+        w1 = MpiWorld(sim, hostfile[:2], name="w1")
+        w2 = MpiWorld(sim, hostfile[:2], name="w2")
+        got = []
+
+        def sender(rank_ctx, label):
+            if rank_ctx.rank == 0:
+                yield rank_ctx.send(1, 10.0, payload=label)
+            else:
+                message = yield rank_ctx.recv(0)
+                got.append((label, message.payload))
+
+        w1.launch(sender, "w1")
+        w2.launch(sender, "w2")
+        sim.run()
+        assert sorted(got) == [("w1", "w1"), ("w2", "w2")]
+
+
+class TestDTGraphs:
+    def test_class_a_wh_has_21_nodes(self):
+        graph = white_hole("A")
+        assert graph.n_nodes == 21  # 1 + 4 + 16, fits the 22-host platform
+        assert [len(l) for l in graph.layers] == [1, 4, 16]
+
+    def test_class_a_bh_mirrors_wh(self):
+        graph = black_hole("A")
+        assert graph.n_nodes == 21
+        assert [len(l) for l in graph.layers] == [16, 4, 1]
+
+    def test_smaller_classes(self):
+        assert white_hole("S").n_nodes == 5  # 1 + 4
+        assert white_hole("W").n_nodes == 11  # 1 + 2 + 8
+
+    def test_wh_every_non_source_has_one_predecessor(self):
+        graph = white_hole("A")
+        for layer in graph.layers[1:]:
+            for node in layer:
+                assert len(graph.predecessors(node)) == 1
+
+    def test_bh_sink_degree(self):
+        graph = black_hole("A")
+        sink = graph.sinks[0]
+        assert len(graph.predecessors(sink)) == 4
+
+    def test_arcs_go_layer_to_next_layer(self):
+        for graph in (white_hole("A"), black_hole("A"), shuffle("S")):
+            for src, dst in graph.arcs:
+                assert graph.layer_of(dst) == graph.layer_of(src) + 1
+
+    def test_shuffle_constant_width(self):
+        graph = shuffle("S")
+        widths = {len(l) for l in graph.layers}
+        assert widths == {4}
+        # every node forwards to at least itself and one partner
+        for layer in graph.layers[:-1]:
+            for node in layer:
+                assert len(graph.successors(node)) >= 2
+
+    def test_dt_graph_by_name(self):
+        assert dt_graph("wh", "S").kind == "WH"
+        assert dt_graph("BH", "S").kind == "BH"
+        assert dt_graph("sh", "S").kind == "SH"
+        with pytest.raises(MpiError):
+            dt_graph("XX", "S")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(MpiError):
+            white_hole("Z")
+
+    def test_payload_scales_4x_per_class(self):
+        assert DT_CLASSES["W"].payload == pytest.approx(4 * DT_CLASSES["S"].payload)
+        assert DT_CLASSES["A"].payload == pytest.approx(4 * DT_CLASSES["W"].payload)
+
+    def test_total_traffic(self):
+        graph = white_hole("S")  # 1 source -> 4 sinks: 4 arcs
+        assert graph.total_traffic() == pytest.approx(4 * graph.cls.payload)
+
+    def test_layer_of_unknown_node(self):
+        with pytest.raises(MpiError):
+            white_hole("S").layer_of(999)
+
+
+class TestDeployments:
+    def test_sequential(self, hostfile):
+        placement = sequential_deployment(hostfile, 21)
+        assert placement == hostfile[:21]
+        with pytest.raises(DeploymentError):
+            sequential_deployment(hostfile[:5], 21)
+
+    def test_clusters_of(self, platform, hostfile):
+        grouped = clusters_of(platform)
+        assert len(grouped) == 2
+        sizes = sorted(len(m) for m in grouped.values())
+        assert sizes == [11, 11]
+        only_adonis = clusters_of(platform, hostfile[:3])
+        assert len(only_adonis) == 1
+
+    def test_round_robin_alternates(self, platform, hostfile):
+        placement = round_robin_deployment(platform, hostfile, 4)
+        clusters = [p.split("-")[0] for p in placement]
+        assert clusters == ["adonis", "griffon", "adonis", "griffon"]
+
+    def test_round_robin_exhaustion(self, platform, hostfile):
+        with pytest.raises(DeploymentError):
+            round_robin_deployment(platform, hostfile[:2], 5)
+
+    def test_locality_reduces_crossing_traffic(self, platform, hostfile):
+        graph = white_hole("A")
+        seq = sequential_deployment(hostfile, graph.n_nodes)
+        loc = locality_deployment(graph, platform, hostfile)
+        assert crossing_traffic(graph, loc, platform) < crossing_traffic(
+            graph, seq, platform
+        )
+
+    def test_locality_respects_capacity(self, platform, hostfile):
+        graph = white_hole("A")
+        placement = locality_deployment(graph, platform, hostfile)
+        assert len(placement) == graph.n_nodes
+        assert len(set(placement)) == graph.n_nodes  # one process per host
+
+    def test_locality_needs_enough_hosts(self, platform, hostfile):
+        graph = white_hole("A")
+        with pytest.raises(DeploymentError):
+            locality_deployment(graph, platform, hostfile[:10])
+
+
+class TestNasDTRuns:
+    def test_run_completes_and_reports(self, platform, hostfile):
+        graph = white_hole("S")
+        result = run_nas_dt(platform, hostfile, graph)
+        assert result.makespan > 0
+        assert result.bytes_sent == graph.total_traffic()
+        assert len(result.placement) == graph.n_nodes
+
+    def test_hostfile_too_small_rejected(self, platform, hostfile):
+        graph = white_hole("A")
+        with pytest.raises(MpiError):
+            run_nas_dt(platform, hostfile[:3], graph)
+
+    def test_locality_beats_sequential_class_a(self, platform, hostfile):
+        """The headline claim of Section 5.1: ~20% faster with locality."""
+        graph = white_hole("A")
+        seq = run_nas_dt(
+            platform, sequential_deployment(hostfile, graph.n_nodes), graph
+        )
+        loc = run_nas_dt(
+            platform, locality_deployment(graph, platform, hostfile), graph
+        )
+        improvement = (seq.makespan - loc.makespan) / seq.makespan
+        assert improvement > 0.10, f"only {improvement:.1%} improvement"
+
+    def test_monitored_run_traces_intercluster_link(self, platform, hostfile):
+        graph = white_hole("A")
+        monitor = UsageMonitor(platform)
+        run_nas_dt(
+            platform,
+            sequential_deployment(hostfile, graph.n_nodes),
+            graph,
+            monitor,
+        )
+        trace = monitor.build_trace()
+        inter = trace.entity("adonis-griffon")
+        start, end = trace.span()
+        # Sequential deployment pushes real traffic across the clusters.
+        assert inter.signal(USAGE).integrate(start, end) > 0
+
+
+class TestOtherDTGraphRuns:
+    """End-to-end runs of the BH and SH graph shapes (class S)."""
+
+    def test_black_hole_runs(self, platform, hostfile):
+        result = run_nas_dt(platform, hostfile, black_hole("S"))
+        assert result.makespan > 0
+        assert result.graph.kind == "BH"
+
+    def test_shuffle_runs(self, platform, hostfile):
+        graph = shuffle("S")
+        assert graph.n_nodes <= len(hostfile)
+        result = run_nas_dt(platform, hostfile, graph)
+        assert result.makespan > 0
+
+    def test_bh_and_wh_symmetric_traffic(self, platform, hostfile):
+        bh = run_nas_dt(platform, hostfile, black_hole("S"))
+        wh = run_nas_dt(platform, hostfile, white_hole("S"))
+        assert bh.bytes_sent == wh.bytes_sent
+
+    def test_locality_works_for_bh_too(self, platform, hostfile):
+        graph = black_hole("A")
+        loc = locality_deployment(graph, platform, hostfile)
+        assert crossing_traffic(graph, loc, platform) < crossing_traffic(
+            graph, sequential_deployment(hostfile, graph.n_nodes), platform
+        )

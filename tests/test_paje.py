@@ -1,0 +1,206 @@
+"""Tests for Paje trace format import/export."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace import CAPACITY, USAGE
+from repro.trace.paje import dumps_paje, loads_paje, read_paje, write_paje
+from repro.trace.synthetic import figure1_trace
+
+SAMPLE = """\
+%EventDef PajeDefineContainerType 0
+% Alias string
+% Type string
+% Name string
+%EndEventDef
+%EventDef PajeDefineVariableType 1
+% Alias string
+% Type string
+% Name string
+%EndEventDef
+%EventDef PajeDefineLinkType 8
+% Alias string
+% Type string
+% StartContainerType string
+% EndContainerType string
+% Name string
+%EndEventDef
+%EventDef PajeCreateContainer 2
+% Time date
+% Alias string
+% Type string
+% Container string
+% Name string
+%EndEventDef
+%EventDef PajeSetVariable 3
+% Time date
+% Type string
+% Container string
+% Value double
+%EndEventDef
+%EventDef PajeAddVariable 4
+% Time date
+% Type string
+% Container string
+% Value double
+%EndEventDef
+%EventDef PajeSubVariable 5
+% Time date
+% Type string
+% Container string
+% Value double
+%EndEventDef
+%EventDef PajeStartLink 6
+% Time date
+% Type string
+% Container string
+% StartContainer string
+% Value string
+% Key string
+%EndEventDef
+%EventDef PajeEndLink 7
+% Time date
+% Type string
+% Container string
+% EndContainer string
+% Value string
+% Key string
+%EndEventDef
+0 SITE 0 "Site"
+0 H SITE "Host"
+1 P H "power"
+8 L 0 H H "comm"
+2 0.0 s1 SITE 0 "site1"
+2 0.0 h1 H s1 "hostA"
+2 0.0 h2 H s1 "hostB"
+3 0.0 P h1 100.0
+3 5.0 P h1 60.0
+4 2.0 P h2 40.0
+5 8.0 P h2 15.0
+6 1.0 L 0 h1 1000 k1
+7 3.0 L 0 h2 1000 k1
+"""
+
+
+class TestImport:
+    def test_containers_become_entities(self):
+        trace = loads_paje(SAMPLE)
+        assert {e.name for e in trace} == {"site1", "hostA", "hostB"}
+        assert trace.entity("hostA").kind == "host"
+        assert trace.entity("site1").kind == "site"
+
+    def test_hierarchy_from_nesting(self):
+        trace = loads_paje(SAMPLE)
+        assert trace.entity("hostA").path == ("site1", "hostA")
+
+    def test_set_variable_becomes_signal(self):
+        trace = loads_paje(SAMPLE)
+        power = trace.entity("hostA").signal("power")
+        assert power(1.0) == 100.0
+        assert power(6.0) == 60.0
+
+    def test_add_sub_variable_accumulate(self):
+        trace = loads_paje(SAMPLE)
+        power = trace.entity("hostB").signal("power")
+        assert power(3.0) == 40.0
+        assert power(9.0) == 25.0  # 40 - 15
+
+    def test_links_become_messages(self):
+        trace = loads_paje(SAMPLE)
+        messages = trace.events_of_kind("message")
+        assert len(messages) == 1
+        message = messages[0]
+        assert message.source == "hostA" and message.target == "hostB"
+        assert message.time == 3.0
+        assert message.payload["sent_at"] == 1.0
+        assert message.payload["size"] == 1000.0
+
+    def test_end_time_covers_events(self):
+        trace = loads_paje(SAMPLE)
+        assert trace.meta["end_time"] == 8.0
+        assert trace.meta["format"] == "paje"
+
+    def test_unknown_event_id_rejected(self):
+        with pytest.raises(TraceError):
+            loads_paje("9 0.0 whatever\n")
+
+    def test_field_outside_eventdef_rejected(self):
+        with pytest.raises(TraceError):
+            loads_paje("% Time date\n")
+
+    def test_malformed_eventdef_rejected(self):
+        with pytest.raises(TraceError):
+            loads_paje("%EventDef OnlyName\n")
+
+    def test_unknown_container_rejected(self):
+        header = SAMPLE.split("0 SITE")[0]
+        with pytest.raises(TraceError):
+            loads_paje(header + "3 0.0 P ghost 1.0\n")
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(TraceError):
+            loads_paje(SAMPLE + "3 abc P h1 1.0\n")
+
+    def test_unsupported_records_skipped_and_counted(self):
+        extra = (
+            "%EventDef PajeSetState 10\n"
+            "% Time date\n% Type string\n% Container string\n% Value string\n"
+            "%EndEventDef\n"
+            '10 1.0 S h1 "running"\n'
+        )
+        trace = loads_paje(SAMPLE + extra)
+        assert trace.meta["skipped_records"] == 1
+
+    def test_quoted_names_with_spaces(self):
+        text = SAMPLE + '2 0.0 h3 H s1 "host with spaces"\n'
+        trace = loads_paje(text)
+        assert "host with spaces" in trace
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "t.paje"
+        path.write_text(SAMPLE)
+        assert len(read_paje(path)) == 3
+
+
+class TestExport:
+    def test_export_then_import(self):
+        original = figure1_trace()
+        back = loads_paje(dumps_paje(original))
+        assert {e.name for e in back} >= {"HostA", "HostB", "LinkA"}
+        for name in ("HostA", "HostB"):
+            for t in (1.0, 5.0, 9.0):
+                assert back.entity(name).signal(CAPACITY)(t) == pytest.approx(
+                    original.entity(name).signal(CAPACITY)(t)
+                )
+                assert back.entity(name).signal(USAGE)(t) == pytest.approx(
+                    original.entity(name).signal(USAGE)(t)
+                )
+
+    def test_export_kinds_preserved(self):
+        back = loads_paje(dumps_paje(figure1_trace()))
+        assert back.entity("LinkA").kind == "link"
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "out.paje"
+        write_paje(figure1_trace(), path)
+        assert path.read_text().startswith("%EventDef")
+        assert len(read_paje(path)) >= 3
+
+    def test_exported_header_declares_used_events(self):
+        text = dumps_paje(figure1_trace())
+        for name in (
+            "PajeDefineContainerType",
+            "PajeDefineVariableType",
+            "PajeCreateContainer",
+            "PajeSetVariable",
+        ):
+            assert name in text
+
+    def test_events_sorted_by_time(self):
+        text = dumps_paje(figure1_trace())
+        times = [
+            float(line.split()[1])
+            for line in text.splitlines()
+            if line.startswith("3 ")
+        ]
+        assert times == sorted(times)

@@ -1,0 +1,238 @@
+"""Unit tests for the platform model, routing and testbed builders."""
+
+import pytest
+
+from repro.errors import PlatformError, RoutingError
+from repro.platform import (
+    GBPS,
+    GFLOPS,
+    GRID5000_SITES,
+    TOTAL_HOSTS,
+    Host,
+    Link,
+    LinkSharing,
+    Platform,
+    Router,
+    grid5000_platform,
+    two_cluster_platform,
+)
+
+
+class TestModel:
+    def test_host_power_positive(self):
+        with pytest.raises(PlatformError):
+            Host("h", 0.0)
+
+    def test_host_default_path(self):
+        assert Host("h", 1.0).path == ("h",)
+
+    def test_host_path_must_end_with_name(self):
+        with pytest.raises(PlatformError):
+            Host("h", 1.0, ("grid", "other"))
+
+    def test_link_validation(self):
+        with pytest.raises(PlatformError):
+            Link("l", 0.0)
+        with pytest.raises(PlatformError):
+            Link("l", 1.0, latency=-1.0)
+        with pytest.raises(PlatformError):
+            Link("l", 1.0, sharing="bogus")
+
+    def test_route_latency_and_bottleneck(self):
+        l1 = Link("l1", 100.0, latency=0.5)
+        l2 = Link("l2", 10.0, latency=0.25)
+        fat = Link("fat", 1.0, sharing=LinkSharing.FATPIPE)
+        from repro.platform.model import Route
+
+        route = Route("a", "b", (l1, l2, fat))
+        assert route.latency == pytest.approx(0.75)
+        assert route.bottleneck == 10.0  # fatpipe links don't bottleneck
+        assert len(route) == 3
+
+    def test_empty_route_bottleneck_infinite(self):
+        from repro.platform.model import Route
+
+        assert Route("a", "a").bottleneck == float("inf")
+
+
+class TestPlatformGraph:
+    def chain(self):
+        """a --l1-- r --l2-- b"""
+        p = Platform("chain")
+        p.add_host(Host("a", 1 * GFLOPS))
+        p.add_host(Host("b", 1 * GFLOPS))
+        p.add_router(Router("r"))
+        p.add_link(Link("l1", 1 * GBPS), "a", "r")
+        p.add_link(Link("l2", 2 * GBPS), "r", "b")
+        return p
+
+    def test_duplicate_nodes_rejected(self):
+        p = Platform()
+        p.add_host(Host("x", 1.0))
+        with pytest.raises(PlatformError):
+            p.add_host(Host("x", 1.0))
+        with pytest.raises(PlatformError):
+            p.add_router(Router("x"))
+
+    def test_duplicate_link_rejected(self):
+        p = self.chain()
+        with pytest.raises(PlatformError):
+            p.add_link(Link("l1", 1.0), "a", "b")
+
+    def test_link_unknown_endpoint_rejected(self):
+        p = self.chain()
+        with pytest.raises(PlatformError):
+            p.add_link(Link("l3", 1.0), "a", "ghost")
+
+    def test_self_loop_rejected(self):
+        p = self.chain()
+        with pytest.raises(PlatformError):
+            p.add_link(Link("loop", 1.0), "a", "a")
+
+    def test_lookups(self):
+        p = self.chain()
+        assert p.host("a").power == 1 * GFLOPS
+        assert p.link("l2").bandwidth == 2 * GBPS
+        assert p.router("r").name == "r"
+        for bad in ("ghost",):
+            with pytest.raises(PlatformError):
+                p.host(bad)
+            with pytest.raises(PlatformError):
+                p.link(bad)
+            with pytest.raises(PlatformError):
+                p.router(bad)
+
+    def test_route_through_router(self):
+        p = self.chain()
+        route = p.route("a", "b")
+        assert [l.name for l in route.links] == ["l1", "l2"]
+
+    def test_route_symmetry(self):
+        p = self.chain()
+        fwd = [l.name for l in p.route("a", "b").links]
+        back = [l.name for l in p.route("b", "a").links]
+        assert fwd == list(reversed(back))
+
+    def test_route_to_self_is_empty(self):
+        p = self.chain()
+        assert len(p.route("a", "a")) == 0
+
+    def test_route_unknown_endpoints(self):
+        p = self.chain()
+        with pytest.raises(RoutingError):
+            p.route("ghost", "a")
+        with pytest.raises(RoutingError):
+            p.route("a", "ghost")
+
+    def test_disconnected_raises(self):
+        p = self.chain()
+        p.add_host(Host("island", 1.0))
+        with pytest.raises(RoutingError):
+            p.route("a", "island")
+
+    def test_route_cache_invalidated_by_new_link(self):
+        p = self.chain()
+        p.add_host(Host("island", 1.0))
+        with pytest.raises(RoutingError):
+            p.route("a", "island")
+        p.add_link(Link("bridge", 1.0), "r", "island")
+        assert [l.name for l in p.route("a", "island").links] == ["l1", "bridge"]
+
+    def test_shortest_path_picks_fewest_hops(self):
+        p = Platform()
+        for name in "abc":
+            p.add_host(Host(name, 1.0))
+        p.add_link(Link("direct", 1.0), "a", "c")
+        p.add_link(Link("x", 1.0), "a", "b")
+        p.add_link(Link("y", 1.0), "b", "c")
+        assert [l.name for l in p.route("a", "c").links] == ["direct"]
+
+    def test_topology_edges_cover_all_links(self):
+        p = self.chain()
+        edges = list(p.topology_edges())
+        assert {name for _, _, name in edges} == {"l1", "l2"}
+
+    def test_degree(self):
+        p = self.chain()
+        assert p.degree("r") == 2
+        assert p.degree("a") == 1
+        with pytest.raises(PlatformError):
+            p.degree("ghost")
+
+    def test_hosts_under_prefix(self):
+        p = Platform()
+        p.add_host(Host("h1", 1.0, ("g", "s1", "h1")))
+        p.add_host(Host("h2", 1.0, ("g", "s2", "h2")))
+        assert [h.name for h in p.hosts_under("g", "s1")] == ["h1"]
+        assert len(p.hosts_under("g")) == 2
+        assert len(p.hosts_under()) == 2
+
+
+class TestTwoClusterPlatform:
+    def test_shape_matches_paper(self):
+        p = two_cluster_platform()
+        # 11 hosts per cluster (Section 5.1)
+        assert len(p.hosts_under("grid", "adonis")) == 11
+        assert len(p.hosts_under("grid", "griffon")) == 11
+        # one interconnection link
+        assert p.link("adonis-griffon").sharing == LinkSharing.SHARED
+
+    def test_intra_cluster_route_stays_local(self):
+        p = two_cluster_platform()
+        route = p.route("adonis-0", "adonis-1")
+        names = [l.name for l in route.links]
+        assert names == ["adonis-0-l", "adonis-1-l"]
+
+    def test_inter_cluster_route_crosses_interconnect(self):
+        p = two_cluster_platform()
+        route = p.route("adonis-0", "griffon-5")
+        names = [l.name for l in route.links]
+        assert "adonis-griffon" in names
+        assert len(names) == 3
+
+    def test_homogeneous_power(self):
+        p = two_cluster_platform(host_power=2 * GFLOPS)
+        assert {h.power for h in p.hosts} == {2 * GFLOPS}
+
+
+class TestGrid5000:
+    @pytest.fixture(scope="class")
+    def platform(self):
+        return grid5000_platform()
+
+    def test_total_hosts_is_2170(self, platform):
+        assert TOTAL_HOSTS == 2170
+        assert len(platform.hosts) == 2170
+
+    def test_ten_sites(self):
+        assert len(GRID5000_SITES) == 10
+
+    def test_hierarchy_paths(self, platform):
+        host = platform.host("griffon-0")
+        assert host.path == ("grid5000", "nancy", "griffon", "griffon-0")
+
+    def test_intra_cluster_route(self, platform):
+        route = platform.route("griffon-0", "griffon-1")
+        assert len(route) == 2
+
+    def test_intra_site_route_passes_uplinks(self, platform):
+        route = platform.route("griffon-0", "graphene-0")
+        names = [l.name for l in route.links]
+        assert "griffon-up" in names and "graphene-up" in names
+        assert not any(n.startswith("bb-") for n in names)
+
+    def test_inter_site_route_crosses_backbone(self, platform):
+        route = platform.route("griffon-0", "gdx-0")
+        names = [l.name for l in route.links]
+        assert "bb-nancy" in names and "bb-orsay" in names
+        assert len(names) == 6  # host-l, up, bb, bb, up, host-l
+
+    def test_heterogeneous_power(self, platform):
+        powers = {h.power for h in platform.hosts}
+        assert len(powers) > 10  # clusters differ
+
+    def test_all_pairs_reachable_sample(self, platform):
+        hosts = platform.host_names()
+        src = hosts[0]
+        for dst in hosts[:: len(hosts) // 17]:
+            assert platform.route(src, dst) is not None

@@ -1,0 +1,99 @@
+"""Tests for similarity-based trace reduction (related work [28])."""
+
+import pytest
+
+from repro.analysis.reduction import reduce_trace, reduction_error
+from repro.core import AnalysisSession, TimeSlice
+from repro.errors import AggregationError
+from repro.trace import CAPACITY, USAGE, TraceBuilder
+
+
+def homogeneous_groups_trace(sizes=(5, 3), levels=(80.0, 10.0)):
+    """Groups of identical hosts — reduction should be lossless."""
+    b = TraceBuilder()
+    for g, (size, level) in enumerate(zip(sizes, levels)):
+        for i in range(size):
+            name = f"g{g}h{i}"
+            b.declare_entity(name, "host", ("grid", f"g{g}", name))
+            b.set_constant(name, CAPACITY, 100.0)
+            b.record(name, USAGE, 0.0, level)
+    b.set_meta("end_time", 10.0)
+    return b.build()
+
+
+class TestReduceTrace:
+    def test_reduces_to_k_representatives(self):
+        trace = homogeneous_groups_trace()
+        reduced = reduce_trace(trace, k=2)
+        assert len(reduced.entities("host")) == 2
+
+    def test_lossless_on_homogeneous_clusters(self):
+        trace = homogeneous_groups_trace()
+        reduced = reduce_trace(trace, k=2)
+        assert reduction_error(trace, reduced) == pytest.approx(0.0, abs=1e-9)
+
+    def test_medoid_signal_scaled_by_count(self):
+        trace = homogeneous_groups_trace(sizes=(4,), levels=(50.0,))
+        reduced = reduce_trace(trace, k=1)
+        survivor = reduced.entities("host")[0]
+        assert survivor.signal(USAGE)(1.0) == pytest.approx(200.0)  # 4 x 50
+        assert survivor.signal(CAPACITY)(1.0) == pytest.approx(400.0)
+
+    def test_mapping_recorded_in_meta(self):
+        trace = homogeneous_groups_trace()
+        reduced = reduce_trace(trace, k=2)
+        mapping = reduced.meta["reduction"]
+        replaced = sum(len(v) for v in mapping.values())
+        assert replaced == len(trace.entities("host")) - 2
+
+    def test_other_kinds_untouched(self):
+        b = TraceBuilder()
+        for i in range(4):
+            name = f"h{i}"
+            b.declare_entity(name, "host", ("g", name))
+            b.set_constant(name, CAPACITY, 100.0)
+            b.record(name, USAGE, 0.0, 10.0)
+        b.declare_entity("l", "link", ("g", "l"))
+        b.set_constant("l", CAPACITY, 1000.0)
+        b.set_meta("end_time", 1.0)
+        reduced = reduce_trace(b.build(), k=1)
+        assert "l" in reduced
+        assert reduced.entity("l").signal(CAPACITY)(0.0) == 1000.0
+
+    def test_error_bounded_on_heterogeneous_clusters(self):
+        # Members differ slightly: the medoid misrepresents them a bit.
+        b = TraceBuilder()
+        for i in range(6):
+            name = f"h{i}"
+            b.declare_entity(name, "host", ("g", name))
+            b.set_constant(name, CAPACITY, 100.0)
+            b.record(name, USAGE, 0.0, 50.0 + i)  # 50..55
+        b.set_meta("end_time", 1.0)
+        trace = b.build()
+        reduced = reduce_trace(trace, k=1)
+        assert reduction_error(trace, reduced) < 0.05
+
+    def test_k1_vs_k_n_tradeoff(self):
+        """More representatives -> no worse an error (the [28] curve)."""
+        trace = homogeneous_groups_trace(sizes=(4, 4, 4),
+                                         levels=(10.0, 50.0, 90.0))
+        coarse = reduction_error(trace, reduce_trace(trace, k=1))
+        fine = reduction_error(trace, reduce_trace(trace, k=3))
+        assert fine <= coarse + 1e-12
+
+    def test_zero_total_rejected(self):
+        b = TraceBuilder()
+        b.declare_entity("h", "host", ("g", "h"))
+        b.set_constant("h", CAPACITY, 1.0)
+        b.record("h", USAGE, 0.0, 0.0)
+        b.set_meta("end_time", 1.0)
+        trace = b.build()
+        with pytest.raises(AggregationError):
+            reduction_error(trace, trace)
+
+    def test_reduced_trace_feeds_session(self):
+        trace = homogeneous_groups_trace()
+        reduced = reduce_trace(trace, k=2)
+        view = AnalysisSession(reduced).view(settle_steps=10)
+        assert len(view.nodes_of_kind("host")) if hasattr(view, "nodes_of_kind") else True
+        assert len([n for n in view.nodes() if n.kind == "host"]) == 2

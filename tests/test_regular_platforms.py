@@ -1,0 +1,133 @@
+"""Tests for the regular topologies (torus, fat-tree)."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.regular import fattree_platform, torus_platform
+
+
+class TestTorus:
+    def test_2d_counts(self):
+        p = torus_platform((4, 4))
+        assert len(p.hosts) == 16
+        # 2D torus: 2 links per node (each shared) -> 2 * 16 = 32.
+        assert len(p.links) == 32
+
+    def test_3d_counts(self):
+        p = torus_platform((2, 2, 2))
+        assert len(p.hosts) == 8
+        # In extent-2 dimensions the wrap link coincides with the direct
+        # one, so each pair is connected once: 3 * 8 / 2 = 12 links.
+        assert len(p.links) == 12
+
+    def test_1d_ring(self):
+        p = torus_platform((5,))
+        assert len(p.hosts) == 5
+        assert len(p.links) == 5
+        # Ring: route between opposite nodes takes the short way.
+        assert len(p.route("torus-0", "torus-2")) == 2
+        assert len(p.route("torus-0", "torus-4")) == 1  # wrap-around
+
+    def test_wraparound_shortens_routes(self):
+        p = torus_platform((8,))
+        assert len(p.route("torus-0", "torus-7")) == 1
+
+    def test_2d_route_is_manhattan_with_wrap(self):
+        p = torus_platform((4, 4))
+        assert len(p.route("torus-0-0", "torus-2-2")) == 4
+        assert len(p.route("torus-0-0", "torus-3-3")) == 2  # wrap both axes
+
+    def test_hierarchy_planes(self):
+        p = torus_platform((3, 3))
+        plane0 = p.hosts_under("torus", "torus-plane0")
+        assert len(plane0) == 3
+
+    def test_invalid_dims(self):
+        with pytest.raises(PlatformError):
+            torus_platform(())
+        with pytest.raises(PlatformError):
+            torus_platform((0, 3))
+
+    def test_degenerate_single_node(self):
+        p = torus_platform((1,))
+        assert len(p.hosts) == 1
+        assert len(p.links) == 0
+
+
+class TestFatTree:
+    def test_k4_counts(self):
+        p = fattree_platform(k=4)
+        # k-ary fat-tree: k pods * (k/2)^2 hosts = 16 hosts.
+        assert len(p.hosts) == 16
+        # 4 core + 4 pods * (2 agg + 2 edge) = 20 switches.
+        assert len(p.routers) == 20
+
+    def test_full_bisection_paths_exist(self):
+        p = fattree_platform(k=4)
+        hosts = p.host_names()
+        route = p.route(hosts[0], hosts[-1])
+        assert len(route) > 0
+
+    def test_intra_edge_route_is_short(self):
+        p = fattree_platform(k=4)
+        # Two hosts on the same edge switch: 2 hops.
+        assert len(p.route("fattree-p0-e0-h0", "fattree-p0-e0-h1")) == 2
+
+    def test_inter_pod_route_crosses_core(self):
+        p = fattree_platform(k=4)
+        route = p.route("fattree-p0-e0-h0", "fattree-p3-e1-h1")
+        assert len(route) == 6  # host-edge-agg-core-agg-edge-host
+
+    def test_hierarchy_pods(self):
+        p = fattree_platform(k=4)
+        pod = p.hosts_under("fattree", "pod2")
+        assert len(pod) == 4
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(PlatformError):
+            fattree_platform(k=3)
+        with pytest.raises(PlatformError):
+            fattree_platform(k=0)
+
+    def test_simulation_on_fattree(self):
+        """The generic engine runs unmodified on the regular topology."""
+        from repro.simulation import Simulator
+
+        p = fattree_platform(k=4)
+        sim = Simulator(p)
+        done = []
+
+        def sender(ctx):
+            yield ctx.send("fattree-p3-e1-h1", 1e6, "mb")
+
+        def receiver(ctx):
+            yield ctx.recv("mb")
+            done.append(ctx.now)
+
+        sim.spawn(sender, "fattree-p0-e0-h0")
+        sim.spawn(receiver, "fattree-p3-e1-h1")
+        sim.run()
+        assert done and done[0] > 0
+
+    def test_visualization_on_torus(self):
+        """The topology view handles the regular topology end to end."""
+        from repro.core import AnalysisSession
+        from repro.simulation import Simulator, UsageMonitor
+
+        p = torus_platform((3, 3))
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx):
+            yield ctx.execute(1e6)
+
+        for host in p.host_names():
+            sim.spawn(job, host)
+        sim.run()
+        session = AnalysisSession(monitor.build_trace(), seed=1)
+        view = session.view(settle_steps=50)
+        assert len(view.nodes()) == 9 + 18  # hosts + links
+        # Collapse a plane: the aggregation machinery is topology-agnostic.
+        session.aggregate(("torus", "torus-plane0"))
+        collapsed = session.view(settle_steps=20)
+        assert len(collapsed) < len(view)

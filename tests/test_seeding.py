@@ -1,0 +1,111 @@
+"""Tests for hierarchical radial seeding of the layout."""
+
+import math
+
+import pytest
+
+from repro.core import AnalysisSession, ScaleSet, VisualMapping, build_visgraph
+from repro.core.aggregation import aggregate_view
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.core.layout.seeding import radial_seeds
+from repro.core.timeslice import TimeSlice
+from repro.trace.synthetic import random_hierarchical_trace
+
+
+def graph_and_hierarchy(trace, collapse_depth=None):
+    hierarchy = Hierarchy.from_trace(trace)
+    grouping = GroupingState(hierarchy)
+    if collapse_depth:
+        grouping.collapse_depth(collapse_depth)
+    start, end = trace.span()
+    view = aggregate_view(trace, grouping, TimeSlice(start, end))
+    graph = build_visgraph(view, VisualMapping.paper_default(), ScaleSet())
+    return graph, hierarchy
+
+
+class TestRadialSeeds:
+    def test_every_node_seeded(self):
+        trace = random_hierarchical_trace(n_sites=3, seed=4)
+        graph, hierarchy = graph_and_hierarchy(trace)
+        seeds = radial_seeds(hierarchy, graph)
+        assert set(seeds) == {n.key for n in graph}
+
+    def test_seeds_on_circle(self):
+        trace = random_hierarchical_trace(n_sites=2, seed=4)
+        graph, hierarchy = graph_and_hierarchy(trace)
+        seeds = radial_seeds(hierarchy, graph, radius=100.0)
+        for x, y in seeds.values():
+            assert math.hypot(x, y) == pytest.approx(100.0, abs=1e-6)
+
+    def test_same_cluster_entities_adjacent(self):
+        """DFS ordering puts a cluster's hosts on a contiguous arc."""
+        trace = random_hierarchical_trace(
+            n_sites=2, clusters_per_site=2, hosts_per_cluster=6, seed=4
+        )
+        graph, hierarchy = graph_and_hierarchy(trace)
+        seeds = radial_seeds(hierarchy, graph, radius=100.0)
+
+        def mean_distance(names):
+            positions = [seeds[n] for n in names if n in seeds]
+            total = count = 0
+            for i, a in enumerate(positions):
+                for b in positions[i + 1 :]:
+                    total += math.dist(a, b)
+                    count += 1
+            return total / count
+
+        cluster_hosts = [
+            f"site-0.cl0.n{i}" for i in range(6)
+        ]
+        all_hosts = [n.key for n in graph.nodes_of_kind("host")]
+        assert mean_distance(cluster_hosts) < mean_distance(all_hosts) / 2
+
+    def test_aggregates_seed_at_member_centroid_direction(self):
+        trace = random_hierarchical_trace(n_sites=2, seed=4)
+        graph, hierarchy = graph_and_hierarchy(trace, collapse_depth=3)
+        seeds = radial_seeds(hierarchy, graph, radius=50.0)
+        for node in graph:
+            if node.is_aggregate:
+                assert node.key in seeds
+
+    def test_deterministic(self):
+        trace = random_hierarchical_trace(n_sites=2, seed=4)
+        graph, hierarchy = graph_and_hierarchy(trace)
+        assert radial_seeds(hierarchy, graph) == radial_seeds(hierarchy, graph)
+
+
+class TestSeededConvergence:
+    def test_seeded_session_converges_faster_than_random(self):
+        """The point of hierarchy-combined layout: a better start."""
+        trace = random_hierarchical_trace(
+            n_sites=4, clusters_per_site=3, hosts_per_cluster=6, seed=8
+        )
+        session = AnalysisSession(trace, seed=8)
+        graph, hierarchy = graph_and_hierarchy(trace)
+
+        from repro.core.layout.engine import DynamicLayout
+
+        seeded = DynamicLayout(seed=8)
+        seeded.sync(graph, seed_positions=radial_seeds(hierarchy, graph))
+        random_init = DynamicLayout(seed=8)
+        random_init.sync(graph)
+
+        steps_seeded = seeded.layout.run(max_steps=2000, tolerance=1.0)
+        steps_random = random_init.layout.run(max_steps=2000, tolerance=1.0)
+        assert steps_seeded <= steps_random
+
+    def test_sessions_views_use_seeding(self):
+        # Entities of one cluster start near each other in the very
+        # first (settled) view.
+        trace = random_hierarchical_trace(
+            n_sites=3, clusters_per_site=2, hosts_per_cluster=5, seed=9
+        )
+        session = AnalysisSession(trace, seed=9)
+        view = session.view(settle_steps=0)  # sync only, no relaxation
+        cluster = [f"site-0.cl0.n{i}" for i in range(5)]
+        positions = [view.position(n) for n in cluster]
+        spread = max(
+            math.dist(a, b) for a in positions for b in positions
+        )
+        min_x, min_y, max_x, max_y = view.bounds()
+        assert spread < math.hypot(max_x - min_x, max_y - min_y) / 3

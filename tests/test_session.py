@@ -1,0 +1,202 @@
+"""Integration tests for AnalysisSession — the full pipeline of Section 3."""
+
+import pytest
+
+from repro.core import AnalysisSession, ShapeRule, TimeSlice, VisualMapping
+from repro.errors import AggregationError, MappingError
+from repro.trace import CAPACITY, USAGE, TraceBuilder
+from repro.trace.synthetic import (
+    figure1_trace,
+    figure3_trace,
+    random_hierarchical_trace,
+    sine_usage_trace,
+)
+
+
+class TestBasics:
+    def test_default_slice_covers_trace(self):
+        session = AnalysisSession(figure1_trace())
+        assert session.time_slice.start == 0.0
+        assert session.time_slice.end == 12.0
+
+    def test_view_contains_all_entities(self):
+        session = AnalysisSession(figure1_trace())
+        view = session.view()
+        assert {n.key for n in view.nodes()} == {"HostA", "HostB", "LinkA"}
+        assert len(view) == 3
+
+    def test_view_shapes_follow_paper_mapping(self):
+        view = AnalysisSession(figure1_trace()).view()
+        assert view.node("HostA").shape == "square"
+        assert view.node("LinkA").shape == "diamond"
+
+    def test_empty_trace_rejected_at_view(self):
+        b = TraceBuilder()
+        b.set_meta("end_time", 1.0)
+        session = AnalysisSession(b.build())
+        with pytest.raises(AggregationError):
+            session.view()  # no entities to display
+
+
+class TestTimeNavigation:
+    def test_cursor_values_match_figure1(self):
+        """The three cursors of Fig. 1: sizes evolve with the trace."""
+        session = AnalysisSession(figure1_trace())
+        sizes = {}
+        for label, t in (("A", 2.0), ("B", 6.0), ("C", 10.0)):
+            session.set_time_slice(t, t)
+            view = session.view(settle=False)
+            sizes[label] = (
+                view.node("HostA").size_value,
+                view.node("HostB").size_value,
+            )
+        # HostA shrinks across cursors, HostB grows.
+        assert sizes["A"][0] > sizes["B"][0] > sizes["C"][0]
+        assert sizes["A"][1] < sizes["B"][1] < sizes["C"][1]
+
+    def test_time_slice_aggregates_mean(self):
+        session = AnalysisSession(figure1_trace())
+        session.set_time_slice(0.0, 4.0)
+        view = session.view(settle=False)
+        sig = figure1_trace().entity("HostA").signal(CAPACITY)
+        assert view.node("HostA").size_value == pytest.approx(
+            sig.mean(0.0, 4.0)
+        )
+
+    def test_shift_time(self):
+        session = AnalysisSession(figure1_trace())
+        session.set_time_slice(0.0, 2.0)
+        session.shift_time(3.0)
+        assert session.time_slice == TimeSlice(3.0, 5.0)
+
+    def test_animate_yields_frames(self):
+        session = AnalysisSession(sine_usage_trace(n_hosts=4, end_time=8.0))
+        frames = list(session.animate(width=2.0, settle_steps=2))
+        assert len(frames) == 4
+        assert frames[0].tslice == TimeSlice(0.0, 2.0)
+        # Structure constant across frames.
+        keys = {tuple(sorted(n.key for n in f.nodes())) for f in frames}
+        assert len(keys) == 1
+
+    def test_animate_fill_follows_signal(self):
+        session = AnalysisSession(sine_usage_trace(n_hosts=2, end_time=8.0))
+        fills = [
+            frame.node("host-0").fill_fraction
+            for frame in session.animate(width=1.0, settle_steps=0)
+        ]
+        assert max(fills) > 0.7
+        assert min(fills) < 0.3
+
+
+class TestSpatialNavigation:
+    def test_aggregate_disaggregate_roundtrip(self):
+        session = AnalysisSession(figure3_trace())
+        detailed = session.view()
+        session.aggregate(("GroupB", "GroupA"))
+        collapsed = session.view()
+        assert len(collapsed) < len(detailed)
+        session.disaggregate(("GroupB", "GroupA"))
+        restored = session.view()
+        assert {n.key for n in restored.nodes()} == {
+            n.key for n in detailed.nodes()
+        }
+
+    def test_totals_invariant_across_scales(self):
+        session = AnalysisSession(random_hierarchical_trace(seed=5))
+        total = session.view(settle=False).total(CAPACITY, "host")
+        for depth in (3, 2, 1):
+            session.aggregate_depth(depth)
+            view = session.view(settle=False)
+            assert view.total(CAPACITY, "host") == pytest.approx(total)
+
+    def test_aggregate_depth_resets_previous(self):
+        session = AnalysisSession(random_hierarchical_trace(seed=5))
+        session.aggregate_depth(1)
+        assert len(session.view(settle=False)) < 5
+        session.aggregate_depth(3)
+        deeper = session.view(settle=False)
+        session.disaggregate_all()
+        detailed = session.view(settle=False)
+        assert len(detailed) > len(deeper)
+
+    def test_node_weight_drives_layout_charge(self):
+        session = AnalysisSession(figure3_trace())
+        session.aggregate(("GroupB",))
+        session.view(settle=False)
+        layout = session.dynamic.layout
+        idx = layout._index["GroupB::host"]
+        assert layout._weight[idx] == 3.0
+
+
+class TestAppearanceControls:
+    def test_set_mapping_swaps_live(self):
+        session = AnalysisSession(figure1_trace())
+        session.set_mapping(
+            VisualMapping(rules={"host": ShapeRule("circle", USAGE, "")})
+        )
+        view = session.view(settle=False)
+        assert view.node("HostA").shape == "circle"
+        # size now tracks usage, not capacity
+        sig = figure1_trace().entity("HostA").signal(USAGE)
+        assert view.node("HostA").size_value == pytest.approx(
+            sig.mean(0.0, 12.0)
+        )
+
+    def test_size_slider(self):
+        session = AnalysisSession(figure1_trace())
+        neutral = session.view(settle=False).node("HostA").size_px
+        session.set_size_slider("host", 1.0)
+        bigger = session.view(settle=False).node("HostA").size_px
+        assert bigger > neutral
+        with pytest.raises(MappingError):
+            session.set_size_slider("host", 2.0)
+
+    def test_set_layout_params(self):
+        session = AnalysisSession(figure1_trace())
+        session.set_layout_params(charge=999.0)
+        assert session.dynamic.params.charge == 999.0
+
+
+class TestMultiMetricViews:
+    def test_per_application_fill(self):
+        """Point host fill at one application's usage (Fig. 8 analysis)."""
+        b = TraceBuilder()
+        b.declare_entity("h", "host", ("g", "h"))
+        b.set_constant("h", CAPACITY, 100.0)
+        b.record("h", "usage_app1", 0.0, 30.0)
+        b.record("h", "usage_app2", 0.0, 60.0)
+        b.set_meta("end_time", 10.0)
+        session = AnalysisSession(b.build())
+        session.set_mapping(
+            VisualMapping.paper_default().with_metrics(
+                "host", CAPACITY, "usage_app1"
+            )
+        )
+        assert session.view(settle=False).node("h").fill_fraction == pytest.approx(0.3)
+        session.set_mapping(
+            VisualMapping.paper_default().with_metrics(
+                "host", CAPACITY, "usage_app2"
+            )
+        )
+        assert session.view(settle=False).node("h").fill_fraction == pytest.approx(0.6)
+
+
+class TestViewObject:
+    def test_bounds_cover_positions(self):
+        view = AnalysisSession(figure1_trace()).view()
+        min_x, min_y, max_x, max_y = view.bounds()
+        for key in ("HostA", "HostB", "LinkA"):
+            x, y = view.position(key)
+            assert min_x <= x <= max_x
+            assert min_y <= y <= max_y
+
+    def test_unknown_position_raises(self):
+        view = AnalysisSession(figure1_trace()).view()
+        from repro.errors import LayoutError
+
+        with pytest.raises(LayoutError):
+            view.position("ghost")
+
+    def test_iteration(self):
+        view = AnalysisSession(figure1_trace()).view()
+        assert len(list(view)) == 3

@@ -1,0 +1,151 @@
+"""Tests for the max-min fair sharing solver, incl. property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.sharing import maxmin_allocate
+
+
+class TestBasicAllocations:
+    def test_single_flow_gets_full_link(self):
+        rates = maxmin_allocate({"l": 100.0}, {"f": ["l"]})
+        assert rates["f"] == pytest.approx(100.0)
+
+    def test_two_flows_share_equally(self):
+        rates = maxmin_allocate({"l": 100.0}, {"a": ["l"], "b": ["l"]})
+        assert rates["a"] == pytest.approx(50.0)
+        assert rates["b"] == pytest.approx(50.0)
+
+    def test_multi_link_route_bottlenecked_by_narrowest(self):
+        rates = maxmin_allocate(
+            {"wide": 100.0, "narrow": 10.0}, {"f": ["wide", "narrow"]}
+        )
+        assert rates["f"] == pytest.approx(10.0)
+
+    def test_classic_three_flow_maxmin(self):
+        # f1 crosses l1+l2, f2 only l1, f3 only l2; capacities 10 each.
+        rates = maxmin_allocate(
+            {"l1": 10.0, "l2": 10.0},
+            {"f1": ["l1", "l2"], "f2": ["l1"], "f3": ["l2"]},
+        )
+        assert rates["f1"] == pytest.approx(5.0)
+        assert rates["f2"] == pytest.approx(5.0)
+        assert rates["f3"] == pytest.approx(5.0)
+
+    def test_freed_capacity_goes_to_remaining_flows(self):
+        # f1 bottlenecked elsewhere: f2 gets the rest of the wide link.
+        rates = maxmin_allocate(
+            {"wide": 100.0, "narrow": 10.0},
+            {"f1": ["wide", "narrow"], "f2": ["wide"]},
+        )
+        assert rates["f1"] == pytest.approx(10.0)
+        assert rates["f2"] == pytest.approx(90.0)
+
+    def test_bound_tighter_than_share(self):
+        rates = maxmin_allocate(
+            {"l": 100.0}, {"a": ["l"], "b": ["l"]}, {"a": 20.0}
+        )
+        assert rates["a"] == pytest.approx(20.0)
+        assert rates["b"] == pytest.approx(80.0)
+
+    def test_bound_looser_than_share_is_inactive(self):
+        rates = maxmin_allocate(
+            {"l": 100.0}, {"a": ["l"], "b": ["l"]}, {"a": 500.0}
+        )
+        assert rates["a"] == pytest.approx(50.0)
+
+    def test_flow_with_no_links_and_no_bound_is_unbounded(self):
+        rates = maxmin_allocate({}, {"f": []})
+        assert rates["f"] == math.inf
+
+    def test_flow_with_only_a_bound(self):
+        rates = maxmin_allocate({}, {"f": []}, {"f": 42.0})
+        assert rates["f"] == pytest.approx(42.0)
+
+    def test_no_flows(self):
+        assert maxmin_allocate({"l": 10.0}, {}) == {}
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(KeyError):
+            maxmin_allocate({}, {"f": ["ghost"]})
+
+    def test_equal_bounds_frozen_together(self):
+        rates = maxmin_allocate(
+            {"l": 100.0},
+            {"a": ["l"], "b": ["l"], "c": ["l"]},
+            {"a": 5.0, "b": 5.0},
+        )
+        assert rates["a"] == pytest.approx(5.0)
+        assert rates["b"] == pytest.approx(5.0)
+        assert rates["c"] == pytest.approx(90.0)
+
+
+# ----------------------------------------------------------------------
+# Property-based invariants
+# ----------------------------------------------------------------------
+@st.composite
+def sharing_problems(draw):
+    n_links = draw(st.integers(min_value=1, max_value=6))
+    links = [f"l{i}" for i in range(n_links)]
+    capacities = {
+        l: draw(st.floats(min_value=1.0, max_value=1000.0)) for l in links
+    }
+    n_flows = draw(st.integers(min_value=1, max_value=10))
+    flow_links = {}
+    flow_bounds = {}
+    for i in range(n_flows):
+        route = draw(
+            st.lists(st.sampled_from(links), min_size=1, max_size=n_links, unique=True)
+        )
+        flow_links[f"f{i}"] = route
+        if draw(st.booleans()):
+            flow_bounds[f"f{i}"] = draw(st.floats(min_value=0.5, max_value=2000.0))
+    return capacities, flow_links, flow_bounds
+
+
+@given(sharing_problems())
+@settings(max_examples=200, deadline=None)
+def test_maxmin_feasibility_and_optimality(problem):
+    capacities, flow_links, flow_bounds = problem
+    rates = maxmin_allocate(capacities, flow_links, flow_bounds)
+
+    # Every flow has a finite, non-negative rate.
+    assert set(rates) == set(flow_links)
+    for flow, rate in rates.items():
+        assert rate >= 0.0
+        assert math.isfinite(rate)
+
+    # Feasibility: no link is over capacity (within numerical slack).
+    for link, capacity in capacities.items():
+        load = sum(
+            rates[f] for f, route in flow_links.items() if link in route
+        )
+        assert load <= capacity * (1 + 1e-6) + 1e-9
+
+    # Bounds respected.
+    for flow, bound in flow_bounds.items():
+        assert rates[flow] <= bound * (1 + 1e-9)
+
+    # Max-min optimality: every flow is limited by its bound or by a
+    # saturated link where it is among the largest-rate flows.
+    for flow, rate in rates.items():
+        bound = flow_bounds.get(flow, math.inf)
+        if rate >= bound * (1 - 1e-9):
+            continue
+        limited = False
+        for link in flow_links[flow]:
+            load = sum(
+                rates[f] for f, route in flow_links.items() if link in route
+            )
+            saturated = load >= capacities[link] * (1 - 1e-6)
+            if saturated:
+                biggest = max(
+                    rates[f] for f, route in flow_links.items() if link in route
+                )
+                if rate >= biggest * (1 - 1e-6):
+                    limited = True
+                    break
+        assert limited, f"flow {flow} (rate {rate}) is not max-min limited"

@@ -1,0 +1,283 @@
+"""Unit tests for piecewise-constant signals (repro.trace.signal)."""
+
+import math
+
+import pytest
+
+from repro.errors import SignalError
+from repro.trace.signal import Signal, SignalBuilder, combine, constant
+
+
+class TestConstruction:
+    def test_empty_signal_is_constant_zero(self):
+        s = Signal()
+        assert s(0.0) == 0.0
+        assert s(1e9) == 0.0
+        assert len(s) == 0
+
+    def test_constant_helper(self):
+        s = constant(42.0)
+        assert s(-5.0) == 42.0
+        assert s(5.0) == 42.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SignalError):
+            Signal([0.0, 1.0], [1.0])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(SignalError):
+            Signal([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(SignalError):
+            Signal([1.0, 0.5], [1.0, 2.0])
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(SignalError):
+            Signal([float("nan")], [1.0])
+        with pytest.raises(SignalError):
+            Signal([float("inf")], [1.0])
+
+    def test_equality_and_hash(self):
+        a = Signal([0.0, 1.0], [1.0, 2.0])
+        b = Signal([0.0, 1.0], [1.0, 2.0])
+        c = Signal([0.0, 1.0], [1.0, 3.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_steps(self):
+        assert "2 steps" in repr(Signal([0.0, 1.0], [1.0, 2.0]))
+        assert "constant" in repr(constant(3.0))
+
+
+class TestEvaluation:
+    def test_right_continuity(self):
+        s = Signal([1.0, 2.0], [10.0, 20.0], initial=5.0)
+        assert s(0.5) == 5.0
+        assert s(1.0) == 10.0  # value changes AT the breakpoint
+        assert s(1.5) == 10.0
+        assert s(2.0) == 20.0
+        assert s(99.0) == 20.0
+
+    def test_span(self):
+        s = Signal([1.0, 4.0], [1.0, 2.0])
+        assert s.span() == (1.0, 4.0)
+
+    def test_span_of_constant_raises(self):
+        with pytest.raises(SignalError):
+            constant(1.0).span()
+
+    def test_steps_iteration(self):
+        s = Signal([0.0, 1.0], [3.0, 4.0])
+        assert list(s.steps()) == [(0.0, 3.0), (1.0, 4.0)]
+
+
+class TestIntegration:
+    def test_integral_of_constant(self):
+        assert constant(3.0).integrate(0.0, 10.0) == pytest.approx(30.0)
+
+    def test_integral_across_steps(self):
+        # 1 on [0,2), 3 on [2,5)
+        s = Signal([0.0, 2.0], [1.0, 3.0])
+        assert s.integrate(0.0, 5.0) == pytest.approx(2 * 1 + 3 * 3)
+
+    def test_integral_partial_window(self):
+        s = Signal([0.0, 2.0], [1.0, 3.0])
+        assert s.integrate(1.0, 3.0) == pytest.approx(1.0 + 3.0)
+
+    def test_integral_before_first_breakpoint_uses_initial(self):
+        s = Signal([10.0], [7.0], initial=2.0)
+        assert s.integrate(0.0, 10.0) == pytest.approx(20.0)
+
+    def test_zero_width_integral(self):
+        s = Signal([0.0], [5.0])
+        assert s.integrate(3.0, 3.0) == 0.0
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(SignalError):
+            Signal([0.0], [1.0]).integrate(2.0, 1.0)
+
+    def test_mean_is_time_weighted(self):
+        s = Signal([0.0, 1.0], [0.0, 10.0])
+        # 0 for 1s, 10 for 3s over [0,4] -> mean 7.5
+        assert s.mean(0.0, 4.0) == pytest.approx(7.5)
+
+    def test_zero_width_mean_degenerates_to_value(self):
+        s = Signal([0.0, 1.0], [2.0, 9.0])
+        assert s.mean(1.5, 1.5) == 9.0
+
+    def test_min_max_over_window(self):
+        s = Signal([0.0, 1.0, 2.0], [5.0, 1.0, 8.0])
+        assert s.minimum(0.0, 3.0) == 1.0
+        assert s.maximum(0.0, 3.0) == 8.0
+        assert s.maximum(0.0, 1.5) == 5.0
+
+    def test_variance_of_constant_is_zero(self):
+        assert constant(4.0).variance(0.0, 10.0) == 0.0
+
+    def test_variance_of_two_level_signal(self):
+        # half the time at 0, half at 10 -> mean 5, variance 25
+        s = Signal([0.0, 5.0], [0.0, 10.0])
+        assert s.variance(0.0, 10.0) == pytest.approx(25.0)
+
+
+class TestTransformations:
+    def test_shift(self):
+        s = Signal([1.0], [5.0]).shift(2.0)
+        assert s(2.5) == 0.0
+        assert s(3.0) == 5.0
+
+    def test_scale(self):
+        s = Signal([0.0], [5.0], initial=1.0).scale(2.0)
+        assert s(-1.0) == 2.0
+        assert s(0.0) == 10.0
+
+    def test_clip(self):
+        s = Signal([0.0, 1.0], [-5.0, 50.0]).clip(0.0, 10.0)
+        assert s(0.5) == 0.0
+        assert s(1.5) == 10.0
+
+    def test_clip_reversed_bounds_rejected(self):
+        with pytest.raises(SignalError):
+            constant(1.0).clip(5.0, 1.0)
+
+    def test_compact_drops_redundant_breakpoints(self):
+        s = Signal([0.0, 1.0, 2.0, 3.0], [1.0, 1.0, 2.0, 2.0])
+        c = s.compact()
+        assert len(c) == 2
+        for t in (0.0, 0.5, 1.5, 2.5, 3.5):
+            assert c(t) == s(t)
+
+    def test_slice_window(self):
+        s = Signal([0.0, 2.0, 4.0], [1.0, 2.0, 3.0])
+        w = s.slice(1.0, 3.0)
+        assert w(1.0) == 1.0
+        assert w(2.5) == 2.0
+        assert w.times[0] == 1.0
+
+    def test_slice_empty_rejected(self):
+        with pytest.raises(SignalError):
+            constant(1.0).slice(2.0, 2.0)
+
+    def test_resample_bins(self):
+        s = Signal([0.0, 5.0], [0.0, 10.0])
+        bins = s.resample(0.0, 10.0, 2)
+        assert bins == [pytest.approx(0.0), pytest.approx(10.0)]
+
+    def test_resample_bad_args(self):
+        with pytest.raises(SignalError):
+            constant(1.0).resample(0.0, 1.0, 0)
+        with pytest.raises(SignalError):
+            constant(1.0).resample(1.0, 1.0, 4)
+
+
+class TestCombine:
+    def test_combine_sums_by_default(self):
+        a = Signal([0.0, 2.0], [1.0, 2.0])
+        b = Signal([1.0], [10.0])
+        c = combine([a, b])
+        assert c(0.5) == 1.0
+        assert c(1.5) == 11.0
+        assert c(2.5) == 12.0
+
+    def test_combine_custom_op(self):
+        a = Signal([0.0], [3.0])
+        b = Signal([0.0], [5.0])
+        c = combine([a, b], op=max)
+        assert c(1.0) == 5.0
+
+    def test_combine_empty_is_zero(self):
+        assert combine([])(1.0) == 0.0
+
+    def test_combine_integral_matches_sum_of_integrals(self):
+        a = Signal([0.0, 1.0, 3.0], [1.0, 4.0, 2.0])
+        b = Signal([0.5, 2.5], [3.0, 1.0])
+        c = combine([a, b])
+        assert c.integrate(0.0, 4.0) == pytest.approx(
+            a.integrate(0.0, 4.0) + b.integrate(0.0, 4.0)
+        )
+
+
+class TestSignalBuilder:
+    def test_build_simple(self):
+        b = SignalBuilder()
+        b.set(0.0, 1.0)
+        b.set(2.0, 3.0)
+        s = b.build()
+        assert s(1.0) == 1.0
+        assert s(2.5) == 3.0
+
+    def test_duplicate_value_dropped(self):
+        b = SignalBuilder()
+        b.set(0.0, 1.0)
+        b.set(1.0, 1.0)
+        assert len(b.build()) == 1
+
+    def test_same_time_overwrites(self):
+        b = SignalBuilder()
+        b.set(0.0, 1.0)
+        b.set(1.0, 2.0)
+        b.set(1.0, 5.0)
+        s = b.build()
+        assert s(1.0) == 5.0
+        assert len(s) == 2
+
+    def test_same_time_overwrite_collapsing_to_previous(self):
+        b = SignalBuilder()
+        b.set(0.0, 1.0)
+        b.set(1.0, 2.0)
+        b.set(1.0, 1.0)  # back to the previous value: breakpoint vanishes
+        assert len(b.build()) == 1
+
+    def test_out_of_order_rejected(self):
+        b = SignalBuilder()
+        b.set(5.0, 1.0)
+        with pytest.raises(SignalError):
+            b.set(4.0, 2.0)
+
+    def test_add_accumulates(self):
+        b = SignalBuilder()
+        b.add(0.0, 3.0)
+        b.add(1.0, 2.0)
+        b.add(2.0, -5.0)
+        s = b.build()
+        assert s(0.5) == 3.0
+        assert s(1.5) == 5.0
+        assert s(2.5) == 0.0
+
+    def test_current_tracks_latest(self):
+        b = SignalBuilder(initial=1.0)
+        assert b.current == 1.0
+        b.set(0.0, 7.0)
+        assert b.current == 7.0
+
+    def test_initial_value_respected(self):
+        b = SignalBuilder(initial=9.0)
+        b.set(10.0, 9.0)  # no-op: same as initial
+        s = b.build()
+        assert len(s) == 0
+        assert s(0.0) == 9.0
+
+
+class TestNumericalBehaviour:
+    def test_integral_linear_in_scale(self):
+        s = Signal([0.0, 1.0, 2.0], [1.0, 5.0, 2.0])
+        assert s.scale(3.0).integrate(0.0, 3.0) == pytest.approx(
+            3.0 * s.integrate(0.0, 3.0)
+        )
+
+    def test_integral_additive_in_interval(self):
+        s = Signal([0.0, 1.3, 2.7], [1.0, 5.0, 2.0])
+        whole = s.integrate(0.0, 4.0)
+        parts = s.integrate(0.0, 1.7) + s.integrate(1.7, 4.0)
+        assert whole == pytest.approx(parts)
+
+    def test_mean_bounded_by_min_max(self):
+        s = Signal([0.0, 1.0, 2.0], [3.0, 9.0, 6.0])
+        mean = s.mean(0.5, 2.5)
+        assert s.minimum(0.5, 2.5) <= mean <= s.maximum(0.5, 2.5)
+
+    def test_shift_preserves_integral(self):
+        s = Signal([0.0, 1.0], [2.0, 4.0])
+        assert s.shift(10.0).integrate(10.0, 12.0) == pytest.approx(
+            s.integrate(0.0, 2.0)
+        )

@@ -1,0 +1,514 @@
+"""Integration tests for the discrete-event engine.
+
+Each test builds a tiny platform, runs a few processes and checks the
+timing predicted by the analytical models (fair CPU sharing, max-min
+bandwidth sharing, latency accounting).
+"""
+
+import math
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.platform import GBPS, Host, Link, LinkSharing, Platform, Router
+from repro.simulation import Simulator, UsageMonitor
+from repro.trace import CAPACITY, USAGE
+
+
+def simple_platform(n_hosts=2, power=100.0, bandwidth=1000.0, latency=0.0):
+    """Hosts in a star around one router; link i has the given bandwidth."""
+    p = Platform("test")
+    p.add_router(Router("r"))
+    for i in range(n_hosts):
+        p.add_host(Host(f"h{i}", power))
+        p.add_link(Link(f"l{i}", bandwidth, latency), f"h{i}", "r")
+    return p
+
+
+class TestCompute:
+    def test_single_compute_duration(self):
+        p = simple_platform(power=100.0)
+        sim = Simulator(p)
+
+        def job(ctx):
+            yield ctx.execute(500.0)
+
+        sim.spawn(job, "h0")
+        end = sim.run()
+        assert end == pytest.approx(5.0)
+
+    def test_two_computes_share_host(self):
+        p = simple_platform(power=100.0)
+        sim = Simulator(p)
+
+        def job(ctx):
+            yield ctx.execute(500.0)
+
+        sim.spawn(job, "h0")
+        sim.spawn(job, "h0")
+        # Two equal jobs sharing 100 flops/s: each runs at 50 -> 10s.
+        assert sim.run() == pytest.approx(10.0)
+
+    def test_unequal_computes_release_share(self):
+        p = simple_platform(power=100.0)
+        sim = Simulator(p)
+        finish = {}
+
+        def job(ctx, name, flops):
+            yield ctx.execute(flops)
+            finish[name] = ctx.now
+
+        sim.spawn(job, "h0", "short", "short", 100.0)
+        sim.spawn(job, "h0", "long", "long", 300.0)
+        sim.run()
+        # Shared at 50 each until short ends at t=2 (100/50); long then has
+        # 200 flops left at full speed: t = 2 + 2 = 4.
+        assert finish["short"] == pytest.approx(2.0)
+        assert finish["long"] == pytest.approx(4.0)
+
+    def test_computes_on_different_hosts_independent(self):
+        p = simple_platform(n_hosts=2, power=100.0)
+        sim = Simulator(p)
+
+        def job(ctx):
+            yield ctx.execute(500.0)
+
+        sim.spawn(job, "h0")
+        sim.spawn(job, "h1")
+        assert sim.run() == pytest.approx(5.0)
+
+    def test_zero_flops_completes_instantly(self):
+        p = simple_platform()
+        sim = Simulator(p)
+        times = []
+
+        def job(ctx):
+            yield ctx.execute(0.0)
+            times.append(ctx.now)
+
+        sim.spawn(job, "h0")
+        sim.run()
+        assert times == [0.0]
+
+    def test_negative_flops_rejected(self):
+        p = simple_platform()
+        sim = Simulator(p)
+
+        def job(ctx):
+            yield ctx.execute(-1.0)
+
+        sim.spawn(job, "h0")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestCommunication:
+    def test_send_recv_timing_no_latency(self):
+        p = simple_platform(bandwidth=1000.0)
+        sim = Simulator(p)
+        received = []
+
+        def sender(ctx):
+            yield ctx.send("h1", 5000.0, "mb", payload="hello")
+
+        def receiver(ctx):
+            message = yield ctx.recv("mb")
+            received.append((ctx.now, message.payload))
+
+        sim.spawn(sender, "h0")
+        sim.spawn(receiver, "h1")
+        sim.run()
+        # 5000 bytes over two 1000 B/s links in sequence -> rate 1000 -> 5s.
+        assert received == [(pytest.approx(5.0), "hello")]
+
+    def test_latency_added_once_per_link(self):
+        p = simple_platform(bandwidth=1000.0, latency=0.25)
+        sim = Simulator(p)
+        times = []
+
+        def sender(ctx):
+            yield ctx.send("h1", 1000.0, "mb")
+
+        def receiver(ctx):
+            yield ctx.recv("mb")
+            times.append(ctx.now)
+
+        sim.spawn(sender, "h0")
+        sim.spawn(receiver, "h1")
+        sim.run()
+        # 2 links * 0.25 latency + 1000/1000 transfer.
+        assert times == [pytest.approx(1.5)]
+
+    def test_two_flows_share_common_link(self):
+        # h0 and h1 both send to h2: h2's link is the bottleneck.
+        p = simple_platform(n_hosts=3, bandwidth=1000.0)
+        sim = Simulator(p)
+        arrival = {}
+
+        def sender(ctx, dst, mailbox):
+            yield ctx.send(dst, 1000.0, mailbox)
+
+        def receiver(ctx, mailbox):
+            yield ctx.recv(mailbox)
+            arrival[mailbox] = ctx.now
+
+        sim.spawn(sender, "h0", None, "h2", "a")
+        sim.spawn(sender, "h1", None, "h2", "b")
+        sim.spawn(receiver, "h2", None, "a")
+        sim.spawn(receiver, "h2", None, "b")
+        sim.run()
+        # Both flows cross l2 (1000 B/s): 500 B/s each -> 2s.
+        assert arrival["a"] == pytest.approx(2.0)
+        assert arrival["b"] == pytest.approx(2.0)
+
+    def test_message_waits_for_receiver(self):
+        p = simple_platform(bandwidth=1000.0)
+        sim = Simulator(p)
+        out = []
+
+        def sender(ctx):
+            yield ctx.send("h1", 1000.0, "mb", payload=1)
+
+        def late_receiver(ctx):
+            yield ctx.sleep(10.0)
+            message = yield ctx.recv("mb")
+            out.append((ctx.now, message.payload))
+
+        sim.spawn(sender, "h0")
+        sim.spawn(late_receiver, "h1")
+        sim.run()
+        assert out == [(pytest.approx(10.0), 1)]
+
+    def test_same_host_send_is_instant(self):
+        p = simple_platform()
+        sim = Simulator(p)
+        out = []
+
+        def proc(ctx):
+            yield ctx.send("h0", 1e9, "self-mb", payload="x")
+            message = yield ctx.recv("self-mb")
+            out.append((ctx.now, message.payload))
+
+        sim.spawn(proc, "h0")
+        sim.run()
+        assert out == [(0.0, "x")]
+
+    def test_isend_overlaps_transfers(self):
+        # One source fans out to two destinations through its own link:
+        # with isend both flows share the source link concurrently.
+        p = simple_platform(n_hosts=3, bandwidth=1000.0)
+        sim = Simulator(p)
+        done = []
+
+        def source(ctx):
+            f1 = yield ctx.isend("h1", 1000.0, "m1")
+            f2 = yield ctx.isend("h2", 1000.0, "m2")
+            yield ctx.wait([f1, f2])
+            done.append(ctx.now)
+
+        def sink(ctx, mailbox):
+            yield ctx.recv(mailbox)
+
+        sim.spawn(source, "h0")
+        sim.spawn(sink, "h1", None, "m1")
+        sim.spawn(sink, "h2", None, "m2")
+        sim.run()
+        # Both flows share l0 at 500 B/s -> each takes 2s.
+        assert done == [pytest.approx(2.0)]
+
+    def test_wait_on_finished_activity_returns_immediately(self):
+        p = simple_platform()
+        sim = Simulator(p)
+        out = []
+
+        def proc(ctx):
+            handle = yield ctx.isend("h1", 100.0, "m")
+            yield ctx.sleep(100.0)
+            yield ctx.wait(handle)
+            out.append(ctx.now)
+
+        def sink(ctx):
+            yield ctx.recv("m")
+
+        sim.spawn(proc, "h0")
+        sim.spawn(sink, "h1")
+        sim.run()
+        assert out == [pytest.approx(100.0)]
+
+    def test_fatpipe_bounds_but_does_not_contend(self):
+        p = Platform()
+        p.add_host(Host("a", 1.0))
+        p.add_host(Host("b", 1.0))
+        p.add_link(
+            Link("fat", 100.0, sharing=LinkSharing.FATPIPE), "a", "b"
+        )
+        sim = Simulator(p)
+        times = []
+
+        def sender(ctx, mailbox):
+            yield ctx.send("b", 100.0, mailbox)
+
+        def receiver(ctx, mailbox):
+            yield ctx.recv(mailbox)
+            times.append(ctx.now)
+
+        for i in range(2):
+            sim.spawn(sender, "a", None, f"m{i}")
+            sim.spawn(receiver, "b", None, f"m{i}")
+        sim.run()
+        # No sharing on a fatpipe: both flows at 100 B/s -> both at t=1.
+        assert times == [pytest.approx(1.0), pytest.approx(1.0)]
+
+
+class TestEngineBehaviour:
+    def test_run_until_stops_early(self):
+        p = simple_platform()
+        sim = Simulator(p)
+
+        def job(ctx):
+            yield ctx.sleep(100.0)
+
+        sim.spawn(job, "h0")
+        assert sim.run(until=10.0) == pytest.approx(10.0)
+        assert len(sim.alive_processes()) == 1
+
+    def test_run_resumable_after_until(self):
+        p = simple_platform()
+        sim = Simulator(p)
+        out = []
+
+        def job(ctx):
+            yield ctx.sleep(100.0)
+            out.append(ctx.now)
+
+        sim.spawn(job, "h0")
+        sim.run(until=10.0)
+        sim.run()
+        assert out == [pytest.approx(100.0)]
+
+    def test_deadlock_detection(self):
+        p = simple_platform()
+        sim = Simulator(p)
+
+        def stuck(ctx):
+            yield ctx.recv("never")
+
+        sim.spawn(stuck, "h0")
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_deadlock_ignored_on_request(self):
+        p = simple_platform()
+        sim = Simulator(p)
+
+        def stuck(ctx):
+            yield ctx.recv("never")
+
+        sim.spawn(stuck, "h0")
+        sim.run(on_blocked="ignore")
+        assert len(sim.blocked_processes()) == 1
+
+    def test_bad_on_blocked_rejected(self):
+        sim = Simulator(simple_platform())
+        with pytest.raises(SimulationError):
+            sim.run(on_blocked="bogus")
+
+    def test_yielding_garbage_raises(self):
+        sim = Simulator(simple_platform())
+
+        def bad(ctx):
+            yield "not a request"
+
+        sim.spawn(bad, "h0")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_spawn_by_host_object(self):
+        p = simple_platform()
+        sim = Simulator(p)
+
+        def job(ctx):
+            yield ctx.sleep(1.0)
+
+        proc = sim.spawn(job, p.host("h1"), "named")
+        assert proc.name == "named"
+        assert proc.host.name == "h1"
+
+    def test_callback_scheduling(self):
+        sim = Simulator(simple_platform())
+        ticks = []
+        sim.schedule_callback(5.0, lambda: ticks.append(sim.now))
+
+        def job(ctx):
+            yield ctx.sleep(10.0)
+
+        sim.spawn(job, "h0")
+        sim.run()
+        assert ticks == [5.0]
+
+    def test_callback_in_past_rejected(self):
+        sim = Simulator(simple_platform())
+
+        def job(ctx):
+            yield ctx.sleep(10.0)
+
+        sim.spawn(job, "h0")
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_callback(1.0, lambda: None)
+
+    def test_process_chain_via_spawn(self):
+        p = simple_platform()
+        sim = Simulator(p)
+        order = []
+
+        def child(ctx):
+            order.append("child")
+            yield ctx.sleep(0.0)
+
+        def parent(ctx):
+            order.append("parent")
+            ctx.spawn(child, "h1")
+            yield ctx.sleep(1.0)
+
+        sim.spawn(parent, "h0")
+        sim.run()
+        assert order == ["parent", "child"]
+
+
+class TestMonitoring:
+    def test_host_usage_recorded(self):
+        p = simple_platform(power=100.0)
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx):
+            yield ctx.execute(500.0, category="app1")
+
+        sim.spawn(job, "h0")
+        sim.run()
+        trace = monitor.build_trace()
+        h0 = trace.entity("h0")
+        usage = h0.signal(USAGE)
+        assert usage(2.0) == pytest.approx(100.0)
+        assert usage(6.0) == pytest.approx(0.0)
+        assert h0.signal("usage_app1")(2.0) == pytest.approx(100.0)
+        assert h0.signal(CAPACITY)(0.0) == pytest.approx(100.0)
+
+    def test_link_usage_recorded_and_zeroed(self):
+        p = simple_platform(bandwidth=1000.0)
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def sender(ctx):
+            yield ctx.send("h1", 2000.0, "mb")
+
+        def receiver(ctx):
+            yield ctx.recv("mb")
+
+        sim.spawn(sender, "h0")
+        sim.spawn(receiver, "h1")
+        sim.run()
+        trace = monitor.build_trace()
+        l0 = trace.entity("l0").signal(USAGE)
+        assert l0(1.0) == pytest.approx(1000.0)
+        assert l0(3.0) == pytest.approx(0.0)
+        # integral = bytes transferred
+        assert l0.integrate(0.0, 10.0) == pytest.approx(2000.0)
+
+    def test_trace_has_topology_edges(self):
+        p = simple_platform(n_hosts=2)
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx):
+            yield ctx.execute(1.0)
+
+        sim.spawn(job, "h0")
+        sim.run()
+        trace = monitor.build_trace()
+        vias = {e.via for e in trace.edges}
+        assert vias == {"l0", "l1"}
+        assert trace.entity("r").kind == "router"
+
+    def test_messages_recorded_when_enabled(self):
+        p = simple_platform()
+        monitor = UsageMonitor(p, record_messages=True)
+        sim = Simulator(p, monitor)
+
+        def sender(ctx):
+            yield ctx.send("h1", 10.0, "mb")
+
+        def receiver(ctx):
+            yield ctx.recv("mb")
+
+        sim.spawn(sender, "h0")
+        sim.spawn(receiver, "h1")
+        sim.run()
+        trace = monitor.build_trace()
+        events = trace.events_of_kind("message")
+        assert len(events) == 1
+        assert events[0].source == "h0" and events[0].target == "h1"
+
+    def test_message_limit_enforced(self):
+        p = simple_platform()
+        monitor = UsageMonitor(p, record_messages=True, message_limit=3)
+        sim = Simulator(p, monitor)
+
+        def sender(ctx):
+            for _ in range(10):
+                yield ctx.send("h1", 10.0, "mb")
+
+        def receiver(ctx):
+            for _ in range(10):
+                yield ctx.recv("mb")
+
+        sim.spawn(sender, "h0")
+        sim.spawn(receiver, "h1")
+        sim.run()
+        trace = monitor.build_trace()
+        assert len(trace.events_of_kind("message")) == 3
+        assert trace.meta["dropped_messages"] == 7
+
+    def test_conservation_of_work(self):
+        """Integral of host usage equals total flops submitted."""
+        p = simple_platform(n_hosts=3, power=123.0)
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+        total = 0.0
+
+        def job(ctx, flops):
+            yield ctx.execute(flops)
+
+        for i, flops in enumerate([100.0, 250.0, 375.0]):
+            sim.spawn(job, f"h{i % 3}", None, flops)
+            total += flops
+        end = sim.run()
+        trace = monitor.build_trace()
+        integral = sum(
+            trace.entity(f"h{i}").signal_or(USAGE).integrate(0.0, end + 1.0)
+            for i in range(3)
+        )
+        assert integral == pytest.approx(total)
+
+    def test_conservation_of_bytes(self):
+        """Integral of first-link usage equals bytes sent from h0."""
+        p = simple_platform(bandwidth=500.0)
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def sender(ctx):
+            yield ctx.send("h1", 1000.0, "m")
+            yield ctx.sleep(1.0)
+            yield ctx.send("h1", 500.0, "m")
+
+        def receiver(ctx):
+            yield ctx.recv("m")
+            yield ctx.recv("m")
+
+        sim.spawn(sender, "h0")
+        sim.spawn(receiver, "h1")
+        end = sim.run()
+        trace = monitor.build_trace()
+        sig = trace.entity("l0").signal(USAGE)
+        assert sig.integrate(0.0, end) == pytest.approx(1500.0)

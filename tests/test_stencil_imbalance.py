@@ -1,0 +1,157 @@
+"""Tests for the stencil application and the imbalance metrics."""
+
+import pytest
+
+from repro.analysis.imbalance import (
+    gini,
+    imbalance_by_level,
+    percent_imbalance,
+)
+from repro.apps.stencil import run_stencil
+from repro.core import TimeSlice
+from repro.errors import AggregationError, SimulationError
+from repro.platform import Host, torus_platform
+from repro.simulation import UsageMonitor
+from repro.trace import CAPACITY, USAGE, Signal, TraceBuilder
+
+
+class TestImbalanceMetrics:
+    def test_balanced_is_zero(self):
+        assert percent_imbalance([5.0, 5.0, 5.0]) == 0.0
+        assert gini([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_values(self):
+        # one does 2x the mean of [1, 3]: max/mean - 1 = 3/2 - 1
+        assert percent_imbalance([1.0, 3.0]) == pytest.approx(0.5)
+        assert gini([0.0, 1.0]) == pytest.approx(0.5)
+
+    def test_all_zero_loads(self):
+        assert percent_imbalance([0.0, 0.0]) == 0.0
+        assert gini([0.0, 0.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AggregationError):
+            percent_imbalance([])
+        with pytest.raises(AggregationError):
+            gini([])
+        with pytest.raises(AggregationError):
+            percent_imbalance([-1.0])
+        with pytest.raises(AggregationError):
+            gini([-1.0])
+
+    def test_gini_extreme_concentration(self):
+        assert gini([0.0] * 9 + [10.0]) == pytest.approx(0.9)
+
+
+class TestImbalanceByLevel:
+    def trace(self):
+        b = TraceBuilder()
+        layout = {
+            ("grid", "s0", "c0"): [10.0, 10.0],
+            ("grid", "s0", "c1"): [10.0, 90.0],  # internal straggler
+            ("grid", "s1", "c2"): [50.0, 50.0],
+        }
+        for path, loads in layout.items():
+            for i, load in enumerate(loads):
+                name = f"{path[-1]}h{i}"
+                b.declare_entity(name, "host", path + (name,))
+                b.set_constant(name, CAPACITY, 100.0)
+                b.set_constant(name, USAGE, load)
+        b.set_meta("end_time", 1.0)
+        return b.build()
+
+    def test_cluster_level_finds_straggler_cluster(self):
+        levels = imbalance_by_level(self.trace(), TimeSlice(0.0, 1.0))
+        clusters = levels[3]
+        assert clusters[0].group == ("grid", "s0", "c1")
+        assert clusters[0].percent == pytest.approx(0.8)  # 90/50 - 1
+
+    def test_homogeneous_groups_report_zero(self):
+        levels = imbalance_by_level(self.trace(), TimeSlice(0.0, 1.0))
+        by_group = {g.group: g for g in levels[3]}
+        assert by_group[("grid", "s0", "c0")].percent == 0.0
+
+    def test_site_level_included(self):
+        levels = imbalance_by_level(self.trace(), TimeSlice(0.0, 1.0))
+        assert 2 in levels and 1 in levels
+        root = levels[1][0]
+        assert root.n_members == 6
+        assert root.total_load == pytest.approx(220.0)
+
+    def test_missing_metric_rejected(self):
+        with pytest.raises(AggregationError):
+            imbalance_by_level(self.trace(), metric="nope")
+
+
+class TestStencil:
+    def test_runs_on_matching_torus(self):
+        platform = torus_platform((4, 4))
+        result = run_stencil(
+            platform, platform.host_names(), grid=(4, 4), iterations=5
+        )
+        assert result.makespan > 0
+        assert len(result.iteration_ends) == 5
+        # iterations complete in order
+        ends = list(result.iteration_ends)
+        assert ends == sorted(ends)
+
+    def test_iterations_roughly_uniform_on_homogeneous_torus(self):
+        platform = torus_platform((4, 4))
+        result = run_stencil(
+            platform, platform.host_names(), grid=(4, 4), iterations=6
+        )
+        gaps = [
+            b - a
+            for a, b in zip(
+                (0.0,) + result.iteration_ends, result.iteration_ends
+            )
+        ]
+        assert max(gaps) == pytest.approx(min(gaps), rel=0.2)
+
+    def test_grid_validation(self):
+        platform = torus_platform((4, 4))
+        with pytest.raises(SimulationError):
+            run_stencil(platform, platform.host_names(), grid=(2, 4))
+        with pytest.raises(SimulationError):
+            run_stencil(platform, platform.host_names()[:4], grid=(3, 3))
+
+    def test_traffic_is_nearest_neighbour_on_torus(self):
+        platform = torus_platform((3, 3))
+        monitor = UsageMonitor(platform)
+        run_stencil(
+            platform, platform.host_names(), grid=(3, 3), iterations=3,
+            monitor=monitor,
+        )
+        trace = monitor.build_trace()
+        start, end = trace.span()
+        ts = TimeSlice(start, end)
+        carried = [
+            ts.value_of(e.signal_or(USAGE)) * ts.width
+            for e in trace.entities("link")
+        ]
+        # Every torus link carries halo traffic (uniform neighbour pattern).
+        assert all(v > 0 for v in carried)
+        assert max(carried) == pytest.approx(min(carried), rel=0.35)
+
+    def test_slow_host_stalls_everyone(self):
+        """BSP coupling: a degraded host slows the global iteration."""
+
+        def build(degraded: bool):
+            platform = torus_platform((3, 3))
+            if degraded:
+                # Rebuild one host at 25% availability.
+                victim = platform.host("torus-1-1")
+                platform._hosts["torus-1-1"] = Host(  # noqa: SLF001 - test
+                    victim.name,
+                    victim.power,
+                    victim.path,
+                    availability=Signal((), (), initial=0.25),
+                )
+            return run_stencil(
+                platform, platform.host_names(), grid=(3, 3), iterations=4,
+                flops_per_iteration=1e9,
+            )
+
+        healthy = build(False)
+        degraded = build(True)
+        assert degraded.makespan > healthy.makespan * 2

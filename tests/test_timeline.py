@@ -1,0 +1,173 @@
+"""Tests for the behavioral timeline (Gantt) view and state tracing."""
+
+import pytest
+
+from repro.core.timeline import Timeline
+from repro.errors import RenderError, TraceError
+from repro.mpi import run_nas_dt, sequential_deployment, white_hole
+from repro.platform import Host, Link, Platform, two_cluster_platform
+from repro.simulation import Simulator, UsageMonitor
+
+
+def tiny_platform():
+    p = Platform()
+    p.add_host(Host("a", 100.0))
+    p.add_host(Host("b", 100.0))
+    p.add_link(Link("l", 1000.0), "a", "b")
+    return p
+
+
+def traced_run():
+    p = tiny_platform()
+    monitor = UsageMonitor(p, record_messages=True, record_states=True)
+    sim = Simulator(p, monitor)
+
+    def producer(ctx):
+        yield ctx.execute(200.0)  # 2s compute
+        yield ctx.send("b", 1000.0, "mb", payload="x")  # 1s send
+
+    def consumer(ctx):
+        yield ctx.recv("mb")  # waits 3s
+        yield ctx.execute(100.0)  # 1s compute
+
+    sim.spawn(producer, "a", "producer")
+    sim.spawn(consumer, "b", "consumer")
+    sim.run()
+    return monitor.build_trace()
+
+
+class TestStateTracing:
+    def test_state_events_recorded(self):
+        trace = traced_run()
+        states = trace.events_of_kind("state")
+        assert states
+        labels = {e.payload["state"] for e in states}
+        assert {"compute", "send", "wait", "end"} <= labels
+
+    def test_states_off_by_default(self):
+        p = tiny_platform()
+        monitor = UsageMonitor(p)
+        sim = Simulator(p, monitor)
+
+        def job(ctx):
+            yield ctx.execute(1.0)
+
+        sim.spawn(job, "a")
+        sim.run()
+        assert monitor.build_trace().events_of_kind("state") == []
+
+    def test_state_limit(self):
+        p = tiny_platform()
+        monitor = UsageMonitor(p, record_states=True, state_limit=3)
+        sim = Simulator(p, monitor)
+
+        def job(ctx):
+            for _ in range(10):
+                yield ctx.execute(1.0)
+
+        sim.spawn(job, "a")
+        sim.run()
+        assert len(monitor.build_trace().events_of_kind("state")) == 3
+
+
+class TestTimelineModel:
+    def test_spans_and_durations(self):
+        timeline = Timeline.from_trace(traced_run())
+        assert timeline.rows == ["consumer", "producer"]
+        assert timeline.time_in_state("producer", "compute") == pytest.approx(2.0)
+        assert timeline.time_in_state("producer", "send") == pytest.approx(1.0)
+        assert timeline.time_in_state("consumer", "wait") == pytest.approx(3.0)
+        assert timeline.time_in_state("consumer", "compute") == pytest.approx(1.0)
+
+    def test_rows_by_host(self):
+        timeline = Timeline.from_trace(traced_run(), row_by="host")
+        assert timeline.rows == ["a", "b"]
+        assert timeline.time_in_state("a", "compute") == pytest.approx(2.0)
+
+    def test_bad_row_by(self):
+        with pytest.raises(TraceError):
+            Timeline.from_trace(traced_run(), row_by="color")
+
+    def test_arrows_from_messages(self):
+        timeline = Timeline.from_trace(traced_run())
+        assert len(timeline.arrows) == 1
+        arrow = timeline.arrows[0]
+        # Host endpoints resolved to the (sole) process on each host.
+        assert arrow.src == "producer" and arrow.dst == "consumer"
+        assert arrow.sent_at == pytest.approx(2.0)
+        assert arrow.delivered_at == pytest.approx(3.0)
+
+    def test_requires_state_events(self):
+        from repro.trace.synthetic import figure1_trace
+
+        with pytest.raises(TraceError):
+            Timeline.from_trace(figure1_trace())
+
+    def test_unknown_row(self):
+        timeline = Timeline.from_trace(traced_run())
+        with pytest.raises(TraceError):
+            timeline.spans_of("ghost")
+
+    def test_busiest(self):
+        timeline = Timeline.from_trace(traced_run())
+        assert timeline.busiest("compute")[0][0] == "producer"
+
+    def test_topology_blind(self):
+        """The paper's point: a timeline carries no topology at all."""
+        timeline = Timeline.from_trace(traced_run())
+        assert timeline.topology_blind
+        assert not hasattr(timeline, "edges")
+
+
+class TestTimelineRendering:
+    def test_svg(self, tmp_path):
+        timeline = Timeline.from_trace(traced_run())
+        path = tmp_path / "gantt.svg"
+        markup = timeline.render_svg(path)
+        assert markup.startswith("<svg")
+        assert path.exists()
+        assert "producer" in markup
+        assert "<line" in markup  # the communication arrow
+
+    def test_svg_geometry_validation(self):
+        timeline = Timeline.from_trace(traced_run())
+        with pytest.raises(RenderError):
+            timeline.render_svg(width=0)
+
+    def test_ascii(self):
+        timeline = Timeline.from_trace(traced_run())
+        out = timeline.render_ascii()
+        assert "producer" in out
+        assert "#" in out  # compute glyph
+        assert "[" in out  # legend
+
+    def test_ascii_too_narrow(self):
+        timeline = Timeline.from_trace(traced_run())
+        with pytest.raises(RenderError):
+            timeline.render_ascii(columns=10)
+
+
+class TestTimelineOnNasDT:
+    def test_nasdt_gantt(self):
+        """End-to-end: the classical view of the paper's Section 5.1 run."""
+        platform = two_cluster_platform()
+        hosts = sorted(
+            (h.name for h in platform.hosts),
+            key=lambda n: (not n.startswith("adonis"), int(n.rsplit("-", 1)[1])),
+        )
+        graph = white_hole("A")
+        monitor = UsageMonitor(platform, record_states=True, record_messages=True)
+        run_nas_dt(
+            platform, sequential_deployment(hosts, graph.n_nodes), graph, monitor
+        )
+        timeline = Timeline.from_trace(monitor.build_trace())
+        assert len(timeline.rows) == graph.n_nodes
+        # The source (rank 0) computes then waits on its isends; sinks
+        # spend most of their life waiting for their payload.
+        source_row = "dt-WH-rank0"
+        assert timeline.time_in_state(source_row, "compute") > 0
+        assert timeline.time_in_state(source_row, "wait") > 0
+        sink_row = "dt-WH-rank20"
+        assert timeline.time_in_state(sink_row, "wait") > 0
+        # sanity: it renders
+        assert timeline.render_svg().startswith("<svg")

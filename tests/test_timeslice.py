@@ -1,0 +1,89 @@
+"""Tests for time slices and temporal aggregation (Section 3.2.1)."""
+
+import pytest
+
+from repro.core.timeslice import TimeSlice, animation_frames
+from repro.errors import AggregationError
+from repro.trace.signal import Signal
+
+
+class TestTimeSlice:
+    def test_reversed_slice_rejected(self):
+        with pytest.raises(AggregationError):
+            TimeSlice(2.0, 1.0)
+
+    def test_width_and_mid(self):
+        ts = TimeSlice(2.0, 6.0)
+        assert ts.width == 4.0
+        assert ts.mid == 4.0
+
+    def test_zero_width_allowed(self):
+        ts = TimeSlice(3.0, 3.0)
+        assert ts.width == 0.0
+
+    def test_shift(self):
+        ts = TimeSlice(0.0, 2.0).shift(5.0)
+        assert (ts.start, ts.end) == (5.0, 7.0)
+
+    def test_scaled(self):
+        ts = TimeSlice(2.0, 6.0).scaled(0.5)
+        assert (ts.start, ts.end) == (3.0, 5.0)
+        with pytest.raises(AggregationError):
+            TimeSlice(0.0, 1.0).scaled(-1.0)
+
+    def test_contains(self):
+        ts = TimeSlice(1.0, 2.0)
+        assert ts.contains(1.0) and ts.contains(2.0) and ts.contains(1.5)
+        assert not ts.contains(0.99) and not ts.contains(2.01)
+
+    def test_value_of_is_time_weighted_mean(self):
+        sig = Signal([0.0, 1.0], [0.0, 10.0])
+        assert TimeSlice(0.0, 2.0).value_of(sig) == pytest.approx(5.0)
+
+    def test_zero_width_value_is_instantaneous(self):
+        sig = Signal([0.0, 1.0], [3.0, 9.0])
+        assert TimeSlice(1.5, 1.5).value_of(sig) == 9.0
+
+    def test_split(self):
+        frames = TimeSlice(0.0, 10.0).split(4)
+        assert len(frames) == 4
+        assert frames[0].start == 0.0 and frames[-1].end == 10.0
+        assert all(f.width == pytest.approx(2.5) for f in frames)
+        with pytest.raises(AggregationError):
+            TimeSlice(0.0, 1.0).split(0)
+
+    def test_str(self):
+        assert str(TimeSlice(0.0, 2.5)) == "[0, 2.5]"
+
+
+class TestAnimationFrames:
+    def test_default_step_tiles_window(self):
+        frames = animation_frames(0.0, 10.0, 2.5)
+        assert len(frames) == 4
+        for before, after in zip(frames, frames[1:]):
+            assert after.start == pytest.approx(before.end)
+
+    def test_overlapping_frames(self):
+        frames = animation_frames(0.0, 10.0, width=4.0, step=2.0)
+        assert len(frames) == 5
+        assert frames[1].start == pytest.approx(2.0)
+        assert frames[1].end == pytest.approx(6.0)
+
+    def test_last_frame_clipped_to_window(self):
+        frames = animation_frames(0.0, 5.0, 2.0)
+        assert frames[-1].end == 5.0
+
+    def test_validation(self):
+        with pytest.raises(AggregationError):
+            animation_frames(0.0, 10.0, 0.0)
+        with pytest.raises(AggregationError):
+            animation_frames(5.0, 5.0, 1.0)
+        with pytest.raises(AggregationError):
+            animation_frames(0.0, 10.0, 1.0, step=0.0)
+
+    def test_slice_means_track_signal(self):
+        # Aggregating a rising staircase per frame gives rising means.
+        sig = Signal([0.0, 2.0, 4.0, 6.0], [1.0, 2.0, 3.0, 4.0])
+        frames = animation_frames(0.0, 8.0, 2.0)
+        means = [f.value_of(sig) for f in frames]
+        assert means == sorted(means)

@@ -1,0 +1,171 @@
+"""Tests for the treemap view and the squarify layout algorithm."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TimeSlice
+from repro.core.treemap import Treemap, squarify
+from repro.errors import AggregationError
+from repro.trace import CAPACITY, USAGE, TraceBuilder
+from repro.trace.synthetic import random_hierarchical_trace
+
+
+class TestSquarify:
+    def test_single_value_fills_rect(self):
+        rects = squarify([10.0], 0, 0, 100, 50)
+        assert rects == [(0, 0, pytest.approx(100.0), pytest.approx(50.0))]
+
+    def test_areas_proportional(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        rects = squarify(values, 0, 0, 100, 100)
+        total_area = 100 * 100
+        for value, (_, _, w, h) in zip(values, rects):
+            assert w * h == pytest.approx(total_area * value / 10.0, rel=1e-6)
+
+    def test_no_overlap(self):
+        values = [5.0, 3.0, 2.0, 7.0, 1.0]
+        rects = squarify(values, 0, 0, 120, 80)
+        for i, (xa, ya, wa, ha) in enumerate(rects):
+            for xb, yb, wb, hb in rects[i + 1 :]:
+                overlap_w = min(xa + wa, xb + wb) - max(xa, xb)
+                overlap_h = min(ya + ha, yb + hb) - max(ya, yb)
+                assert overlap_w <= 1e-6 or overlap_h <= 1e-6
+
+    def test_rects_inside_bounds(self):
+        rects = squarify([3.0, 1.0, 4.0, 1.0, 5.0], 10, 20, 60, 40)
+        for x, y, w, h in rects:
+            assert x >= 10 - 1e-6 and y >= 20 - 1e-6
+            assert x + w <= 70 + 1e-6 and y + h <= 60 + 1e-6
+
+    def test_zero_values_degenerate(self):
+        rects = squarify([1.0, 0.0, 2.0], 0, 0, 10, 10)
+        assert rects[1][2] == 0.0 and rects[1][3] == 0.0
+
+    def test_all_zero(self):
+        rects = squarify([0.0, 0.0], 0, 0, 10, 10)
+        assert all(w == 0 and h == 0 for _, _, w, h in rects)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_total_area_conserved(self, values):
+        rects = squarify(values, 0, 0, 200, 100)
+        assert sum(w * h for _, _, w, h in rects) == pytest.approx(
+            200 * 100, rel=1e-6
+        )
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.5, max_value=50.0), min_size=2, max_size=10
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_aspect_ratios_reasonable(self, values):
+        rects = squarify(values, 0, 0, 100, 100)
+        for (_, _, w, h), v in zip(rects, values):
+            share = v / sum(values)
+            if w > 0 and h > 0 and share > 0.02:
+                # Squarified guarantees good ratios for substantial
+                # cells; tiny cells squeezed into the leftover strip
+                # degrade at most inversely with their share.
+                assert max(w / h, h / w) < 2.0 / share + 10.0
+
+
+def grid_trace():
+    return random_hierarchical_trace(
+        n_sites=3, clusters_per_site=2, hosts_per_cluster=4, seed=6
+    )
+
+
+class TestTreemap:
+    def test_build_and_lookup(self):
+        tm = Treemap.build(grid_trace())
+        assert len(tm) > 0
+        site = tm.cell(("grid", "site-0"))
+        assert site.depth == 2
+        assert not site.is_leaf
+
+    def test_cell_values_are_subtree_sums(self):
+        trace = grid_trace()
+        tm = Treemap.build(trace)
+        site = tm.cell(("grid", "site-0"))
+        expected = sum(
+            e.metrics[CAPACITY].mean(0.0, 100.0)
+            for e in trace
+            if e.kind == "host" and e.path[:2] == ("grid", "site-0")
+        )
+        assert site.value == pytest.approx(expected)
+
+    def test_children_nest_inside_parents(self):
+        tm = Treemap.build(grid_trace())
+        for cell in tm.cells():
+            if cell.depth <= 1:
+                continue
+            parent = tm.cell(cell.path[:-1])
+            assert parent.contains(cell)
+
+    def test_sibling_areas_proportional(self):
+        tm = Treemap.build(grid_trace())
+        sites = [c for c in tm.cells(depth=2)]
+        total_value = sum(c.value for c in sites)
+        total_area = sum(c.area for c in sites)
+        for cell in sites:
+            assert cell.area / total_area == pytest.approx(
+                cell.value / total_value, rel=1e-6
+            )
+
+    def test_max_depth_limits_subdivision(self):
+        tm = Treemap.build(grid_trace(), max_depth=2)
+        assert all(c.depth <= 2 for c in tm.cells())
+        full = Treemap.build(grid_trace())
+        assert len(full) > len(tm)
+
+    def test_usage_metric_with_slice(self):
+        tm = Treemap.build(
+            grid_trace(), tslice=TimeSlice(0.0, 50.0), metric=USAGE
+        )
+        assert all(c.value > 0 for c in tm.cells())
+
+    def test_unknown_cell(self):
+        tm = Treemap.build(grid_trace())
+        with pytest.raises(AggregationError):
+            tm.cell(("nope",))
+
+    def test_no_positive_values_rejected(self):
+        b = TraceBuilder()
+        b.declare_entity("h", "host", ("g", "h"))
+        b.set_constant("h", CAPACITY, 5.0)
+        b.set_meta("end_time", 1.0)
+        with pytest.raises(AggregationError):
+            Treemap.build(b.build(), metric="missing_metric")
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(AggregationError):
+            Treemap.build(grid_trace(), width=0.0)
+
+    def test_kind_filter(self):
+        """Only host capacity contributes by default; links are ignored."""
+        trace = grid_trace()
+        tm_hosts = Treemap.build(trace, kind="host")
+        tm_links = Treemap.build(trace, kind="link")
+        root_hosts = sum(c.value for c in tm_hosts.cells(depth=1))
+        root_links = sum(c.value for c in tm_links.cells(depth=1))
+        assert root_hosts != root_links
+
+    def test_render_svg(self, tmp_path):
+        tm = Treemap.build(grid_trace())
+        path = tmp_path / "treemap.svg"
+        markup = tm.render_svg(path)
+        assert markup.startswith("<svg")
+        assert path.exists()
+        assert markup.count("<rect") == len(tm)
+
+    def test_render_leaf_depth_only(self):
+        tm = Treemap.build(grid_trace())
+        full = tm.render_svg()
+        leaves = tm.render_svg(leaf_depth_only=True)
+        assert leaves.count("<rect") < full.count("<rect")

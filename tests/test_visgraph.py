@@ -1,0 +1,97 @@
+"""Direct unit tests for the VisGraph container and build pipeline."""
+
+import pytest
+
+from repro.core import ScaleSet, VisualMapping, build_visgraph
+from repro.core.aggregation import aggregate_view
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.core.timeslice import TimeSlice
+from repro.core.visgraph import VisEdge, VisGraph, VisNode
+from repro.errors import MappingError
+from repro.trace.synthetic import figure1_trace, figure3_trace
+
+
+def node(key, kind="host", shape="square", size=10.0, members=None):
+    return VisNode(
+        key=key,
+        label=key,
+        kind=kind,
+        shape=shape,
+        size_value=size,
+        size_px=size,
+        fill_fraction=None,
+        color="#000000",
+        members=members or (key,),
+        values={},
+    )
+
+
+class TestVisGraphContainer:
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(MappingError):
+            VisGraph([node("a"), node("a")], [])
+
+    def test_edge_endpoints_validated(self):
+        with pytest.raises(MappingError):
+            VisGraph([node("a")], [VisEdge("a", "ghost")])
+
+    def test_lookup_and_iteration(self):
+        graph = VisGraph([node("a"), node("b")], [VisEdge("a", "b")])
+        assert len(graph) == 2
+        assert "a" in graph and "c" not in graph
+        assert {n.key for n in graph} == {"a", "b"}
+        assert graph.node("a").kind == "host"
+        with pytest.raises(MappingError):
+            graph.node("ghost")
+
+    def test_neighbours_and_degree(self):
+        graph = VisGraph(
+            [node("a"), node("b"), node("c")],
+            [VisEdge("a", "b"), VisEdge("a", "c")],
+        )
+        assert set(graph.neighbours("a")) == {"b", "c"}
+        assert graph.degree("a") == 2
+        assert graph.degree("b") == 1
+
+    def test_nodes_of_kind(self):
+        graph = VisGraph([node("a"), node("l", kind="link")], [])
+        assert [n.key for n in graph.nodes_of_kind("link")] == ["l"]
+
+    def test_weight_and_aggregate_flags(self):
+        plain = node("a")
+        agg = node("g", members=("x", "y", "z"))
+        assert plain.weight == 1 and not plain.is_aggregate
+        assert agg.weight == 3 and agg.is_aggregate
+
+
+class TestBuildPipeline:
+    def build(self, trace, collapse=None):
+        hierarchy = Hierarchy.from_trace(trace)
+        grouping = GroupingState(hierarchy)
+        if collapse:
+            grouping.collapse(collapse)
+        start, end = trace.span()
+        view = aggregate_view(trace, grouping, TimeSlice(start, end))
+        return build_visgraph(view, VisualMapping.paper_default(), ScaleSet())
+
+    def test_figure1_styling(self):
+        graph = self.build(figure1_trace())
+        assert graph.node("HostA").shape == "square"
+        assert graph.node("LinkA").shape == "diamond"
+        # Edges expand through the via link: HostA - LinkA - HostB.
+        assert set(graph.neighbours("LinkA")) == {"HostA", "HostB"}
+
+    def test_biggest_of_each_kind_gets_max_pixels(self):
+        graph = self.build(figure1_trace())
+        host_px = [n.size_px for n in graph.nodes_of_kind("host")]
+        assert max(host_px) == pytest.approx(60.0)
+
+    def test_aggregate_members_tracked(self):
+        graph = self.build(figure3_trace(), collapse=("GroupB", "GroupA"))
+        agg = graph.node("GroupB/GroupA::host")
+        assert set(agg.members) == {"h1", "h2"}
+        assert agg.is_aggregate
+
+    def test_values_exposed_on_nodes(self):
+        graph = self.build(figure3_trace())
+        assert graph.node("h1").values["capacity"] == 100.0
