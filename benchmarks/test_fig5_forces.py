@@ -71,6 +71,48 @@ def test_fig5_damping_controls_convergence(report):
     assert all(steps < 3000 for _, steps in rows)
 
 
+def test_fig5_step_stats_attribution(report):
+    """The per-step counters attribute layout time to build/traverse.
+
+    The vectorized kernel records ``build_s``/``traverse_s``/``cells``/
+    ``p2p_pairs`` on every repulsion evaluation, so benches can tell
+    tree construction from force evaluation without profiling.
+    """
+    layout = settle()
+    stats = layout.stats
+    assert stats["evals"] > 0
+    assert stats["cells"] > 0
+    assert stats["p2p_pairs"] > 0
+    assert stats["total_traverse_s"] > 0.0
+    assert stats["total_build_s"] >= 0.0
+    report(
+        "fig5_step_stats",
+        [
+            "counter            value",
+            f"evals              {stats['evals']}",
+            f"cells (last)       {stats['cells']}",
+            f"p2p_pairs (last)   {stats['p2p_pairs']}",
+            f"total_build_s      {stats['total_build_s']:.6f}",
+            f"total_traverse_s   {stats['total_traverse_s']:.6f}",
+        ],
+    )
+
+
+def test_fig5_charge_series_matches_scalar_oracle():
+    """The Fig. 5 monotonicity holds on the legacy scalar kernel too —
+    the kernel swap did not change the physics."""
+    charges = (100.0, 6400.0)
+    dispersions = []
+    for charge in charges:
+        layout = make_layout(
+            "barneshut", LayoutParams(charge=charge), seed=3, kernel="scalar"
+        )
+        two_cluster_graph(layout)
+        layout.run(max_steps=500, tolerance=0.05)
+        dispersions.append(layout.dispersion())
+    assert dispersions[0] < dispersions[1]
+
+
 def test_fig5_layout_convergence_speed(benchmark):
     """Bench: settling the two-cluster layout from scratch."""
 

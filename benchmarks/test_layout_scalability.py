@@ -2,7 +2,7 @@
 
 "The basic force-directed algorithm has severe performance problems on
 scale — O(n^2) ... we adopt the scalable Barnes-hut algorithm —
-O(n log n)."  Reproduced two ways:
+O(n log n)."  Reproduced three ways:
 
 * **interaction counts** — the naive pass evaluates exactly ``n - 1``
   pairwise interactions per node; Barnes-Hut evaluates one per accepted
@@ -11,14 +11,26 @@ O(n log n)."  Reproduced two ways:
   clustered random graphs.  (The numpy-vectorized naive baseline has a
   much smaller constant, so the asymptotic win shows in counts at any
   size and in wall time at large sizes.)
+* **kernel speedup** — the vectorized array kernel vs the legacy
+  scalar quadtree walk on the same 2000-node graph; the measured
+  per-step times land in ``results/layout_kernel_speedup.json``.
+
+Set ``REPRO_BENCH_QUICK=1`` to shrink sizes/repetitions for CI smoke
+runs.
 """
 
+import json
 import math
+import os
 import random
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.core import LayoutParams, QuadTree, make_layout
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
 
 def clustered_graph(layout, n, seed=0):
@@ -44,7 +56,7 @@ def clustered_graph(layout, n, seed=0):
     return layout
 
 
-SIZES = (64, 256, 1024, 4096)
+SIZES = (64, 256) if QUICK else (64, 256, 1024, 4096)
 
 
 def test_interaction_counts_scale_n_log_n(report):
@@ -87,8 +99,73 @@ def test_step_time(benchmark, algorithm, n):
 def test_barneshut_handles_grid_scale():
     """A 4000+-node layout converges in bounded time (the paper's
     host-level Grid'5000 view)."""
+    n = 1024 if QUICK else 4096
     layout = make_layout("barneshut", LayoutParams(), seed=3)
-    clustered_graph(layout, 4096)
+    clustered_graph(layout, n)
     moved = layout.step()
     assert math.isfinite(moved)
-    assert len(layout) == 4096
+    assert len(layout) == n
+    # The timing counters attribute the step's cost.
+    stats = layout.stats
+    assert stats["cells"] > n
+    assert stats["p2p_pairs"] > 0
+    assert stats["build_s"] + stats["traverse_s"] > 0.0
+
+
+#: The acceptance bar for the vectorized kernel, per relaxation step.
+SPEEDUP_N = 500 if QUICK else 2000
+SPEEDUP_FLOOR = 2.5 if QUICK else 5.0
+
+
+def test_vectorized_kernel_speedup(report):
+    """Array kernel vs the legacy scalar walk on the same graph.
+
+    Both layouts are built identically (same seed, same clustered
+    topology) and timed over whole relaxation steps — tree build (or
+    reuse), traversal, springs and integration included.  The numbers
+    are recorded in ``results/layout_kernel_speedup.json``.
+    """
+    measured = {}
+    for kernel, reps in (("scalar", 1 if QUICK else 3), ("array", 10 if QUICK else 30)):
+        layout = make_layout("barneshut", LayoutParams(), seed=2, kernel=kernel)
+        clustered_graph(layout, SPEEDUP_N)
+        layout.step()  # warm caches before timing
+        began = time.perf_counter()
+        for _ in range(reps):
+            layout.step()
+        per_step = (time.perf_counter() - began) / reps
+        stats = layout.stats
+        measured[kernel] = {
+            "step_s": per_step,
+            "reps": reps,
+            "cells": int(stats["cells"]),
+            "p2p_pairs": int(stats["p2p_pairs"]),
+            "total_build_s": stats["total_build_s"],
+            "total_traverse_s": stats["total_traverse_s"],
+        }
+    speedup = measured["scalar"]["step_s"] / measured["array"]["step_s"]
+    payload = {
+        "n": SPEEDUP_N,
+        "quick": QUICK,
+        "speedup": speedup,
+        "floor": SPEEDUP_FLOOR,
+        "kernels": measured,
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "layout_kernel_speedup.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    report(
+        "layout_kernel_speedup",
+        [
+            f"n={SPEEDUP_N}  kernel   ms/step   cells   p2p_pairs",
+            *(
+                f"{'':8}{kernel:<8} {data['step_s'] * 1000:8.2f}  "
+                f"{data['cells']:6d}  {data['p2p_pairs']:9d}"
+                for kernel, data in measured.items()
+            ),
+            f"speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR}x)",
+        ],
+    )
+    assert speedup >= SPEEDUP_FLOOR

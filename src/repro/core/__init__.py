@@ -13,6 +13,7 @@ from repro.core.aggregation import (
 )
 from repro.core.hierarchy import GroupingState, Hierarchy
 from repro.core.layout import (
+    ArrayQuadTree,
     BarnesHutLayout,
     DynamicLayout,
     ForceLayout,
@@ -42,6 +43,7 @@ __all__ = [
     "SHAPES",
     "AggregatedEdge",
     "AggregatedUnit",
+    "ArrayQuadTree",
     "AggregatedView",
     "AnalysisSession",
     "AsciiRenderer",

@@ -1,18 +1,20 @@
 """Dynamic force-directed graph layout (Sections 3.3 and 4.2)."""
 
-from repro.core.layout.barneshut import BarnesHutLayout
+from repro.core.layout.barneshut import KERNELS, BarnesHutLayout
 from repro.core.layout.base import ForceLayout
 from repro.core.layout.engine import ALGORITHMS, DynamicLayout, make_layout
 from repro.core.layout.forces import LayoutParams
 from repro.core.layout.naive import NaiveLayout
-from repro.core.layout.quadtree import QuadTree
+from repro.core.layout.quadtree import ArrayQuadTree, QuadTree
 from repro.core.layout.seeding import radial_seeds
 
 __all__ = [
     "ALGORITHMS",
+    "ArrayQuadTree",
     "BarnesHutLayout",
     "DynamicLayout",
     "ForceLayout",
+    "KERNELS",
     "LayoutParams",
     "NaiveLayout",
     "QuadTree",

@@ -5,34 +5,119 @@ quadtree, so the layout keeps converging interactively on graphs with
 thousands of nodes.  With ``theta == 0`` the computation degenerates to
 the exact pairwise one (useful to validate against
 :class:`~repro.core.layout.naive.NaiveLayout`).
+
+Two kernels are available behind the ``kernel`` flag:
+
+* ``"array"`` (default) — the vectorized :class:`ArrayQuadTree` path:
+  the layout's ``(n, 2)`` position ndarray feeds the flat
+  structure-of-arrays tree directly and forces for all bodies are
+  evaluated in one batched frontier traversal.  The tree is reused
+  across relaxation steps until some body drifts further than
+  ``params.rebuild_drift`` of the root half-size (leaf interactions
+  always read current positions, so ``theta == 0`` stays exact even on
+  a stale tree).
+* ``"scalar"`` — the legacy pointer-based per-body walk, kept as the
+  differential-testing oracle and for benchmarks of the speedup.
+
+Every evaluation records ``build_s`` / ``traverse_s`` / ``cells`` /
+``p2p_pairs`` into :attr:`ForceLayout.stats`.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.layout.base import ForceLayout
-from repro.core.layout.quadtree import QuadTree
+from repro.core.layout.forces import LayoutParams
+from repro.core.layout.quadtree import ArrayQuadTree, QuadTree
+from repro.errors import LayoutError
 
-__all__ = ["BarnesHutLayout"]
+__all__ = ["BarnesHutLayout", "KERNELS"]
+
+KERNELS = ("array", "scalar")
 
 
 class BarnesHutLayout(ForceLayout):
     """Force layout with quadtree-approximated repulsion."""
 
+    def __init__(
+        self,
+        params: LayoutParams | None = None,
+        seed: int = 0,
+        kernel: str = "array",
+    ) -> None:
+        if kernel not in KERNELS:
+            raise LayoutError(
+                f"unknown Barnes-Hut kernel {kernel!r}; pick one of {KERNELS}"
+            )
+        self.kernel = kernel
+        self._tree: ArrayQuadTree | None = None
+        self._tree_pos: np.ndarray | None = None
+        super().__init__(params, seed)
+
+    def _on_bodies_changed(self) -> None:
+        # Adding/removing a node or changing a weight invalidates the
+        # cached tree (drift checks only cover position changes).
+        self._tree = None
+        self._tree_pos = None
+
+    def _needs_rebuild(self) -> bool:
+        if self._tree is None or self._tree.n_bodies != len(self._names):
+            return True
+        limit = self.params.rebuild_drift * float(self._tree.half[0])
+        if limit <= 0.0:
+            return True
+        return bool(np.abs(self._pos - self._tree_pos).max() > limit)
+
     def _repulsion_forces(self) -> np.ndarray:
         n = len(self._names)
-        forces = np.zeros((n, 2), dtype=float)
         if n < 2:
-            return forces
+            self._record_stats(
+                build_s=0.0, traverse_s=0.0, cells=0, p2p_pairs=0
+            )
+            return np.zeros((n, 2), dtype=float)
+        if self.kernel == "scalar":
+            return self._scalar_forces(n)
+        build_s = 0.0
+        if self._needs_rebuild():
+            start = perf_counter()
+            self._tree = ArrayQuadTree(self._pos, self._weight)
+            self._tree_pos = self._pos.copy()
+            build_s = perf_counter() - start
+        start = perf_counter()
+        forces, p2p = self._tree.forces(
+            self._pos, self._weight, self.params.charge, self.params.theta
+        )
+        self._record_stats(
+            build_s=build_s,
+            traverse_s=perf_counter() - start,
+            cells=self._tree.n_cells,
+            p2p_pairs=p2p,
+        )
+        return forces
+
+    def _scalar_forces(self, n: int) -> np.ndarray:
+        """The legacy oracle: scalar tree, per-body Python walk."""
+        start = perf_counter()
         tree = QuadTree(
             [(self._pos[i, 0], self._pos[i, 1]) for i in range(n)],
             list(self._weight),
         )
+        build_s = perf_counter() - start
         charge = self.params.charge
         theta = self.params.theta
+        forces = np.zeros((n, 2), dtype=float)
+        start = perf_counter()
         for i in range(n):
             fx, fy = tree.force_on(i, charge, theta)
             forces[i, 0] = fx
             forces[i, 1] = fy
+        self._record_stats(
+            build_s=build_s,
+            traverse_s=perf_counter() - start,
+            cells=tree.n_cells,
+            p2p_pairs=tree.p2p_pairs,
+        )
         return forces

@@ -38,6 +38,21 @@ class ForceLayout(ABC):
         self._pinned = np.zeros(0, dtype=bool)
         self._edges: dict[tuple[str, str], None] = {}
         self._edge_index: np.ndarray | None = None
+        #: per-step repulsion counters (last evaluation + running
+        #: totals), letting benchmarks attribute time to tree build vs
+        #: traversal: ``build_s``/``traverse_s`` are seconds spent in
+        #: the last evaluation, ``cells`` the quadtree size (0 for the
+        #: naive layout), ``p2p_pairs`` the exact body-body
+        #: interactions evaluated.
+        self.stats: dict[str, float | int] = {
+            "build_s": 0.0,
+            "traverse_s": 0.0,
+            "cells": 0,
+            "p2p_pairs": 0,
+            "evals": 0,
+            "total_build_s": 0.0,
+            "total_traverse_s": 0.0,
+        }
 
     # ------------------------------------------------------------------
     # Structure
@@ -82,6 +97,7 @@ class ForceLayout(ABC):
         self._weight = np.append(self._weight, float(weight))
         self._pinned = np.append(self._pinned, False)
         self._edge_index = None
+        self._on_bodies_changed()
 
     def remove_node(self, name: str) -> None:
         """Remove a node and every edge touching it."""
@@ -105,12 +121,14 @@ class ForceLayout(ABC):
             pair: None for pair in self._edges if name not in pair
         }
         self._edge_index = None
+        self._on_bodies_changed()
 
     def set_weight(self, name: str, weight: float) -> None:
         """Update a node's charge weight (its member count)."""
         if weight <= 0:
             raise LayoutError(f"node weight must be > 0, got {weight}")
         self._weight[self._require(name)] = float(weight)
+        self._on_bodies_changed()
 
     def add_edge(self, a: str, b: str) -> None:
         """Connect *a* and *b* with a spring (idempotent)."""
@@ -182,6 +200,22 @@ class ForceLayout(ABC):
     @abstractmethod
     def _repulsion_forces(self) -> np.ndarray:
         """The (n, 2) Coulomb force array; subclass-specific."""
+
+    def _on_bodies_changed(self) -> None:
+        """Hook: the body set or a weight changed; drop caches."""
+
+    def _record_stats(
+        self, *, build_s: float, traverse_s: float, cells: int, p2p_pairs: int
+    ) -> None:
+        """Store one repulsion evaluation's counters in :attr:`stats`."""
+        stats = self.stats
+        stats["build_s"] = build_s
+        stats["traverse_s"] = traverse_s
+        stats["cells"] = cells
+        stats["p2p_pairs"] = p2p_pairs
+        stats["evals"] += 1
+        stats["total_build_s"] += build_s
+        stats["total_traverse_s"] += traverse_s
 
     def _spring_forces(self) -> np.ndarray:
         forces = np.zeros_like(self._pos)

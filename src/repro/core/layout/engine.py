@@ -17,6 +17,7 @@ analyst to get confused when changing scale" (Fig. 8's caption).
 
 from __future__ import annotations
 
+import math
 import random
 
 from repro.core.layout.barneshut import BarnesHutLayout
@@ -35,10 +36,26 @@ def make_layout(
     algorithm: str = "barneshut",
     params: LayoutParams | None = None,
     seed: int = 0,
+    kernel: str = "array",
 ) -> ForceLayout:
-    """Instantiate a force layout by name."""
+    """Instantiate a force layout by name.
+
+    ``kernel`` selects the Barnes-Hut implementation: ``"array"`` (the
+    vectorized production path) or ``"scalar"`` (the legacy walk kept
+    as differential-testing oracle); it is ignored by ``"naive"``.
+    """
+    if params is not None:
+        # LayoutParams validates at construction, but a tampered or
+        # subclassed instance could still smuggle NaN/inf into the
+        # force model, where it silently poisons every position.
+        for name in ("charge", "theta", "damping"):
+            value = getattr(params, name)
+            if not math.isfinite(value):
+                raise LayoutError(
+                    f"LayoutParams.{name} must be finite, got {value!r}"
+                )
     if algorithm == "barneshut":
-        return BarnesHutLayout(params, seed)
+        return BarnesHutLayout(params, seed, kernel=kernel)
     if algorithm == "naive":
         return NaiveLayout(params, seed)
     raise LayoutError(
@@ -56,8 +73,9 @@ class DynamicLayout:
         seed: int = 0,
         max_steps: int = 300,
         tolerance: float = 0.5,
+        kernel: str = "array",
     ) -> None:
-        self.layout = make_layout(algorithm, params, seed)
+        self.layout = make_layout(algorithm, params, seed, kernel=kernel)
         self.algorithm = algorithm
         self.max_steps = max_steps
         self.tolerance = tolerance
@@ -168,3 +186,10 @@ class DynamicLayout:
     @property
     def params(self) -> LayoutParams:
         return self.layout.params
+
+    @property
+    def stats(self) -> dict:
+        """The underlying layout's repulsion counters (build/traverse
+        seconds, quadtree cells, exact pairs) — see
+        :attr:`ForceLayout.stats`."""
+        return self.layout.stats

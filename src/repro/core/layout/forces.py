@@ -15,7 +15,8 @@ physical law of the force model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import math
+from dataclasses import dataclass, fields, replace
 
 from repro.errors import LayoutError
 
@@ -46,6 +47,12 @@ class LayoutParams:
         Barnes-Hut opening criterion: a cell of size *s* at distance *d*
         is approximated by its center of mass when ``s / d < theta``;
         0 degenerates to the exact O(n^2) computation.
+    rebuild_drift:
+        Quadtree reuse threshold, as a fraction of the root cell's
+        half-size: the Barnes-Hut kernel keeps the tree from the
+        previous relaxation step until some body has drifted further
+        than ``rebuild_drift * root_half`` from its build-time spot.
+        0 rebuilds every step (the legacy behavior).
     """
 
     charge: float = 800.0
@@ -55,8 +62,15 @@ class LayoutParams:
     timestep: float = 1.0
     max_displacement: float = 25.0
     theta: float = 0.7
+    rebuild_drift: float = 0.05
 
     def __post_init__(self) -> None:
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if not math.isfinite(value):
+                raise LayoutError(
+                    f"{field.name} must be finite, got {value!r}"
+                )
         if self.charge < 0:
             raise LayoutError(f"charge must be >= 0, got {self.charge}")
         if self.spring < 0:
@@ -75,6 +89,10 @@ class LayoutParams:
             )
         if self.theta < 0:
             raise LayoutError(f"theta must be >= 0, got {self.theta}")
+        if not 0 <= self.rebuild_drift < 1:
+            raise LayoutError(
+                f"rebuild_drift must be in [0, 1), got {self.rebuild_drift}"
+            )
 
     def with_(self, **changes) -> "LayoutParams":
         """A copy with some parameters replaced (the sliders of Fig. 5)."""

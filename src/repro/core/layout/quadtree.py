@@ -6,6 +6,22 @@ inserted into a quadtree whose internal cells track total mass and
 center of mass; the force on a body is then computed by walking the
 tree and approximating any cell that looks small enough from the body
 (``size / distance < theta``) by a single point mass.
+
+Two implementations live here:
+
+* :class:`ArrayQuadTree` — the production kernel.  The tree is a flat
+  structure of parallel NumPy arrays (``cx/cy/half/mass/com_x/com_y/
+  children``) built level-by-level with vectorized group-bys, and
+  forces for *all* bodies are evaluated at once with a frontier
+  traversal (each round expands every (body, cell) pair whose cell
+  fails the opening criterion into its children).
+* :class:`QuadTree` — the legacy pointer-based scalar walk, kept as
+  the differential-testing oracle (``BarnesHutLayout(kernel="scalar")``)
+  and for per-body interaction counting.
+
+Both build geometrically identical trees: same root square, same
+``x >= cx`` quadrant rule, same ``MAX_DEPTH`` cutoff — so their force
+fields agree to floating-point roundoff for any ``theta``.
 """
 
 from __future__ import annotations
@@ -13,12 +29,324 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import LayoutError
 
-__all__ = ["QuadTree"]
+__all__ = ["QuadTree", "ArrayQuadTree", "MAX_DEPTH"]
 
 #: Stop subdividing past this depth; co-located bodies share a leaf.
 MAX_DEPTH = 32
+
+#: Squared distance under which two bodies count as co-located and get
+#: the deterministic separation kick instead of a diverging force.
+_EPS2 = 1e-12
+
+#: The deterministic kick: direction (x, y) and squared distance.
+_KICK = (0.31, 0.17, 0.125)
+
+
+class ArrayQuadTree:
+    """Structure-of-arrays quadtree with batched force evaluation.
+
+    ``positions`` is an ``(n, 2)`` float array (any nested sequence is
+    accepted and converted); ``masses`` defaults to all ones.  The tree
+    is immutable after construction; reuse across relaxation steps is
+    the layout's job (it rebuilds when positions drift too far).
+    """
+
+    __slots__ = (
+        "n_bodies",
+        "n_cells",
+        "cx",
+        "cy",
+        "half",
+        "mass",
+        "com_x",
+        "com_y",
+        "depth",
+        "children",
+        "is_leaf",
+        "leaf_start",
+        "leaf_count",
+        "leaf_bodies",
+        "_size2",
+        "_child_start",
+        "_child_count",
+        "_child_list",
+    )
+
+    def __init__(
+        self,
+        positions: "np.ndarray | Sequence[tuple[float, float]]",
+        masses: "np.ndarray | Sequence[float] | None" = None,
+    ) -> None:
+        pos = np.asarray(positions, dtype=float)
+        if pos.size == 0:
+            pos = pos.reshape(0, 2)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise LayoutError(
+                f"positions must be (n, 2), got shape {pos.shape}"
+            )
+        n = len(pos)
+        if masses is None:
+            m = np.ones(n, dtype=float)
+        else:
+            m = np.asarray(masses, dtype=float)
+            if m.shape != (n,):
+                raise LayoutError(f"{n} positions but {m.size} masses")
+        self.n_bodies = n
+        if n == 0:
+            self.n_cells = 0
+            empty_f = np.zeros(0, dtype=float)
+            empty_i = np.zeros(0, dtype=np.int64)
+            self.cx = self.cy = self.half = empty_f
+            self.mass = self.com_x = self.com_y = empty_f
+            self.depth = empty_i
+            self.children = np.zeros((0, 4), dtype=np.int64)
+            self.is_leaf = np.zeros(0, dtype=bool)
+            self.leaf_start = self.leaf_count = empty_i
+            self.leaf_bodies = empty_i
+            self._size2 = empty_f
+            self._child_start = self._child_count = empty_i
+            self._child_list = empty_i
+            return
+        self._build(pos, m)
+
+    # ------------------------------------------------------------------
+    def _build(self, pos: np.ndarray, m: np.ndarray) -> None:
+        n = len(pos)
+        x, y = pos[:, 0], pos[:, 1]
+        lo, hi = pos.min(axis=0), pos.max(axis=0)
+        half0 = float(max(hi[0] - lo[0], hi[1] - lo[1])) / 2.0 + 1e-9
+        total = float(m.sum())
+        cx = np.array([float(lo[0] + hi[0]) / 2.0])
+        cy = np.array([float(lo[1] + hi[1]) / 2.0])
+        half = np.array([half0])
+        mass = np.array([total])
+        com_x = np.array([float(x @ m) / total])
+        com_y = np.array([float(y @ m) / total])
+        depth = np.array([0], dtype=np.int64)
+        # (parent, quadrant, child) triples, filled into the children
+        # matrix once the cell count is known.
+        link_parent: list[np.ndarray] = []
+        link_quad: list[np.ndarray] = []
+        link_child: list[np.ndarray] = []
+        leaf_of = np.full(n, -1, dtype=np.int64)
+
+        body = np.arange(n, dtype=np.int64)
+        cell = np.zeros(n, dtype=np.int64)
+        n_cells = 1
+        level = 0
+        while body.size:
+            if level >= MAX_DEPTH:
+                # Whatever is still open shares a leaf (co-located).
+                leaf_of[body] = cell
+                break
+            counts = np.bincount(cell, minlength=n_cells)
+            settled = counts[cell] == 1
+            if settled.any():
+                leaf_of[body[settled]] = cell[settled]
+                keep = ~settled
+                body, cell = body[keep], cell[keep]
+                if not body.size:
+                    break
+            # Subdivide every remaining (multi-body) cell one level:
+            # group bodies by (cell, quadrant) and mint the non-empty
+            # children in one unique() pass.
+            bx, by = x[body], y[body]
+            quad = (bx >= cx[cell]).astype(np.int64) | (
+                (by >= cy[cell]).astype(np.int64) << 1
+            )
+            key = cell * 4 + quad
+            uniq, inverse = np.unique(key, return_inverse=True)
+            parents = uniq >> 2
+            quads = uniq & 3
+            offset = half[parents] / 2.0
+            bm = m[body]
+            new_mass = np.bincount(inverse, weights=bm, minlength=uniq.size)
+            cx = np.concatenate(
+                [cx, cx[parents] + np.where(quads & 1, offset, -offset)]
+            )
+            cy = np.concatenate(
+                [cy, cy[parents] + np.where(quads & 2, offset, -offset)]
+            )
+            half = np.concatenate([half, offset])
+            com_x = np.concatenate(
+                [
+                    com_x,
+                    np.bincount(inverse, weights=bm * bx, minlength=uniq.size)
+                    / new_mass,
+                ]
+            )
+            com_y = np.concatenate(
+                [
+                    com_y,
+                    np.bincount(inverse, weights=bm * by, minlength=uniq.size)
+                    / new_mass,
+                ]
+            )
+            mass = np.concatenate([mass, new_mass])
+            depth = np.concatenate(
+                [depth, np.full(uniq.size, level + 1, dtype=np.int64)]
+            )
+            ids = n_cells + np.arange(uniq.size, dtype=np.int64)
+            link_parent.append(parents)
+            link_quad.append(quads)
+            link_child.append(ids)
+            cell = ids[inverse]
+            n_cells += uniq.size
+            level += 1
+
+        self.n_cells = n_cells
+        self.cx, self.cy, self.half = cx, cy, half
+        self.mass, self.com_x, self.com_y = mass, com_x, com_y
+        self.depth = depth
+        children = np.full((n_cells, 4), -1, dtype=np.int64)
+        if link_parent:
+            children[
+                np.concatenate(link_parent), np.concatenate(link_quad)
+            ] = np.concatenate(link_child)
+        self.children = children
+        leaf_count = np.bincount(leaf_of, minlength=n_cells).astype(np.int64)
+        self.leaf_count = leaf_count
+        self.is_leaf = leaf_count > 0
+        starts = np.zeros(n_cells, dtype=np.int64)
+        np.cumsum(leaf_count[:-1], out=starts[1:])
+        self.leaf_start = starts
+        self.leaf_bodies = np.argsort(leaf_of, kind="stable").astype(np.int64)
+        # Traversal-side metadata: the squared opening size per cell
+        # and the children in CSR form (only non-empty children are
+        # stored, so frontier expansion is a flat gather instead of a
+        # (k, 4) matrix gather plus masking).
+        self._size2 = (2.0 * half) ** 2
+        if link_parent:
+            all_parents = np.concatenate(link_parent)
+            all_children = np.concatenate(link_child)
+            order = np.argsort(all_parents, kind="stable")
+            self._child_list = all_children[order].astype(np.int64)
+        else:
+            self._child_list = np.zeros(0, dtype=np.int64)
+        child_count = np.bincount(
+            np.concatenate(link_parent) if link_parent else np.zeros(0, int),
+            minlength=n_cells,
+        ).astype(np.int64)
+        self._child_count = child_count
+        child_start = np.zeros(n_cells, dtype=np.int64)
+        np.cumsum(child_count[:-1], out=child_start[1:])
+        self._child_start = child_start
+
+    # ------------------------------------------------------------------
+    def forces(
+        self,
+        positions: np.ndarray,
+        masses: np.ndarray,
+        charge: float,
+        theta: float,
+    ) -> tuple[np.ndarray, int]:
+        """Coulomb repulsion on every body at once.
+
+        Returns ``(forces, p2p_pairs)`` where ``forces`` is ``(n, 2)``
+        and ``p2p_pairs`` counts the exact body-body interactions
+        evaluated in leaves.  ``positions``/``masses`` are the *current*
+        body state: when the tree is reused across steps they may
+        differ slightly from the build-time state — leaf interactions
+        stay exact (they read current positions), only the cell
+        approximations see stale centers of mass.  With ``theta == 0``
+        no cell is ever accepted, so the result is exact pairwise
+        regardless of tree staleness.
+        """
+        n = self.n_bodies
+        forces = np.zeros((n, 2), dtype=float)
+        if n < 2 or self.n_cells == 0:
+            return forces, 0
+        pos = np.asarray(positions, dtype=float)
+        if pos.shape != (n, 2):
+            raise LayoutError(
+                f"tree holds {n} bodies but positions shape is {pos.shape}"
+            )
+        m = np.asarray(masses, dtype=float)
+        if m.shape != (n,):
+            raise LayoutError(f"tree holds {n} bodies but {m.size} masses")
+        x, y = pos[:, 0], pos[:, 1]
+        theta2 = theta * theta
+        # Far-cell contributions and leaf pairs are *collected* during
+        # the frontier sweep and accumulated in one bincount pass at
+        # the end — per-round work stays pure masking/arithmetic.
+        far_body: list[np.ndarray] = []
+        far_fx: list[np.ndarray] = []
+        far_fy: list[np.ndarray] = []
+        leaf_body: list[np.ndarray] = []
+        leaf_cell: list[np.ndarray] = []
+        com_x, com_y = self.com_x, self.com_y
+        size2, cell_mass, is_leaf = self._size2, self.mass, self.is_leaf
+        # Frontier of (body, cell) pairs, all bodies vs the root.
+        b = np.arange(n, dtype=np.int64)
+        c = np.zeros(n, dtype=np.int64)
+        while b.size:
+            dx = x[b] - com_x[c]
+            dy = y[b] - com_y[c]
+            d2 = dx * dx + dy * dy
+            leaf = is_leaf[c]
+            accept = (d2 > _EPS2) & (size2[c] < theta2 * d2) & ~leaf
+            ai = np.flatnonzero(accept)
+            if ai.size:
+                ab = b[ai]
+                ad2 = d2[ai]
+                scale = charge * m[ab] * cell_mass[c[ai]] / (ad2 * np.sqrt(ad2))
+                far_body.append(ab)
+                far_fx.append(scale * dx[ai])
+                far_fy.append(scale * dy[ai])
+            li = np.flatnonzero(leaf)
+            if li.size:
+                leaf_body.append(b[li])
+                leaf_cell.append(c[li])
+            di = np.flatnonzero(~(accept | leaf))
+            if not di.size:
+                break
+            dc = c[di]
+            counts = self._child_count[dc]
+            total = int(counts.sum())
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                counts.cumsum() - counts, counts
+            )
+            c = self._child_list[np.repeat(self._child_start[dc], counts) + within]
+            b = np.repeat(b[di], counts)
+        fx = np.zeros(n)
+        fy = np.zeros(n)
+        if far_body:
+            ab = np.concatenate(far_body)
+            fx += np.bincount(ab, weights=np.concatenate(far_fx), minlength=n)
+            fy += np.bincount(ab, weights=np.concatenate(far_fy), minlength=n)
+        p2p = 0
+        if leaf_body:
+            lb = np.concatenate(leaf_body)
+            lc = np.concatenate(leaf_cell)
+            cnt = self.leaf_count[lc]
+            total = int(cnt.sum())
+            # CSR expansion: pair body lb[k] with every resident of its
+            # leaf, then drop the self-pair.
+            me = np.repeat(lb, cnt)
+            within = np.arange(total) - np.repeat(cnt.cumsum() - cnt, cnt)
+            other = self.leaf_bodies[np.repeat(self.leaf_start[lc], cnt) + within]
+            keep = other != me
+            me, other = me[keep], other[keep]
+            p2p = int(me.size)
+            if p2p:
+                ox = x[me] - x[other]
+                oy = y[me] - y[other]
+                od2 = ox * ox + oy * oy
+                close = od2 < _EPS2
+                if close.any():
+                    ox = np.where(close, _KICK[0], ox)
+                    oy = np.where(close, _KICK[1], oy)
+                    od2 = np.where(close, _KICK[2], od2)
+                scale = charge * m[me] * m[other] / (od2 * np.sqrt(od2))
+                fx += np.bincount(me, weights=scale * ox, minlength=n)
+                fy += np.bincount(me, weights=scale * oy, minlength=n)
+        forces[:, 0] = fx
+        forces[:, 1] = fy
+        return forces, p2p
 
 
 class _Cell:
@@ -48,7 +376,14 @@ class _Cell:
 
 
 class QuadTree:
-    """A quadtree over 2D bodies with masses, for O(n log n) repulsion."""
+    """A quadtree over 2D bodies with masses, for O(n log n) repulsion.
+
+    The scalar pointer-based implementation; the production layout path
+    uses :class:`ArrayQuadTree` and keeps this one as the
+    differential-testing oracle.  ``n_cells`` counts allocated cells
+    and ``p2p_pairs`` accumulates the exact leaf interactions evaluated
+    by :meth:`force_on`, mirroring the array kernel's counters.
+    """
 
     def __init__(
         self,
@@ -66,14 +401,22 @@ class QuadTree:
         self._y = [float(p[1]) for p in positions]
         self._m = [float(m) for m in masses]
         self.root: _Cell | None = None
+        self.n_cells = 0
+        self.p2p_pairs = 0
         if n:
             self._build()
+
+    def _new_cell(self, cx: float, cy: float, half: float) -> _Cell:
+        self.n_cells += 1
+        return _Cell(cx, cy, half)
 
     def _build(self) -> None:
         min_x, max_x = min(self._x), max(self._x)
         min_y, max_y = min(self._y), max(self._y)
         half = max(max_x - min_x, max_y - min_y) / 2.0 + 1e-9
-        self.root = _Cell((min_x + max_x) / 2.0, (min_y + max_y) / 2.0, half)
+        self.root = self._new_cell(
+            (min_x + max_x) / 2.0, (min_y + max_y) / 2.0, half
+        )
         for body in range(len(self._x)):
             self._insert(self.root, body, 0)
 
@@ -100,7 +443,7 @@ class QuadTree:
             child = cell.children[quadrant]
             if child is None:
                 ccx, ccy = cell.child_center(quadrant)
-                child = cell.children[quadrant] = _Cell(
+                child = cell.children[quadrant] = self._new_cell(
                     ccx, ccy, cell.half / 2.0
                 )
             cell = child
@@ -113,7 +456,9 @@ class QuadTree:
         child = parent.children[quadrant]
         if child is None:
             ccx, ccy = parent.child_center(quadrant)
-            child = parent.children[quadrant] = _Cell(ccx, ccy, parent.half / 2.0)
+            child = parent.children[quadrant] = self._new_cell(
+                ccx, ccy, parent.half / 2.0
+            )
         # Recount mass down this sub-path.
         m = self._m[body]
         cell = child
@@ -136,7 +481,9 @@ class QuadTree:
             nxt = cell.children[quadrant]
             if nxt is None:
                 ccx, ccy = cell.child_center(quadrant)
-                nxt = cell.children[quadrant] = _Cell(ccx, ccy, cell.half / 2.0)
+                nxt = cell.children[quadrant] = self._new_cell(
+                    ccx, ccy, cell.half / 2.0
+                )
             cell = nxt
             d += 1
 
@@ -163,7 +510,7 @@ class QuadTree:
             dy = y - cell.com_y
             dist2 = dx * dx + dy * dy
             size = cell.half * 2.0
-            if dist2 > 1e-12 and size * size < theta * theta * dist2:
+            if dist2 > _EPS2 and size * size < theta * theta * dist2:
                 count += 1
             else:
                 for child in cell.children:
@@ -201,16 +548,17 @@ class QuadTree:
                     ox = x - self._x[other]
                     oy = y - self._y[other]
                     d2 = ox * ox + oy * oy
-                    if d2 < 1e-12:
+                    if d2 < _EPS2:
                         # Co-located bodies: deterministic tiny kick.
-                        ox, oy, d2 = 0.31, 0.17, 0.125
+                        ox, oy, d2 = _KICK
                     f = charge * m * self._m[other] / d2
                     d = math.sqrt(d2)
                     fx += f * ox / d
                     fy += f * oy / d
+                    self.p2p_pairs += 1
                 continue
             size = cell.half * 2.0
-            if dist2 > 1e-12 and size * size < theta * theta * dist2:
+            if dist2 > _EPS2 and size * size < theta * theta * dist2:
                 f = charge * m * cell.mass / dist2
                 d = math.sqrt(dist2)
                 fx += f * dx / d

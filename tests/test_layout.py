@@ -354,6 +354,83 @@ class TestDynamicLayout:
         assert view.position("h3") == (500.0, 500.0)
 
 
+class TestRepulsionStats:
+    """The per-step counters every kernel must populate."""
+
+    KINDS = [("naive", "array"), ("barneshut", "array"), ("barneshut", "scalar")]
+
+    @pytest.mark.parametrize("algorithm,kernel", KINDS)
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_early_return_populates_counters(self, algorithm, kernel, n):
+        layout = make_layout(algorithm, seed=1, kernel=kernel)
+        for i in range(n):
+            layout.add_node(f"n{i}")
+        layout.step()
+        stats = layout.stats
+        assert stats["evals"] == (1 if n else 0)
+        assert stats["build_s"] == 0.0
+        assert stats["traverse_s"] == 0.0
+        assert stats["cells"] == 0
+        assert stats["p2p_pairs"] == 0
+
+    @pytest.mark.parametrize("algorithm,kernel", KINDS)
+    def test_real_step_populates_counters(self, algorithm, kernel):
+        layout = make_layout(algorithm, seed=2, kernel=kernel)
+        for i in range(12):
+            layout.add_node(f"n{i}")
+        layout.step()
+        stats = layout.stats
+        assert stats["evals"] == 1
+        assert stats["traverse_s"] > 0.0
+        assert stats["total_traverse_s"] == stats["traverse_s"]
+        if algorithm == "barneshut":
+            assert stats["cells"] > 0
+            assert stats["build_s"] > 0.0
+        else:
+            assert stats["cells"] == 0
+            assert stats["p2p_pairs"] == 12 * 11
+
+    def test_dynamic_layout_exposes_stats(self):
+        dyn = DynamicLayout()
+        assert dyn.stats is dyn.layout.stats
+
+
+class TestMakeLayoutValidation:
+    NON_FINITE = [float("nan"), float("inf"), float("-inf")]
+
+    @pytest.mark.parametrize("field", ["charge", "theta", "damping"])
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_non_finite_params_rejected_at_construction(self, field, value):
+        with pytest.raises(LayoutError):
+            LayoutParams(**{field: value})
+
+    @pytest.mark.parametrize("field", ["charge", "theta", "damping"])
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_make_layout_rejects_tampered_params(self, field, value):
+        # Frozen dataclasses validate in __post_init__, but a tampered
+        # instance can still smuggle NaN/inf in; make_layout is the
+        # last line of defense before the force model.
+        params = LayoutParams()
+        object.__setattr__(params, field, value)
+        with pytest.raises(LayoutError):
+            make_layout("barneshut", params)
+        with pytest.raises(LayoutError):
+            make_layout("naive", params)
+
+    def test_rebuild_drift_validated(self):
+        with pytest.raises(LayoutError):
+            LayoutParams(rebuild_drift=-0.1)
+        with pytest.raises(LayoutError):
+            LayoutParams(rebuild_drift=1.0)
+        LayoutParams(rebuild_drift=0.0)
+
+    def test_kernel_flag(self):
+        assert make_layout("barneshut").kernel == "array"
+        assert make_layout("barneshut", kernel="scalar").kernel == "scalar"
+        with pytest.raises(LayoutError):
+            make_layout("barneshut", kernel="gpu")
+
+
 @given(
     n=st.integers(min_value=2, max_value=25),
     seed=st.integers(min_value=0, max_value=10_000),

@@ -1,0 +1,294 @@
+"""Differential-testing net for the layout stack.
+
+The vectorized :class:`ArrayQuadTree` kernel is validated three ways
+over a pool of seeded random graphs (varied sizes, masses, co-located
+bodies):
+
+* with ``theta == 0`` its forces must match the exact pairwise
+  :class:`NaiveLayout` computation (different algorithm, same physics);
+* for realistic ``theta`` it must match the legacy scalar quadtree
+  walk (``kernel="scalar"``) — same tree, same opening criterion,
+  different execution strategy;
+* rerunning the identical scenario must be *byte-identical*, so layout
+  results are reproducible across runs.
+
+Plus the structural quadtree invariants the force computation relies
+on (mass conservation, center-of-mass consistency, MAX_DEPTH leaves).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.layout import ArrayQuadTree, LayoutParams, QuadTree, make_layout
+from repro.core.layout.quadtree import MAX_DEPTH
+
+# (n, seed, co-located pairs): 20 scenarios spanning tiny graphs,
+# mid-size graphs, and degenerate co-location-heavy ones.
+CASES = [
+    (2, 0, 0),
+    (3, 1, 0),
+    (4, 2, 1),
+    (5, 3, 0),
+    (8, 4, 2),
+    (13, 5, 0),
+    (21, 6, 3),
+    (34, 7, 0),
+    (55, 8, 5),
+    (89, 9, 0),
+    (144, 10, 6),
+    (233, 11, 0),
+    (40, 12, 20),
+    (60, 13, 0),
+    (100, 14, 0),
+    (150, 15, 10),
+    (200, 16, 0),
+    (300, 17, 0),
+    (32, 18, 16),
+    (64, 19, 0),
+]
+
+CASE_IDS = [f"n{n}-s{seed}-c{coloc}" for n, seed, coloc in CASES]
+
+
+def random_bodies(case):
+    """Deterministic positions and masses for one scenario."""
+    n, seed, coloc = case
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-200.0, 200.0, size=(n, 2))
+    masses = rng.uniform(0.5, 5.0, size=n)
+    for k in range(coloc):
+        pts[2 * k + 1] = pts[2 * k]
+    return pts, masses
+
+
+def seeded_layout(algorithm, case, theta, kernel="array", edges=False):
+    n, seed, _ = case
+    pts, masses = random_bodies(case)
+    layout = make_layout(
+        algorithm, LayoutParams(theta=theta), seed=seed, kernel=kernel
+    )
+    for i in range(n):
+        layout.add_node(
+            f"n{i}",
+            weight=float(masses[i]),
+            position=(float(pts[i, 0]), float(pts[i, 1])),
+        )
+    if edges:
+        for i in range(n - 1):
+            layout.add_edge(f"n{i}", f"n{i + 1}")
+    return layout
+
+
+def assert_forces_match(got, want):
+    scale = max(float(np.abs(want).max()), 1.0)
+    np.testing.assert_allclose(got, want, rtol=1e-9, atol=1e-9 * scale)
+
+
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_theta_zero_matches_naive_pairwise(case):
+    """(a) With theta=0 the vectorized kernel is exactly pairwise."""
+    bh = seeded_layout("barneshut", case, theta=0.0)
+    naive = seeded_layout("naive", case, theta=0.0)
+    assert_forces_match(bh._repulsion_forces(), naive._repulsion_forces())
+
+
+@pytest.mark.parametrize("theta", [0.5, 0.9, 1.2])
+@pytest.mark.parametrize("case", CASES, ids=CASE_IDS)
+def test_matches_legacy_scalar_walk(case, theta):
+    """(b) Array kernel == scalar oracle for realistic theta."""
+    arr = seeded_layout("barneshut", case, theta=theta)
+    oracle = seeded_layout("barneshut", case, theta=theta, kernel="scalar")
+    assert_forces_match(arr._repulsion_forces(), oracle._repulsion_forces())
+    # Same tree, too: the cell counts must agree exactly.
+    assert arr.stats["cells"] == oracle.stats["cells"]
+    assert arr.stats["p2p_pairs"] == oracle.stats["p2p_pairs"]
+
+
+@pytest.mark.parametrize("case", CASES[:8], ids=CASE_IDS[:8])
+def test_short_trajectories_match_oracle(case):
+    """A few relaxation steps stay within roundoff of the oracle."""
+
+    def run(kernel):
+        layout = seeded_layout(
+            "barneshut", case, theta=0.7, kernel=kernel, edges=True
+        )
+        for _ in range(10):
+            layout.step()
+        return layout._pos.copy()
+
+    arr, oracle = run("array"), run("scalar")
+    scale = max(float(np.abs(oracle).max()), 1.0)
+    np.testing.assert_allclose(arr, oracle, rtol=1e-6, atol=1e-6 * scale)
+
+
+@pytest.mark.parametrize("case", CASES[:6], ids=CASE_IDS[:6])
+def test_byte_identical_across_runs(case):
+    """(c) Same seed, same scenario -> bit-for-bit the same positions."""
+
+    def run():
+        layout = seeded_layout("barneshut", case, theta=0.7, edges=True)
+        for _ in range(12):
+            layout.step()
+        return layout._pos.tobytes()
+
+    assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# Quadtree structural invariants
+# ----------------------------------------------------------------------
+
+INVARIANT_CASES = [(1, 20, 0), (2, 21, 1), (17, 22, 3), (64, 23, 0), (200, 24, 10)]
+INVARIANT_IDS = [f"n{n}-s{s}-c{c}" for n, s, c in INVARIANT_CASES]
+
+
+def _scalar_cells(tree):
+    """Every (cell, depth) of a scalar QuadTree, root first."""
+    if tree.root is None:
+        return
+    stack = [(tree.root, 0)]
+    while stack:
+        cell, depth = stack.pop()
+        yield cell, depth
+        if cell.children is not None:
+            for child in cell.children:
+                if child is not None:
+                    stack.append((child, depth + 1))
+
+
+class TestQuadTreeInvariants:
+    @pytest.mark.parametrize("case", INVARIANT_CASES, ids=INVARIANT_IDS)
+    def test_root_mass_equals_body_total(self, case):
+        pts, masses = random_bodies(case)
+        arr = ArrayQuadTree(pts, masses)
+        scalar = QuadTree([tuple(p) for p in pts], list(masses))
+        total = float(masses.sum())
+        assert arr.mass[0] == pytest.approx(total, rel=1e-12)
+        assert scalar.root.mass == pytest.approx(total, rel=1e-12)
+
+    @pytest.mark.parametrize("case", INVARIANT_CASES, ids=INVARIANT_IDS)
+    def test_internal_com_is_children_weighted_com(self, case):
+        pts, masses = random_bodies(case)
+        arr = ArrayQuadTree(pts, masses)
+        internal = np.flatnonzero(~arr.is_leaf)
+        if internal.size:
+            children = arr.children[internal]
+            valid = children >= 0
+            safe = np.where(valid, children, 0)
+            child_mass = np.where(valid, arr.mass[safe], 0.0)
+            mass_sum = child_mass.sum(axis=1)
+            np.testing.assert_allclose(
+                mass_sum, arr.mass[internal], rtol=1e-9
+            )
+            for com, axis in ((arr.com_x, 0), (arr.com_y, 1)):
+                weighted = (child_mass * np.where(valid, com[safe], 0.0)).sum(
+                    axis=1
+                ) / mass_sum
+                np.testing.assert_allclose(weighted, com[internal], rtol=1e-9)
+        scalar = QuadTree([tuple(p) for p in pts], list(masses))
+        for cell, _depth in _scalar_cells(scalar):
+            if cell.children is None:
+                continue
+            kids = [c for c in cell.children if c is not None]
+            mass_sum = sum(k.mass for k in kids)
+            assert mass_sum == pytest.approx(cell.mass, rel=1e-9)
+            assert sum(k.mass * k.com_x for k in kids) / mass_sum == pytest.approx(
+                cell.com_x, rel=1e-9, abs=1e-9
+            )
+            assert sum(k.mass * k.com_y for k in kids) / mass_sum == pytest.approx(
+                cell.com_y, rel=1e-9, abs=1e-9
+            )
+
+    def test_colocated_bodies_share_a_max_depth_leaf(self):
+        pts = [(3.0, 4.0)] * 4
+        arr = ArrayQuadTree(pts)
+        deepest = int(arr.depth.max())
+        assert deepest == MAX_DEPTH
+        shared = np.flatnonzero(arr.leaf_count == 4)
+        assert shared.size == 1
+        assert arr.depth[shared[0]] == MAX_DEPTH
+        scalar = QuadTree(pts)
+        leaves = [
+            (cell, depth)
+            for cell, depth in _scalar_cells(scalar)
+            if cell.children is None and cell.bodies
+        ]
+        assert len(leaves) == 1
+        cell, depth = leaves[0]
+        assert sorted(cell.bodies) == [0, 1, 2, 3]
+        assert depth == MAX_DEPTH
+
+    def test_empty_and_single_body_trees_return_zero_force(self):
+        empty = ArrayQuadTree(np.zeros((0, 2)))
+        forces, pairs = empty.forces(np.zeros((0, 2)), np.zeros(0), 100.0, 0.7)
+        assert forces.shape == (0, 2) and pairs == 0
+        assert QuadTree([]).force_on(0, 100.0, 0.7) == (0.0, 0.0)
+        single = ArrayQuadTree([(1.0, 2.0)], [3.0])
+        forces, pairs = single.forces(
+            np.array([[1.0, 2.0]]), np.array([3.0]), 100.0, 0.7
+        )
+        assert forces.tolist() == [[0.0, 0.0]] and pairs == 0
+        assert QuadTree([(1.0, 2.0)], [3.0]).force_on(0, 100.0, 0.7) == (
+            0.0,
+            0.0,
+        )
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(Exception):
+            ArrayQuadTree(np.zeros((3, 3)))
+        with pytest.raises(Exception):
+            ArrayQuadTree([(0.0, 0.0)], [1.0, 2.0])
+        tree = ArrayQuadTree([(0.0, 0.0), (1.0, 1.0)])
+        with pytest.raises(Exception):
+            tree.forces(np.zeros((3, 2)), np.ones(3), 1.0, 0.5)
+
+
+class TestTreeReuse:
+    def test_tree_reused_until_drift_threshold(self):
+        # Weak charge: one step moves nodes far less than the drift
+        # limit, so the second step must reuse the first step's tree.
+        params = LayoutParams(charge=0.001, rebuild_drift=0.5)
+        layout = make_layout("barneshut", params, seed=1)
+        for i in range(30):
+            layout.add_node(f"n{i}", position=(float(i % 6) * 10, float(i // 6) * 10))
+        layout.step()
+        assert layout.stats["build_s"] > 0.0
+        layout.step()
+        # Tiny drift: the tree from step 1 is still in use.
+        assert layout.stats["build_s"] == 0.0
+
+    def test_drift_zero_rebuilds_every_step(self):
+        params = LayoutParams(rebuild_drift=0.0)
+        layout = make_layout("barneshut", params, seed=1)
+        for i in range(30):
+            layout.add_node(f"n{i}", position=(float(i % 6) * 10, float(i // 6) * 10))
+        layout.step()
+        layout.step()
+        assert layout.stats["build_s"] > 0.0
+
+    def test_structural_changes_invalidate_tree(self):
+        layout = make_layout("barneshut", LayoutParams(rebuild_drift=0.9), seed=1)
+        for i in range(10):
+            layout.add_node(f"n{i}", position=(float(i) * 5, 0.0))
+        layout.step()
+        layout.set_weight("n0", 50.0)
+        layout.step()
+        # The weight change forced a rebuild despite zero drift.
+        assert layout.stats["build_s"] > 0.0
+
+    def test_reused_tree_is_still_exact_at_theta_zero(self):
+        """theta=0 visits every leaf, so stale trees stay exact."""
+        params = LayoutParams(theta=0.0, rebuild_drift=0.9)
+        bh = make_layout("barneshut", params, seed=31)
+        naive = make_layout("naive", params, seed=31)
+        for layout in (bh, naive):
+            for i in range(20):
+                layout.add_node(f"n{i}")
+            for i in range(19):
+                layout.add_edge(f"n{i}", f"n{i + 1}")
+        for _ in range(15):
+            bh.step()
+            naive.step()
+        np.testing.assert_allclose(bh._pos, naive._pos, rtol=1e-9, atol=1e-6)

@@ -1,0 +1,122 @@
+"""Fig. 8-style transition-smoothness regression net.
+
+:class:`DynamicLayout` survives view changes: an aggregated node must
+appear at its members' centroid and a disaggregated member near its
+former group.  These snapshots pin that seeding behavior for *both*
+Barnes-Hut kernels, so swapping the vectorized kernel in (or any
+future kernel work) provably does not change the transition semantics
+that keep the analyst oriented when changing scale.
+"""
+
+import math
+
+import pytest
+
+from repro.core.layout import DynamicLayout
+from repro.core.visgraph import VisEdge, VisGraph, VisNode
+
+#: The seeding jitter is uniform(-1, 1) per axis, so a seeded node may
+#: land up to sqrt(2) away from its target; 2.5 leaves slack.
+SEED_RADIUS = 2.5
+
+
+def node(key, members):
+    return VisNode(
+        key=key,
+        label=key,
+        kind="host",
+        shape="square",
+        size_value=1.0,
+        size_px=10.0,
+        fill_fraction=None,
+        color="#888888",
+        members=tuple(members),
+        values={},
+    )
+
+
+def detailed_graph():
+    """Three hosts, a-b-c chain."""
+    return VisGraph(
+        [node("a", ["a"]), node("b", ["b"]), node("c", ["c"])],
+        [VisEdge("a", "b"), VisEdge("b", "c")],
+    )
+
+
+def collapsed_graph():
+    """a and b collapsed into group g, still linked to c."""
+    return VisGraph(
+        [node("g", ["a", "b"]), node("c", ["c"])],
+        [VisEdge("g", "c")],
+    )
+
+
+@pytest.mark.parametrize("kernel", ["array", "scalar"])
+class TestTransitionSeeding:
+    def test_aggregated_node_starts_at_member_centroid(self, kernel):
+        dyn = DynamicLayout(seed=5, kernel=kernel)
+        dyn.sync(detailed_graph())
+        dyn.settle()
+        ax, ay = dyn.position("a")
+        bx, by = dyn.position("b")
+        centroid = ((ax + bx) / 2.0, (ay + by) / 2.0)
+        created = dyn.sync(collapsed_graph())
+        assert set(created) == {"g"}
+        gx, gy = created["g"]
+        assert math.hypot(gx - centroid[0], gy - centroid[1]) < SEED_RADIUS
+
+    def test_disaggregated_members_reappear_near_group(self, kernel):
+        dyn = DynamicLayout(seed=6, kernel=kernel)
+        dyn.sync(collapsed_graph())
+        dyn.settle()
+        gx, gy = dyn.position("g")
+        created = dyn.sync(detailed_graph())
+        assert set(created) == {"a", "b"}
+        for key in ("a", "b"):
+            x, y = created[key]
+            assert math.hypot(x - gx, y - gy) < SEED_RADIUS
+
+    def test_survivors_keep_their_position_across_sync(self, kernel):
+        dyn = DynamicLayout(seed=7, kernel=kernel)
+        dyn.sync(detailed_graph())
+        dyn.settle()
+        before = dyn.position("c")
+        dyn.sync(collapsed_graph())
+        assert dyn.position("c") == before
+
+    def test_round_trip_returns_members_home(self, kernel):
+        """Collapse then expand: members come back near where they
+        were, not at a random respawn."""
+        dyn = DynamicLayout(seed=8, kernel=kernel)
+        dyn.sync(detailed_graph())
+        dyn.settle()
+        home = {k: dyn.position(k) for k in ("a", "b")}
+        dyn.sync(collapsed_graph())
+        created = dyn.sync(detailed_graph())
+        for key in ("a", "b"):
+            x, y = created[key]
+            hx, hy = home[key]
+            # Group seeded at the members' centroid, members reseeded at
+            # the group: total drift is bounded by two seeding hops plus
+            # half the original a-b separation.
+            ab = math.dist(home["a"], home["b"])
+            assert math.hypot(x - hx, y - hy) < ab / 2.0 + 2 * SEED_RADIUS
+
+
+def test_kernels_agree_on_seeding_decisions():
+    """The array and scalar kernels produce the same created-node set
+    and near-identical seeds for the same transition script."""
+
+    def script(kernel):
+        dyn = DynamicLayout(seed=9, kernel=kernel)
+        dyn.sync(detailed_graph())
+        dyn.settle(max_steps=30, tolerance=0.0)
+        created = dyn.sync(collapsed_graph())
+        return created
+
+    array = script("array")
+    scalar = script("scalar")
+    assert set(array) == set(scalar) == {"g"}
+    gx_a, gy_a = array["g"]
+    gx_s, gy_s = scalar["g"]
+    assert math.hypot(gx_a - gx_s, gy_a - gy_s) < 1e-3
