@@ -4,14 +4,32 @@
 topological-based representation": the Grid'5000 trace shrinks from
 thousands of drawable units at host level to a handful at grid level,
 while the aggregated totals stay exact.
+
+The scrub-loop bench adds the temporal half of the claim: sliding the
+time slice across the trace (the paper's interactive exploration) must
+be fast enough to animate, which the incremental
+:class:`~repro.core.AggregationEngine` achieves by integrating only the
+delta windows each move uncovers.  Its fast-vs-scalar speedup lands in
+``results/aggregation_scrub_speedup.json``.
+
+Set ``REPRO_BENCH_QUICK=1`` to swap the Grid'5000 simulation for a
+small synthetic trace in CI smoke runs.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
-from repro.core import TimeSlice
+from repro.core import AggregationEngine, TimeSlice
 from repro.core.aggregation import aggregate_view
 from repro.core.hierarchy import GroupingState, Hierarchy
-from repro.trace import CAPACITY
+from repro.trace import CAPACITY, USAGE
+from repro.trace.synthetic import random_hierarchical_trace
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
 LEVEL_NAMES = {0: "hosts", 3: "clusters", 2: "sites", 1: "grid"}
 
@@ -60,3 +78,98 @@ def test_aggregation_time_per_level(benchmark, grid_run, depth):
         iterations=1,
     )
     assert len(view) > 0
+
+
+#: The acceptance bar for the incremental engine over a scrub loop.
+SCRUB_MOVES = 40 if QUICK else 200
+SCRUB_FLOOR = 2.5 if QUICK else 5.0
+
+
+def test_slice_scrub_speedup(report, request):
+    """Scrub loop: slide the slice SCRUB_MOVES times, fast vs scalar.
+
+    The paper's interactive scenario — an aggregated site-level view of
+    the Grid'5000 run, with the analyst dragging the time slice — timed
+    once through the scalar oracle ``aggregate_view`` and once through
+    the incremental ``AggregationEngine`` over the same slide sequence.
+    Both must produce the same values; the engine must win by riding the
+    delta-window path, not by skipping work.  Numbers are recorded in
+    ``results/aggregation_scrub_speedup.json``.
+    """
+    if QUICK:
+        trace = random_hierarchical_trace(
+            n_sites=4, clusters_per_site=3, hosts_per_cluster=6, seed=5
+        )
+    else:
+        trace = request.getfixturevalue("grid_run")["trace"]
+    grouping = GroupingState(Hierarchy.from_trace(trace))
+    grouping.collapse_depth(2)  # the site-level view of Fig. 8
+    start, end = trace.span()
+    width = (end - start) / 10.0
+    step = (end - start - width) / (SCRUB_MOVES - 1)
+    slices = [
+        TimeSlice(start + i * step, start + i * step + width)
+        for i in range(SCRUB_MOVES)
+    ]
+    metrics = [CAPACITY, USAGE]
+
+    # Scalar oracle: every move recomputes from scratch, so a subsample
+    # of the slide sequence is enough to price one move.
+    scalar_slices = slices if QUICK else slices[::5]
+    scalar_view = aggregate_view(trace, grouping, slices[0], metrics=metrics)
+    began = time.perf_counter()
+    for tslice in scalar_slices:
+        scalar_view = aggregate_view(trace, grouping, tslice, metrics=metrics)
+    scalar_per_move = (time.perf_counter() - began) / len(scalar_slices)
+
+    engine = AggregationEngine(trace)
+    engine.view(grouping, slices[0], metrics=metrics)  # warm caches
+    began = time.perf_counter()
+    for tslice in slices:
+        fast_view = engine.view(grouping, tslice, metrics=metrics)
+    fast_per_move = (time.perf_counter() - began) / len(slices)
+    speedup = scalar_per_move / fast_per_move
+
+    # Same final slice, same values — and the stats must prove the
+    # incremental paths were taken, not a degenerate recomputation.
+    assert list(fast_view.units) == list(scalar_view.units)
+    for key, want in scalar_view.units.items():
+        for metric, ref in want.values.items():
+            got = fast_view.units[key].values[metric]
+            assert got == pytest.approx(ref, rel=1e-9, abs=1e-9)
+    stats = engine.stats
+    assert stats["slice_delta"] > stats["slice_full"]
+    assert stats["advance_rounds"] > 0
+
+    payload = {
+        "quick": QUICK,
+        "entities": len(trace),
+        "units": len(fast_view.units),
+        "moves": SCRUB_MOVES,
+        "scalar_moves_timed": len(scalar_slices),
+        "scalar_per_move_s": scalar_per_move,
+        "fast_per_move_s": fast_per_move,
+        "speedup": speedup,
+        "floor": SCRUB_FLOOR,
+        "stats": {
+            k: v for k, v in stats.items() if not k.endswith("_ns")
+        },
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "aggregation_scrub_speedup.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    report(
+        "aggregation_scrub_speedup",
+        [
+            f"entities={len(trace)}  units={len(fast_view.units)}"
+            f"  moves={SCRUB_MOVES}",
+            f"scalar  {scalar_per_move * 1000:8.2f} ms/move"
+            f"  ({len(scalar_slices)} timed)",
+            f"fast    {fast_per_move * 1000:8.2f} ms/move"
+            f"  (delta={stats['slice_delta']}, full={stats['slice_full']})",
+            f"speedup: {speedup:.1f}x (floor {SCRUB_FLOOR}x)",
+        ],
+    )
+    assert speedup >= SCRUB_FLOOR

@@ -5,6 +5,7 @@ dynamic, interactive force-directed graph layout (Sections 3.3/4.2),
 driven through :class:`AnalysisSession`.
 """
 
+from repro.core.aggengine import AggregationEngine, SliceCache, make_aggregator
 from repro.core.aggregation import (
     AggregatedEdge,
     AggregatedUnit,
@@ -43,6 +44,7 @@ __all__ = [
     "SHAPES",
     "AggregatedEdge",
     "AggregatedUnit",
+    "AggregationEngine",
     "ArrayQuadTree",
     "AggregatedView",
     "AnalysisSession",
@@ -58,6 +60,7 @@ __all__ = [
     "QuadTree",
     "ScaleSet",
     "ShapeRule",
+    "SliceCache",
     "SvgRenderer",
     "CommArrow",
     "CommMatrix",
@@ -75,6 +78,7 @@ __all__ = [
     "animation_frames",
     "build_visgraph",
     "export_animation_html",
+    "make_aggregator",
     "make_layout",
     "render_ascii",
     "render_svg",

@@ -1,0 +1,423 @@
+"""The incremental aggregation engine: Equation 1 at interactive rates.
+
+:func:`~repro.core.aggregation.aggregate_view` recomputes both halves
+of Equation 1 from scratch — per entity, in Python — every time it is
+called.  That is the same hot-path shape the vectorized Barnes-Hut
+kernel removed from the layout (PR 1), and it dominates the view loop
+when the analyst scrubs the time slice or toggles a group.
+:class:`AggregationEngine` produces *identical* views (the legacy
+function is kept as the differential-testing oracle, selected with
+``AnalysisSession(engine="scalar")``) from three cooperating caches:
+
+* a **temporal cache** (:class:`SliceCache`) per metric: one
+  :class:`~repro.trace.signalbank.SignalBank` holds every entity's
+  breakpoints and prefix sums; when the slice moves, per-entity cursors
+  advance only over the breakpoints actually crossed (the delta
+  windows) instead of re-bisecting the whole trace;
+* a **structure cache** keyed on ``(grouping identity,
+  GroupingState.revision)``: unit memberships, labels and the merged
+  edge multiplicities are rebuilt only when the analyst actually
+  collapses or expands something — never on a slice move;
+* a **spatial memo** per metric: combined unit values are reused
+  wholesale when nothing changed, and when only the grouping changed
+  (same slice) units whose membership is untouched keep their combined
+  value — only the affected units are recombined.
+
+Every decision is counted in :attr:`AggregationEngine.stats` (mirroring
+``ForceLayout.stats``), so benchmarks and the differential suite can
+assert that deltas were actually taken.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import (
+    AggregatedEdge,
+    AggregatedUnit,
+    AggregatedView,
+    unit_key,
+)
+from repro.core.hierarchy import GroupingState, Path
+from repro.core.timeslice import TimeSlice
+from repro.errors import AggregationError
+from repro.trace.signalbank import SignalBank
+from repro.trace.trace import Trace
+
+__all__ = ["AggregationEngine", "SliceCache", "make_aggregator"]
+
+
+class SliceCache:
+    """Incremental temporal aggregation of one metric's signal bank.
+
+    Keeps the per-entity breakpoint cursors of the current slice's two
+    endpoints plus the resulting slice means.  Moving to a new slice
+    costs one :meth:`SignalBank.advance` per endpoint — proportional to
+    the breakpoints crossed, not to the trace size.  A move larger than
+    *advance_cap* vectorized rounds falls back to a full re-bisection
+    (:meth:`SignalBank.locate`), which is still a handful of NumPy
+    calls.
+    """
+
+    def __init__(
+        self, bank: SignalBank, stats: dict, advance_cap: int = 64
+    ) -> None:
+        self.bank = bank
+        self.stats = stats
+        self.advance_cap = advance_cap
+        self._slice: tuple[float, float] | None = None
+        self._idx_start: np.ndarray | None = None
+        self._idx_end: np.ndarray | None = None
+        self._means: np.ndarray | None = None
+
+    def means(self, tslice: TimeSlice) -> np.ndarray:
+        """Per-row slice means for *tslice* (do not mutate the result).
+
+        Counts one of ``slice_hits`` / ``slice_delta`` / ``slice_full``
+        in the shared stats dict, plus the cursor ``advance_rounds``
+        taken on the delta path.
+        """
+        key = tslice.as_tuple()
+        if self._slice == key and self._means is not None:
+            self.stats["slice_hits"] += 1
+            return self._means
+        began = time.perf_counter_ns()
+        start, end = key
+        bank = self.bank
+        if self._slice is None:
+            self._idx_start = bank.locate(start)
+            self._idx_end = bank.locate(end)
+            self.stats["slice_full"] += 1
+        else:
+            rounds_start = bank.advance(self._idx_start, start, self.advance_cap)
+            rounds_end = bank.advance(self._idx_end, end, self.advance_cap)
+            if rounds_start is None or rounds_end is None:
+                if rounds_start is None:
+                    self._idx_start = bank.locate(start)
+                if rounds_end is None:
+                    self._idx_end = bank.locate(end)
+                self.stats["slice_full"] += 1
+            else:
+                self.stats["slice_delta"] += 1
+                self.stats["advance_rounds"] += rounds_start + rounds_end
+        if end == start:
+            means = bank.values_at(start, self._idx_start)
+        else:
+            means = bank.integrals_between(
+                start, end, self._idx_start, self._idx_end
+            ) / (end - start)
+        self._slice = key
+        self._means = means
+        self.stats["temporal_ns"] += time.perf_counter_ns() - began
+        return means
+
+
+class _Structure:
+    """The slice-independent half of one view: units and edges.
+
+    Valid for one ``(grouping, revision)`` pair; rebuilding it is the
+    only per-interaction cost of collapsing/expanding groups, and slice
+    scrubbing reuses it untouched.
+    """
+
+    __slots__ = (
+        "grouping",
+        "revision",
+        "unit_order",
+        "members",
+        "meta",
+        "labels",
+        "entity_unit",
+        "edges",
+        "_metric_layouts",
+    )
+
+    def __init__(self, trace: Trace, grouping: GroupingState) -> None:
+        self.grouping = grouping
+        self.revision = grouping.revision
+        members: dict[str, list[str]] = {}
+        meta: dict[str, tuple[Path | None, str]] = {}
+        for entity in trace:
+            group = grouping.unit_of(entity.name)
+            key = unit_key(group, entity.kind, entity.name)
+            members.setdefault(key, []).append(entity.name)
+            meta[key] = (group, entity.kind)
+        self.unit_order = list(members)
+        self.members = {key: tuple(names) for key, names in members.items()}
+        self.meta = meta
+        self.labels = {
+            key: "/".join(meta[key][0])
+            if meta[key][0] is not None
+            else members[key][0]
+            for key in self.unit_order
+        }
+        self.entity_unit = {
+            name: key for key, names in members.items() for name in names
+        }
+        multiplicity: dict[tuple[str, str], int] = {}
+        for edge in trace.edges:
+            if edge.via:
+                pairs = ((edge.a, edge.via), (edge.via, edge.b))
+            else:
+                pairs = ((edge.a, edge.b),)
+            for x, y in pairs:
+                ux, uy = self.entity_unit[x], self.entity_unit[y]
+                if ux == uy:
+                    continue  # internal to an aggregate
+                pair = (ux, uy) if ux <= uy else (uy, ux)
+                multiplicity[pair] = multiplicity.get(pair, 0) + 1
+        self.edges = [
+            AggregatedEdge(a, b, count)
+            for (a, b), count in sorted(multiplicity.items())
+        ]
+        self._metric_layouts: dict[
+            str, tuple[list[str], np.ndarray, np.ndarray]
+        ] = {}
+
+    def metric_layout(
+        self, metric: str, row_of: dict[str, int]
+    ) -> tuple[list[str], np.ndarray, np.ndarray]:
+        """``(keys, rows, offsets)`` for vectorized per-unit combination.
+
+        *keys* are the units with at least one member carrying *metric*
+        (view order); ``rows[offsets[i]:offsets[i+1]]`` are bank rows of
+        ``keys[i]``'s members, in member order.
+        """
+        cached = self._metric_layouts.get(metric)
+        if cached is None:
+            keys: list[str] = []
+            rows: list[int] = []
+            offsets = [0]
+            for key in self.unit_order:
+                unit_rows = [
+                    row_of[name] for name in self.members[key] if name in row_of
+                ]
+                if unit_rows:
+                    keys.append(key)
+                    rows.extend(unit_rows)
+                    offsets.append(len(rows))
+            cached = (
+                keys,
+                np.asarray(rows, dtype=np.intp),
+                np.asarray(offsets, dtype=np.intp),
+            )
+            self._metric_layouts[metric] = cached
+        return cached
+
+
+class AggregationEngine:
+    """Cached, vectorized production of :class:`AggregatedView`\\ s.
+
+    Drop-in faster equivalent of calling
+    :func:`~repro.core.aggregation.aggregate_view` per interaction; the
+    views it returns match the oracle to roundoff (enforced by
+    ``tests/test_aggregation_differential.py``).
+
+    Cache invalidation rules:
+
+    * slice unchanged, grouping unchanged → everything is a cache hit;
+    * slice moved → temporal delta update (cursor advance over crossed
+      breakpoints) + vectorized recombination of all units;
+    * grouping changed (``GroupingState.revision`` bumped) → structure
+      rebuild; with an unchanged slice only the units whose membership
+      changed are recombined;
+    * a different grouping *object* or trace mutation → build a fresh
+      engine (signals are immutable, so banks never go stale).
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        space_op: Callable[[Sequence[float]], float] = sum,
+        advance_cap: int = 64,
+    ) -> None:
+        self.trace = trace
+        self.space_op = space_op
+        self.advance_cap = advance_cap
+        self._banks: dict[str, tuple[SignalBank, dict[str, int]]] = {}
+        self._slice_caches: dict[str, SliceCache] = {}
+        self._structure: _Structure | None = None
+        #: per-metric spatial memo: {"slice", "struct", "values"}
+        self._combined: dict[str, dict] = {}
+        #: decision and timing counters, mirroring ``ForceLayout.stats``
+        self.stats: dict[str, int] = {
+            "views": 0,
+            "slice_hits": 0,
+            "slice_delta": 0,
+            "slice_full": 0,
+            "advance_rounds": 0,
+            "struct_hits": 0,
+            "struct_rebuilds": 0,
+            "combine_hits": 0,
+            "combine_full": 0,
+            "combine_partial": 0,
+            "units_reused": 0,
+            "units_recombined": 0,
+            "temporal_ns": 0,
+            "combine_ns": 0,
+            "view_ns": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Cache layers
+    # ------------------------------------------------------------------
+    def _bank(self, metric: str) -> tuple[SignalBank, dict[str, int]]:
+        entry = self._banks.get(metric)
+        if entry is None:
+            names = [e.name for e in self.trace if metric in e.metrics]
+            bank = SignalBank(
+                [self.trace.entity(name).metrics[metric] for name in names]
+            )
+            entry = (bank, {name: row for row, name in enumerate(names)})
+            self._banks[metric] = entry
+            self._slice_caches[metric] = SliceCache(
+                bank, self.stats, self.advance_cap
+            )
+        return entry
+
+    def _structure_for(self, grouping: GroupingState) -> _Structure:
+        structure = self._structure
+        if (
+            structure is not None
+            and structure.grouping is grouping
+            and structure.revision == grouping.revision
+        ):
+            self.stats["struct_hits"] += 1
+            return structure
+        structure = _Structure(self.trace, grouping)
+        self._structure = structure
+        self.stats["struct_rebuilds"] += 1
+        return structure
+
+    def _combine_segment(self, segment: np.ndarray) -> float:
+        if self.space_op is sum:
+            return float(np.add.reduce(segment))
+        return self.space_op(segment.tolist())
+
+    def _unit_values(
+        self, metric: str, structure: _Structure, tslice: TimeSlice
+    ) -> dict[str, float]:
+        """Combined value per unit for one metric (the spatial memo)."""
+        bank, row_of = self._bank(metric)
+        slice_key = tslice.as_tuple()
+        memo = self._combined.get(metric)
+        if (
+            memo is not None
+            and memo["slice"] == slice_key
+            and memo["struct"] is structure
+        ):
+            self.stats["combine_hits"] += 1
+            return memo["values"]
+        means = self._slice_caches[metric].means(tslice)
+        keys, rows, offsets = structure.metric_layout(metric, row_of)
+        began = time.perf_counter_ns()
+        values: dict[str, float]
+        if memo is not None and memo["slice"] == slice_key:
+            # Same slice, new grouping: only units whose membership
+            # changed need their space_op re-evaluated.
+            old_members = memo["struct"].members
+            old_values = memo["values"]
+            values = {}
+            for i, key in enumerate(keys):
+                if (
+                    key in old_values
+                    and old_members.get(key) == structure.members[key]
+                ):
+                    values[key] = old_values[key]
+                    self.stats["units_reused"] += 1
+                else:
+                    values[key] = self._combine_segment(
+                        means[rows[offsets[i] : offsets[i + 1]]]
+                    )
+                    self.stats["units_recombined"] += 1
+            self.stats["combine_partial"] += 1
+        else:
+            if self.space_op is sum and keys:
+                combined = np.add.reduceat(means[rows], offsets[:-1])
+                values = dict(zip(keys, combined.tolist()))
+            else:
+                values = {
+                    key: self._combine_segment(
+                        means[rows[offsets[i] : offsets[i + 1]]]
+                    )
+                    for i, key in enumerate(keys)
+                }
+            self.stats["combine_full"] += 1
+            self.stats["units_recombined"] += len(keys)
+        self.stats["combine_ns"] += time.perf_counter_ns() - began
+        self._combined[metric] = {
+            "slice": slice_key,
+            "struct": structure,
+            "values": values,
+        }
+        return values
+
+    # ------------------------------------------------------------------
+    # View production
+    # ------------------------------------------------------------------
+    def view(
+        self,
+        grouping: GroupingState,
+        tslice: TimeSlice,
+        metrics: Sequence[str] | None = None,
+    ) -> AggregatedView:
+        """The aggregated view for the current scales — fast path.
+
+        Semantically identical to
+        ``aggregate_view(trace, grouping, tslice, metrics, space_op)``.
+        """
+        began = time.perf_counter_ns()
+        structure = self._structure_for(grouping)
+        metric_names = (
+            list(metrics) if metrics is not None else self.trace.metric_names()
+        )
+        per_metric = [
+            (metric, self._unit_values(metric, structure, tslice))
+            for metric in metric_names
+        ]
+        units: dict[str, AggregatedUnit] = {}
+        for key in structure.unit_order:
+            values: dict[str, float] = {}
+            for metric, unit_values in per_metric:
+                value = unit_values.get(key)
+                if value is not None:
+                    values[metric] = value
+            group, kind = structure.meta[key]
+            units[key] = AggregatedUnit(
+                key=key,
+                label=structure.labels[key],
+                kind=kind,
+                members=structure.members[key],
+                group=group,
+                values=values,
+            )
+        view = AggregatedView(
+            units=units, edges=list(structure.edges), tslice=tslice
+        )
+        self.stats["views"] += 1
+        self.stats["view_ns"] += time.perf_counter_ns() - began
+        view.stats = dict(self.stats)
+        return view
+
+
+def make_aggregator(
+    engine: str,
+    trace: Trace,
+    space_op: Callable[[Sequence[float]], float] = sum,
+) -> AggregationEngine | None:
+    """``AggregationEngine`` for ``"fast"``, ``None`` for ``"scalar"``.
+
+    The scalar oracle path is the plain
+    :func:`~repro.core.aggregation.aggregate_view` call sites already
+    use; sessions switch with ``AnalysisSession(engine="scalar")``.
+    """
+    if engine == "fast":
+        return AggregationEngine(trace, space_op=space_op)
+    if engine == "scalar":
+        return None
+    raise AggregationError(
+        f"unknown aggregation engine {engine!r}; pick 'fast' or 'scalar'"
+    )

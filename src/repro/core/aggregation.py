@@ -67,11 +67,18 @@ class AggregatedEdge:
 
 @dataclass
 class AggregatedView:
-    """The unstyled aggregated graph for one time slice."""
+    """The unstyled aggregated graph for one time slice.
+
+    ``stats`` carries a snapshot of the producing
+    :class:`~repro.core.aggengine.AggregationEngine` counters (cache
+    hits, delta vs full integrations, ns timings); the scalar oracle
+    path leaves it empty.
+    """
 
     units: dict[str, AggregatedUnit]
     edges: list[AggregatedEdge]
     tslice: TimeSlice
+    stats: dict = field(default_factory=dict)
 
     def unit(self, key: str) -> AggregatedUnit:
         """The unit with *key*, raising when unknown."""
@@ -117,6 +124,14 @@ def aggregate_view(
     space_op: Callable[[Sequence[float]], float] = sum,
 ) -> AggregatedView:
     """Build the aggregated view of *trace* for the current scales.
+
+    This is the straightforward per-entity, from-scratch reference
+    implementation — the **scalar oracle** of the differential-testing
+    net.  The production view loop uses
+    :class:`~repro.core.aggengine.AggregationEngine`, which must match
+    this function to roundoff on any input
+    (``tests/test_aggregation_differential.py``); sessions pick the
+    path with ``AnalysisSession(engine="fast" | "scalar")``.
 
     Parameters
     ----------

@@ -137,21 +137,39 @@ class GroupingState:
     def __init__(self, hierarchy: Hierarchy) -> None:
         self.hierarchy = hierarchy
         self._collapsed: set[Path] = set()
+        self._revision = 0
 
     @property
     def collapsed(self) -> frozenset[Path]:
         return frozenset(self._collapsed)
+
+    @property
+    def revision(self) -> int:
+        """Monotone counter bumped on every *effective* grouping change.
+
+        The fast aggregation engine keys its spatial memo on this: an
+        unchanged revision guarantees the unit structure (memberships,
+        edges) of the previous view is still valid.  No-op calls
+        (collapsing an already-collapsed group, expanding a detailed
+        one) do not bump it.
+        """
+        return self._revision
 
     def collapse(self, path: Path | Iterable[str]) -> None:
         """Aggregate everything under *path* into one unit per kind."""
         path = tuple(path)
         if not self.hierarchy.is_group(path):
             raise HierarchyError(f"{path!r} is not a group")
-        self._collapsed.add(path)
+        if path not in self._collapsed:
+            self._collapsed.add(path)
+            self._revision += 1
 
     def expand(self, path: Path | Iterable[str]) -> None:
         """Undo :meth:`collapse` of exactly *path* (no-op if not collapsed)."""
-        self._collapsed.discard(tuple(path))
+        path = tuple(path)
+        if path in self._collapsed:
+            self._collapsed.discard(path)
+            self._revision += 1
 
     def collapse_depth(self, depth: int) -> None:
         """Collapse every group at *depth*: the per-level views of Fig. 8.
@@ -161,11 +179,15 @@ class GroupingState:
         collapse state is preserved but shadowed by the outermost level.
         """
         for group in self.hierarchy.groups_at_depth(depth):
-            self._collapsed.add(group)
+            if group not in self._collapsed:
+                self._collapsed.add(group)
+                self._revision += 1
 
     def expand_all(self) -> None:
         """Back to the fully detailed (host-level) view."""
-        self._collapsed.clear()
+        if self._collapsed:
+            self._collapsed.clear()
+            self._revision += 1
 
     def unit_of(self, entity: str) -> Path | None:
         """The collapsed group displaying *entity*, or None if detailed.

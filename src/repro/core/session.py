@@ -22,6 +22,7 @@ import json
 import pathlib
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.core.aggengine import AggregationEngine, make_aggregator
 from repro.core.aggregation import aggregate_view
 from repro.core.hierarchy import GroupingState, Hierarchy, Path
 from repro.core.layout.engine import DynamicLayout
@@ -56,6 +57,13 @@ class AnalysisSession:
         Spatial combination of member values (default: sum).
     seed:
         Layout determinism seed.
+    engine:
+        Aggregation path: ``"fast"`` (default, the incremental
+        :class:`~repro.core.aggengine.AggregationEngine`) or
+        ``"scalar"`` (the legacy from-scratch
+        :func:`~repro.core.aggregation.aggregate_view`, kept as the
+        differential-testing oracle — exactly like the layout's
+        ``kernel="scalar"``).
     """
 
     def __init__(
@@ -67,6 +75,7 @@ class AnalysisSession:
         space_op: Callable[[Sequence[float]], float] = sum,
         seed: int = 0,
         max_pixel: float = 60.0,
+        engine: str = "fast",
     ) -> None:
         self.trace = trace
         self.hierarchy = Hierarchy.from_trace(trace)
@@ -74,6 +83,10 @@ class AnalysisSession:
         self.mapping = mapping if mapping is not None else VisualMapping.paper_default()
         self.scales = ScaleSet(max_pixel=max_pixel)
         self.space_op = space_op
+        self.engine = engine
+        self._aggregator: AggregationEngine | None = make_aggregator(
+            engine, trace, space_op=space_op
+        )
         self.dynamic = DynamicLayout(layout_algorithm, layout_params, seed)
         start, end = trace.span()
         self._tslice = TimeSlice(start, end)
@@ -165,6 +178,13 @@ class AnalysisSession:
         """Freeze a node where it stands."""
         self.dynamic.pin(key, pinned)
 
+    @property
+    def aggregation_stats(self) -> dict:
+        """Counters of the fast aggregation engine (cache hits, delta
+        vs full integrations, ns timings) — the aggregation analogue of
+        :attr:`DynamicLayout.stats`.  Empty for ``engine="scalar"``."""
+        return dict(self._aggregator.stats) if self._aggregator else {}
+
     # ------------------------------------------------------------------
     # Session persistence
     # ------------------------------------------------------------------
@@ -238,13 +258,18 @@ class AnalysisSession:
         metrics: Sequence[str] | None = None,
     ) -> TopologyView:
         """Build the view for the current time slice and grouping."""
-        aggregated = aggregate_view(
-            self.trace,
-            self.grouping,
-            self._tslice,
-            metrics=metrics,
-            space_op=self.space_op,
-        )
+        if self._aggregator is not None:
+            aggregated = self._aggregator.view(
+                self.grouping, self._tslice, metrics=metrics
+            )
+        else:
+            aggregated = aggregate_view(
+                self.trace,
+                self.grouping,
+                self._tslice,
+                metrics=metrics,
+                space_op=self.space_op,
+            )
         if not aggregated.units:
             raise AggregationError("the trace has no entities to display")
         graph = build_visgraph(aggregated, self.mapping, self.scales)

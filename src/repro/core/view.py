@@ -44,6 +44,14 @@ class TopologyView:
     def edges(self) -> tuple[VisEdge, ...]:
         return self.graph.edges
 
+    @property
+    def agg_stats(self) -> dict:
+        """Aggregation-engine counter snapshot taken when this frame's
+        :class:`AggregatedView` was produced (cache hits, delta vs full
+        integrations, ns timings).  Empty when the frame came from the
+        scalar oracle path."""
+        return self.aggregated.stats
+
     def position(self, key: str) -> tuple[float, float]:
         """The layout position of node *key*."""
         try:

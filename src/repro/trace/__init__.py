@@ -17,6 +17,7 @@ from repro.trace.connect import (
 from repro.trace.filter import filter_trace
 from repro.trace.reader import loads, read_trace
 from repro.trace.signal import Signal, SignalBuilder, combine, constant
+from repro.trace.signalbank import SignalBank
 from repro.trace.trace import (
     CAPACITY,
     USAGE,
@@ -34,6 +35,7 @@ __all__ = [
     "MetricInfo",
     "PointEvent",
     "Signal",
+    "SignalBank",
     "SignalBuilder",
     "Trace",
     "TraceBuilder",

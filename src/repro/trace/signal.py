@@ -16,6 +16,8 @@ import math
 from bisect import bisect_right
 from typing import Callable, Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import SignalError
 
 __all__ = ["Signal", "SignalBuilder", "combine", "constant"]
@@ -38,7 +40,7 @@ class Signal:
         Value taken on ``(-inf, times[0])``.
     """
 
-    __slots__ = ("_times", "_values", "_initial")
+    __slots__ = ("_times", "_values", "_initial", "_np")
 
     def __init__(
         self,
@@ -63,6 +65,7 @@ class Signal:
         self._times = times
         self._values = values
         self._initial = float(initial)
+        self._np: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -131,11 +134,26 @@ class Signal:
 
     # ------------------------------------------------------------------
     # Integration — the temporal half of Equation 1
+    #
+    # Window semantics (shared by the scalar and batch forms, and by the
+    # fast aggregation engine built on top):
+    #
+    # * a **reversed** window (``end < start``) raises :class:`SignalError`;
+    # * a **zero-width** window degenerates gracefully — ``integrate``
+    #   returns 0, ``mean`` the instantaneous (right-continuous) value at
+    #   *start*, ``variance`` 0;
+    # * **non-finite** bounds raise :class:`SignalError` (they would
+    #   otherwise silently produce NaN).
     # ------------------------------------------------------------------
+    def _check_window(self, start: float, end: float) -> None:
+        if not (math.isfinite(start) and math.isfinite(end)):
+            raise SignalError(f"non-finite window [{start!r}, {end!r}]")
+        if end < start:
+            raise SignalError(f"reversed window [{start}, {end}]")
+
     def integrate(self, start: float, end: float) -> float:
         """Exact integral of the signal over ``[start, end]``."""
-        if end < start:
-            raise SignalError(f"empty integration interval [{start}, {end}]")
+        self._check_window(start, end)
         if end == start:
             return 0.0
         total = 0.0
@@ -155,8 +173,11 @@ class Signal:
 
         This is the value a time slice of width ``Delta = end - start``
         maps onto a node property (Section 3.2.1).  A zero-width slice
-        degenerates to the instantaneous value at *start*.
+        degenerates to the instantaneous value at *start* (the paper's
+        point cursors); a reversed or non-finite window raises
+        :class:`SignalError`.
         """
+        self._check_window(start, end)
         if end == start:
             return self.value_at(start)
         return self.integrate(start, end) / (end - start)
@@ -172,8 +193,7 @@ class Signal:
     def _extremum(
         self, start: float, end: float, pick: Callable[[float, float], float]
     ) -> float:
-        if end < start:
-            raise SignalError(f"empty interval [{start}, {end}]")
+        self._check_window(start, end)
         idx = bisect_right(self._times, start)
         best = self._initial if idx == 0 else self._values[idx - 1]
         while idx < len(self._times) and self._times[idx] < end:
@@ -187,7 +207,8 @@ class Signal:
         Supports the paper's future-work item of attaching statistical
         indicators to aggregated values (Section 6, second bullet).
         """
-        if end <= start:
+        self._check_window(start, end)
+        if end == start:
             return 0.0
         mu = self.mean(start, end)
         total = 0.0
@@ -201,6 +222,103 @@ class Signal:
             idx += 1
         total += (current - mu) ** 2 * (end - cursor)
         return total / (end - start)
+
+    # ------------------------------------------------------------------
+    # Batch (NumPy) form — many windows at once
+    # ------------------------------------------------------------------
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(times, values, prefix)`` as float64 arrays, lazily cached.
+
+        ``prefix[i]`` is the cumulative integral from ``times[0]`` to
+        ``times[i]``; together with two :func:`numpy.searchsorted`
+        calls it turns any ``integrate(a, b)`` into O(log n) arithmetic
+        instead of a walk over the breakpoints — the substrate of the
+        batch methods below and of
+        :class:`~repro.trace.signalbank.SignalBank`.
+        """
+        if self._np is None:
+            times = np.asarray(self._times, dtype=float)
+            values = np.asarray(self._values, dtype=float)
+            prefix = np.zeros(len(times), dtype=float)
+            if len(times) > 1:
+                np.cumsum(values[:-1] * np.diff(times), out=prefix[1:])
+            self._np = (times, values, prefix)
+        return self._np
+
+    def _as_windows(
+        self, starts: Sequence[float], ends: Sequence[float]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        starts = np.asarray(starts, dtype=float)
+        ends = np.asarray(ends, dtype=float)
+        if starts.shape != ends.shape:
+            raise SignalError(
+                f"window arrays differ in shape: {starts.shape} vs {ends.shape}"
+            )
+        if not (np.isfinite(starts).all() and np.isfinite(ends).all()):
+            raise SignalError("non-finite window bound in batch integration")
+        if (ends < starts).any():
+            raise SignalError("reversed window in batch integration")
+        return starts, ends
+
+    def integrate_many(
+        self, starts: Sequence[float], ends: Sequence[float]
+    ) -> np.ndarray:
+        """Exact integrals over many windows: two searchsorted calls.
+
+        Equivalent to ``[self.integrate(a, b) for a, b in zip(...)]``
+        (same window semantics) but vectorized via the cached
+        prefix-sum arrays.  Each window is decomposed into boundary
+        partials plus a prefix-sum difference over the interior
+        breakpoints — NOT the antiderivative difference ``F(b) - F(a)``,
+        which cancels catastrophically when the window is tiny relative
+        to its distance from a breakpoint.  A window inside one segment
+        is literally ``value * width``.
+        """
+        starts, ends = self._as_windows(starts, ends)
+        times, values, prefix = self.arrays()
+        if not len(times):
+            return self._initial * (ends - starts)
+        idx_s = np.searchsorted(times, starts, side="right")
+        idx_e = np.searchsorted(times, ends, side="right")
+        v_start = np.where(
+            idx_s > 0, values[np.maximum(idx_s - 1, 0)], self._initial
+        )
+        out = v_start * (ends - starts)  # same-segment windows: exact
+        cross = idx_s < idx_e
+        if cross.any():
+            s, e = idx_s[cross], idx_e[cross]
+            out[cross] = (
+                v_start[cross] * (times[s] - starts[cross])
+                + (prefix[e - 1] - prefix[s])
+                + values[e - 1] * (ends[cross] - times[e - 1])
+            )
+        return out
+
+    def values_at_many(self, at: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`value_at` (right-continuous)."""
+        at = np.asarray(at, dtype=float)
+        times, values, _ = self.arrays()
+        if not len(times):
+            return np.full(at.shape, self._initial, dtype=float)
+        idx = np.searchsorted(times, at, side="right")
+        out = np.full(at.shape, self._initial, dtype=float)
+        inside = idx > 0
+        out[inside] = values[idx[inside] - 1]
+        return out
+
+    def mean_many(
+        self, starts: Sequence[float], ends: Sequence[float]
+    ) -> np.ndarray:
+        """Vectorized :meth:`mean`; zero-width windows degenerate to the
+        instantaneous value, exactly like the scalar form."""
+        starts, ends = self._as_windows(starts, ends)
+        widths = ends - starts
+        zero = widths == 0
+        integrals = self.integrate_many(starts, ends)
+        means = integrals / np.where(zero, 1.0, widths)
+        if zero.any():
+            means = np.where(zero, self.values_at_many(starts), means)
+        return means
 
     # ------------------------------------------------------------------
     # Transformations
@@ -265,11 +383,8 @@ class Signal:
             raise SignalError(f"n_bins must be positive, got {n_bins}")
         if end <= start:
             raise SignalError(f"empty resample window [{start}, {end}]")
-        width = (end - start) / n_bins
-        return [
-            self.mean(start + i * width, start + (i + 1) * width)
-            for i in range(n_bins)
-        ]
+        edges = np.linspace(float(start), float(end), n_bins + 1)
+        return self.mean_many(edges[:-1], edges[1:]).tolist()
 
 
 def constant(value: float) -> Signal:
@@ -293,7 +408,11 @@ def combine(
         return constant(0.0)
     breakpoints = sorted({t for s in signals for t in s.times})
     initial = op([s.initial for s in signals])
-    values = [op([s.value_at(t) for s in signals]) for t in breakpoints]
+    # Sample every input at every breakpoint with the vectorized
+    # evaluation; op itself still sees plain python floats, so custom
+    # ops (and summation order) behave exactly as the scalar form did.
+    sampled = [s.values_at_many(breakpoints).tolist() for s in signals]
+    values = [op([column[i] for column in sampled]) for i in range(len(breakpoints))]
     return Signal(breakpoints, values, initial=initial)
 
 

@@ -1,0 +1,240 @@
+"""Differential-testing net for the aggregation engine.
+
+The fast incremental :class:`AggregationEngine` must produce views
+identical (to roundoff) to the scalar oracle
+:func:`aggregate_view` across random traces, groupings and slice-scrub
+sequences — the aggregation analogue of
+``tests/test_layout_differential.py``.  The suite also asserts the
+engine's stats counters show the *delta* paths were actually taken, so
+the caches cannot silently degrade into from-scratch recomputation.
+"""
+
+import random
+
+import pytest
+
+from repro.core import AggregationEngine, AnalysisSession, TimeSlice
+from repro.core.aggregation import aggregate_view
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.errors import AggregationError
+from repro.trace import CAPACITY, USAGE
+from repro.trace.synthetic import figure3_trace, random_hierarchical_trace
+
+RTOL = 1e-9
+
+
+def assert_views_equal(fast, slow):
+    """Structural equality + value agreement to roundoff."""
+    assert list(fast.units) == list(slow.units)
+    for key, want in slow.units.items():
+        got = fast.units[key]
+        assert got.members == want.members
+        assert got.kind == want.kind
+        assert got.group == want.group
+        assert got.label == want.label
+        assert set(got.values) == set(want.values)
+        for metric, ref in want.values.items():
+            assert got.values[metric] == pytest.approx(ref, rel=RTOL, abs=1e-9)
+    assert fast.edges == slow.edges
+    assert fast.tslice == slow.tslice
+
+
+def scrub_sequence(span, seed, moves=30):
+    """A mix of small shifts, zoom changes, jumps and repeats."""
+    rng = random.Random(seed)
+    start, end = span
+    width = (end - start) / 8.0 or 1.0
+    a = start
+    slices = []
+    for _ in range(moves):
+        kind = rng.random()
+        if kind < 0.55:  # small scrub step (the dominant query)
+            a += rng.uniform(-0.1, 0.25) * width
+        elif kind < 0.7:  # zoom in/out around the same start
+            width = max(1e-6, width * rng.uniform(0.5, 2.0))
+        elif kind < 0.8:  # jump far away
+            a = rng.uniform(start - width, end)
+        elif kind < 0.9:  # repeat the previous slice (cache hit)
+            pass
+        else:  # degenerate zero-width cursor
+            slices.append(TimeSlice(a, a))
+            continue
+        slices.append(TimeSlice(a, a + width))
+    return slices
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_scrub_sequence_matches_oracle(seed):
+    trace = random_hierarchical_trace(
+        n_sites=3, clusters_per_site=2, hosts_per_cluster=4, seed=seed
+    )
+    hierarchy = Hierarchy.from_trace(trace)
+    grouping = GroupingState(hierarchy)
+    engine = AggregationEngine(trace)
+    for tslice in scrub_sequence(trace.span(), seed):
+        assert_views_equal(
+            engine.view(grouping, tslice),
+            aggregate_view(trace, grouping, tslice),
+        )
+    stats = engine.stats
+    # The scrub must actually ride the incremental paths: most moves
+    # are deltas, and repeated slices hit the spatial memo outright
+    # (the memo short-circuits before the slice cache is even asked).
+    assert stats["slice_delta"] > stats["slice_full"]
+    assert stats["combine_hits"] > 0
+    assert stats["advance_rounds"] > 0
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_grouping_changes_match_oracle_and_reuse_units(seed):
+    trace = random_hierarchical_trace(n_sites=4, seed=seed)
+    hierarchy = Hierarchy.from_trace(trace)
+    grouping = GroupingState(hierarchy)
+    engine = AggregationEngine(trace)
+    start, end = trace.span()
+    tslice = TimeSlice(start, end)
+    rng = random.Random(seed)
+    groups = hierarchy.groups()
+    engine.view(grouping, tslice)  # prime the caches
+    for _ in range(25):
+        group = rng.choice(groups)
+        if group in grouping.collapsed:
+            grouping.expand(group)
+        else:
+            grouping.collapse(group)
+        assert_views_equal(
+            engine.view(grouping, tslice),
+            aggregate_view(trace, grouping, tslice),
+        )
+    stats = engine.stats
+    # Same slice throughout: every grouping change is a partial
+    # recombination, and untouched units keep their combined values.
+    assert stats["combine_partial"] > 0
+    assert stats["units_reused"] > stats["units_recombined"]
+    assert stats["slice_hits"] > 0
+
+
+def test_interleaved_scrub_and_grouping(seed=7):
+    trace = random_hierarchical_trace(n_sites=3, seed=seed)
+    hierarchy = Hierarchy.from_trace(trace)
+    grouping = GroupingState(hierarchy)
+    engine = AggregationEngine(trace)
+    rng = random.Random(seed)
+    groups = hierarchy.groups()
+    tslices = scrub_sequence(trace.span(), seed, moves=20)
+    for i, tslice in enumerate(tslices):
+        if i % 4 == 3:
+            group = rng.choice(groups)
+            if group in grouping.collapsed:
+                grouping.expand(group)
+            else:
+                grouping.collapse(group)
+        assert_views_equal(
+            engine.view(grouping, tslice),
+            aggregate_view(trace, grouping, tslice),
+        )
+
+
+def test_custom_space_op_matches_oracle():
+    trace = random_hierarchical_trace(n_sites=2, seed=9)
+    hierarchy = Hierarchy.from_trace(trace)
+    grouping = GroupingState(hierarchy)
+    grouping.collapse_depth(2)
+
+    def mean_op(values):
+        return sum(values) / len(values)
+
+    engine = AggregationEngine(trace, space_op=mean_op)
+    for tslice in scrub_sequence(trace.span(), 9, moves=8):
+        assert_views_equal(
+            engine.view(grouping, tslice),
+            aggregate_view(trace, grouping, tslice, space_op=mean_op),
+        )
+
+
+def test_metric_subset_matches_oracle():
+    trace = random_hierarchical_trace(n_sites=2, seed=11)
+    hierarchy = Hierarchy.from_trace(trace)
+    grouping = GroupingState(hierarchy)
+    engine = AggregationEngine(trace)
+    tslice = TimeSlice(10.0, 60.0)
+    for metrics in ([CAPACITY], [USAGE], [CAPACITY, USAGE], []):
+        assert_views_equal(
+            engine.view(grouping, tslice, metrics=metrics),
+            aggregate_view(trace, grouping, tslice, metrics=metrics),
+        )
+
+
+def test_zero_width_slice_matches_oracle():
+    trace = figure3_trace()
+    hierarchy = Hierarchy.from_trace(trace)
+    grouping = GroupingState(hierarchy)
+    grouping.collapse(("GroupB",))
+    engine = AggregationEngine(trace)
+    for t in (0.0, 0.5, 1.0):
+        tslice = TimeSlice(t, t)
+        assert_views_equal(
+            engine.view(grouping, tslice),
+            aggregate_view(trace, grouping, tslice),
+        )
+
+
+def test_session_engines_agree():
+    """AnalysisSession(engine='fast') and 'scalar' see identical data."""
+    trace = random_hierarchical_trace(n_sites=2, seed=13)
+    fast = AnalysisSession(trace, seed=1, engine="fast")
+    slow = AnalysisSession(trace, seed=1, engine="scalar")
+    for session in (fast, slow):
+        session.aggregate_depth(2)
+        session.set_time_slice(20.0, 70.0)
+    view_fast = fast.view(settle=False)
+    view_slow = slow.view(settle=False)
+    assert_views_equal(view_fast.aggregated, view_slow.aggregated)
+    assert view_fast.total(CAPACITY) == pytest.approx(
+        view_slow.total(CAPACITY), rel=RTOL
+    )
+    # The stats surfaces reflect the engine choice.
+    assert fast.aggregation_stats["views"] == 1
+    assert view_fast.agg_stats["views"] == 1
+    assert slow.aggregation_stats == {}
+    assert view_slow.agg_stats == {}
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(AggregationError):
+        AnalysisSession(figure3_trace(), engine="warp-drive")
+
+
+def test_delta_windows_identity():
+    """TimeSlice.delta_windows really turns I(old) into I(new)."""
+    trace = random_hierarchical_trace(n_sites=2, seed=15)
+    entity = trace.entities("host")[0]
+    signal = entity.metrics[USAGE]
+    rng = random.Random(15)
+    old = TimeSlice(10.0, 40.0)
+    for _ in range(20):
+        new = TimeSlice(rng.uniform(0.0, 50.0), rng.uniform(50.0, 100.0))
+        delta = sum(
+            sign * signal.integrate(lo, hi)
+            for lo, hi, sign in old.delta_windows(new)
+        )
+        assert signal.integrate(old.start, old.end) + delta == pytest.approx(
+            signal.integrate(new.start, new.end), rel=1e-9, abs=1e-9
+        )
+        old = new
+
+
+def test_grouping_revision_counts_effective_changes_only():
+    hierarchy = Hierarchy.from_trace(figure3_trace())
+    grouping = GroupingState(hierarchy)
+    assert grouping.revision == 0
+    grouping.collapse(("GroupB",))
+    assert grouping.revision == 1
+    grouping.collapse(("GroupB",))  # no-op
+    assert grouping.revision == 1
+    grouping.expand(("GroupB", "GroupA"))  # not collapsed: no-op
+    assert grouping.revision == 1
+    grouping.expand(("GroupB",))
+    assert grouping.revision == 2
+    grouping.expand_all()  # already empty: no-op
+    assert grouping.revision == 2

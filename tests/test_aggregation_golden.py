@@ -1,0 +1,145 @@
+"""Golden regression test: the Fig. 3 two-cluster aggregation, pinned.
+
+``aggregate_view`` output — unit keys, members, edges, multiplicities
+and exact aggregated values — is spelled out literally for the paper's
+Fig. 3 scenario at every level, so a future refactor of the aggregation
+stack (scalar or fast engine) cannot silently change the semantics.
+The same golden data is asserted against *both* engines.
+"""
+
+import pytest
+
+from repro.core import AggregationEngine, TimeSlice, aggregate_view
+from repro.core.aggregation import AggregatedEdge
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.trace import CAPACITY, USAGE
+from repro.trace.synthetic import figure3_trace
+
+TSLICE = TimeSlice(0.0, 1.0)
+
+#: unit key -> (kind, members, group, {metric: value})
+GOLDEN_DETAILED = {
+    "h1": ("host", ("h1",), None, {CAPACITY: 100.0, USAGE: 80.0}),
+    "h2": ("host", ("h2",), None, {CAPACITY: 50.0, USAGE: 10.0}),
+    "h3": ("host", ("h3",), None, {CAPACITY: 75.0, USAGE: 30.0}),
+    "l12": ("link", ("l12",), None, {CAPACITY: 1000.0, USAGE: 900.0}),
+    "l13": ("link", ("l13",), None, {CAPACITY: 100.0, USAGE: 20.0}),
+    "l23": ("link", ("l23",), None, {CAPACITY: 100.0, USAGE: 60.0}),
+}
+
+GOLDEN_DETAILED_EDGES = [
+    AggregatedEdge("h1", "l12", 1),
+    AggregatedEdge("h1", "l13", 1),
+    AggregatedEdge("h2", "l12", 1),
+    AggregatedEdge("h2", "l23", 1),
+    AggregatedEdge("h3", "l13", 1),
+    AggregatedEdge("h3", "l23", 1),
+]
+
+GOLDEN_FIRST = {
+    "GroupB/GroupA::host": (
+        "host",
+        ("h1", "h2"),
+        ("GroupB", "GroupA"),
+        {CAPACITY: 150.0, USAGE: 90.0},
+    ),
+    "GroupB/GroupA::link": (
+        "link",
+        ("l12",),
+        ("GroupB", "GroupA"),
+        {CAPACITY: 1000.0, USAGE: 900.0},
+    ),
+    "h3": ("host", ("h3",), None, {CAPACITY: 75.0, USAGE: 30.0}),
+    "l13": ("link", ("l13",), None, {CAPACITY: 100.0, USAGE: 20.0}),
+    "l23": ("link", ("l23",), None, {CAPACITY: 100.0, USAGE: 60.0}),
+}
+
+# h1-(l12)-h2 collapses onto the GroupA pair: both of its half-edges
+# land between the aggregated host unit and the aggregated link unit
+# (multiplicity 2); the inter-group links keep one half inside GroupA.
+GOLDEN_FIRST_EDGES = [
+    AggregatedEdge("GroupB/GroupA::host", "GroupB/GroupA::link", 2),
+    AggregatedEdge("GroupB/GroupA::host", "l13", 1),
+    AggregatedEdge("GroupB/GroupA::host", "l23", 1),
+    AggregatedEdge("h3", "l13", 1),
+    AggregatedEdge("h3", "l23", 1),
+]
+
+GOLDEN_SECOND = {
+    "GroupB::host": (
+        "host",
+        ("h1", "h2", "h3"),
+        ("GroupB",),
+        {CAPACITY: 225.0, USAGE: 120.0},
+    ),
+    "GroupB::link": (
+        "link",
+        ("l12", "l13", "l23"),
+        ("GroupB",),
+        {CAPACITY: 1200.0, USAGE: 980.0},
+    ),
+}
+
+# Fig. 3's square + diamond: every half-edge of the three links runs
+# between the one host aggregate and the one link aggregate.
+GOLDEN_SECOND_EDGES = [
+    AggregatedEdge("GroupB::host", "GroupB::link", 6),
+]
+
+
+def assert_matches_golden(view, golden_units, golden_edges):
+    assert set(view.units) == set(golden_units)
+    for key, (kind, members, group, values) in golden_units.items():
+        unit = view.units[key]
+        assert unit.kind == kind
+        assert unit.members == members
+        assert unit.group == group
+        assert unit.values == values  # exact — small integer arithmetic
+        assert unit.is_aggregate == (group is not None)
+        assert unit.weight == len(members)
+    assert view.edges == golden_edges
+
+
+def both_engines(grouping):
+    """The same scenario through the oracle and the fast engine."""
+    trace = figure3_trace()
+    yield aggregate_view(trace, grouping, TSLICE)
+    yield AggregationEngine(trace).view(grouping, TSLICE)
+
+
+@pytest.fixture()
+def grouping():
+    return GroupingState(Hierarchy.from_trace(figure3_trace()))
+
+
+def test_golden_detailed_view(grouping):
+    for view in both_engines(grouping):
+        assert_matches_golden(view, GOLDEN_DETAILED, GOLDEN_DETAILED_EDGES)
+
+
+def test_golden_first_aggregation(grouping):
+    grouping.collapse(("GroupB", "GroupA"))
+    for view in both_engines(grouping):
+        assert_matches_golden(view, GOLDEN_FIRST, GOLDEN_FIRST_EDGES)
+
+
+def test_golden_second_aggregation(grouping):
+    grouping.collapse(("GroupB", "GroupA"))
+    grouping.collapse(("GroupB",))  # outermost collapse wins
+    for view in both_engines(grouping):
+        assert_matches_golden(view, GOLDEN_SECOND, GOLDEN_SECOND_EDGES)
+
+
+def test_golden_totals_are_scale_invariant(grouping):
+    """The Fig. 3 conservation law: totals identical at every level."""
+    views = [next(iter(both_engines(grouping)))]
+    grouping.collapse(("GroupB", "GroupA"))
+    views.append(next(iter(both_engines(grouping))))
+    grouping.collapse(("GroupB",))
+    views.append(next(iter(both_engines(grouping))))
+    for view in views:
+        hosts = [u for u in view.units.values() if u.kind == "host"]
+        links = [u for u in view.units.values() if u.kind == "link"]
+        assert sum(u.values[CAPACITY] for u in hosts) == 225.0
+        assert sum(u.values[USAGE] for u in hosts) == 120.0
+        assert sum(u.values[CAPACITY] for u in links) == 1200.0

@@ -105,6 +105,35 @@ class TestIntegration:
         s = Signal([0.0, 1.0], [2.0, 9.0])
         assert s.mean(1.5, 1.5) == 9.0
 
+    def test_zero_width_mean_at_breakpoint_is_right_continuous(self):
+        # The documented degenerate-slice policy: the instantaneous
+        # (right-continuous) value, consistent with value_at.
+        s = Signal([0.0, 1.0], [2.0, 9.0], initial=5.0)
+        assert s.mean(1.0, 1.0) == 9.0
+        assert s.mean(-3.0, -3.0) == 5.0
+
+    def test_reversed_mean_rejected(self):
+        with pytest.raises(SignalError):
+            Signal([0.0], [1.0]).mean(2.0, 1.0)
+
+    def test_non_finite_windows_rejected(self):
+        s = Signal([0.0, 1.0], [2.0, 9.0])
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(SignalError):
+                s.integrate(bad, 1.0)
+            with pytest.raises(SignalError):
+                s.integrate(0.0, bad)
+            with pytest.raises(SignalError):
+                s.mean(bad, bad)
+            with pytest.raises(SignalError):
+                s.variance(0.0, bad)
+            with pytest.raises(SignalError):
+                s.minimum(bad, 1.0)
+
+    def test_reversed_variance_rejected(self):
+        with pytest.raises(SignalError):
+            Signal([0.0], [1.0]).variance(2.0, 1.0)
+
     def test_min_max_over_window(self):
         s = Signal([0.0, 1.0, 2.0], [5.0, 1.0, 8.0])
         assert s.minimum(0.0, 3.0) == 1.0
@@ -168,6 +197,64 @@ class TestTransformations:
             constant(1.0).resample(0.0, 1.0, 0)
         with pytest.raises(SignalError):
             constant(1.0).resample(1.0, 1.0, 4)
+
+
+class TestBatchForm:
+    """The NumPy-backed batch methods (prefix sums + searchsorted)."""
+
+    def test_arrays_prefix_is_cumulative_integral(self):
+        s = Signal([0.0, 2.0, 5.0], [1.0, 3.0, 2.0])
+        times, values, prefix = s.arrays()
+        assert list(times) == [0.0, 2.0, 5.0]
+        assert list(values) == [1.0, 3.0, 2.0]
+        # prefix[i] = integral from times[0] to times[i]
+        assert list(prefix) == [0.0, 2.0, 11.0]
+        assert s.arrays()[0] is times  # cached
+
+    def test_integrate_many_matches_scalar(self):
+        s = Signal([0.0, 2.0], [1.0, 3.0], initial=0.5)
+        starts = [-2.0, 0.0, 1.0, 3.0, 4.0]
+        ends = [-1.0, 5.0, 3.0, 3.0, 9.0]
+        got = s.integrate_many(starts, ends)
+        want = [s.integrate(a, b) for a, b in zip(starts, ends)]
+        assert got.tolist() == pytest.approx(want)
+
+    def test_mean_many_zero_width_degenerates(self):
+        s = Signal([0.0, 2.0], [1.0, 3.0])
+        got = s.mean_many([1.0, 2.0], [1.0, 2.0])
+        assert got.tolist() == [1.0, 3.0]
+
+    def test_tiny_window_far_from_breakpoint_is_exact(self):
+        # Regression (found by hypothesis): the antiderivative
+        # difference F(b) - F(a) rounds v*(b+1) - v*(a+1) to exactly
+        # zero for a denormal-width window one unit away from the
+        # breakpoint, turning the mean into 0 instead of v.  The
+        # decomposed evaluation computes value * width directly.
+        from repro.trace.signalbank import SignalBank
+
+        s = Signal([-1.0], [1.0])
+        b = 1.175494351e-38
+        assert s.integrate_many([0.0], [b])[0] == b
+        assert s.mean_many([0.0], [b])[0] == 1.0
+        bank = SignalBank([s, s.scale(-2.0)])
+        assert bank.window_integrals(0.0, b).tolist() == [b, -2.0 * b]
+        assert bank.window_means(0.0, b).tolist() == [1.0, -2.0]
+
+    def test_batch_reversed_window_rejected(self):
+        with pytest.raises(SignalError):
+            Signal([0.0], [1.0]).integrate_many([2.0], [1.0])
+
+    def test_batch_non_finite_rejected(self):
+        with pytest.raises(SignalError):
+            Signal([0.0], [1.0]).integrate_many([float("nan")], [1.0])
+
+    def test_batch_shape_mismatch_rejected(self):
+        with pytest.raises(SignalError):
+            Signal([0.0], [1.0]).integrate_many([0.0, 1.0], [2.0])
+
+    def test_values_at_many_of_constant(self):
+        got = constant(7.0).values_at_many([-1.0, 0.0, 1e9])
+        assert got.tolist() == [7.0, 7.0, 7.0]
 
 
 class TestCombine:
