@@ -1,0 +1,107 @@
+"""Acceptance bound — the repro.obs layer is free when disabled.
+
+PR 3 threads ``span(...)`` context managers through every pipeline hot
+path (trace read, slice/spatial aggregation, layout build/traverse, SVG
+render, simulator settle).  The contract: with ``REPRO_OBS`` unset each
+span call is a single flag check returning a shared no-op object, so the
+recorded interactivity baselines of PR 1/PR 2 must not regress by more
+than 5%.
+
+Measured directly rather than by re-running the (noise-prone) end-to-end
+benchmarks: time the disabled ``span()`` call itself, count how many
+span crossings the baseline workloads perform per operation, and bound
+the projected overhead against the recorded per-operation times in
+``results/layout_kernel_speedup.json`` and
+``results/aggregation_scrub_speedup.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import disable, enable, enabled
+from repro.obs.spans import span
+
+RESULTS = Path(__file__).parent / "results"
+
+#: Acceptance bound from ISSUE: <5% regression with REPRO_OBS unset.
+MAX_OVERHEAD = 0.05
+
+#: Span crossings per benchmark operation, counted from the span
+#: placement: one layout step = 1 build + 1 traverse span; one scrub
+#: move = 1 slice + 1 spatial span per metric (2 metrics in the bench).
+SPANS_PER_LAYOUT_STEP = 2
+SPANS_PER_SCRUB_MOVE = 4
+
+
+@pytest.fixture()
+def obs_disabled():
+    """Force the disabled (production default) state for the timing."""
+    was = enabled()
+    disable()
+    yield
+    if was:
+        enable()
+
+
+def _disabled_span_cost_s(calls: int = 200_000) -> float:
+    """Per-call wall cost of entering+exiting a disabled span."""
+    # Warm up the noop singleton path.
+    for _ in range(1000):
+        with span("bench.warmup"):
+            pass
+    best = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            with span("bench.noop", key=1):
+                pass
+        best = min(best, (time.perf_counter() - t0) / calls)
+    return best
+
+
+def test_disabled_span_overhead_within_bounds(obs_disabled, report):
+    per_call = _disabled_span_cost_s()
+
+    rows = [f"{'workload':<28} {'base s/op':>12} {'proj ovh':>9}"]
+    checks = []
+
+    layout_json = RESULTS / "layout_kernel_speedup.json"
+    if layout_json.exists():
+        base = json.loads(layout_json.read_text())["kernels"]["array"]["step_s"]
+        overhead = per_call * SPANS_PER_LAYOUT_STEP / base
+        rows.append(f"{'layout step (array)':<28} {base:>12.6f} "
+                    f"{overhead:>8.3%}")
+        checks.append(("layout step", overhead))
+
+    agg_json = RESULTS / "aggregation_scrub_speedup.json"
+    if agg_json.exists():
+        base = json.loads(agg_json.read_text())["fast_per_move_s"]
+        overhead = per_call * SPANS_PER_SCRUB_MOVE / base
+        rows.append(f"{'aggregation scrub move':<28} {base:>12.6f} "
+                    f"{overhead:>8.3%}")
+        checks.append(("scrub move", overhead))
+
+    rows.append(f"disabled span cost: {per_call * 1e9:.0f} ns/call")
+    report("obs_overhead", rows)
+
+    assert checks, "no recorded baselines found to bound against"
+    # An absolute sanity bound too: a flag check + constant return must
+    # not cost microseconds.
+    assert per_call < 5e-6, f"disabled span costs {per_call * 1e6:.2f} us"
+    for name, overhead in checks:
+        assert overhead < MAX_OVERHEAD, (
+            f"projected obs overhead on {name} is {overhead:.2%} "
+            f"(bound {MAX_OVERHEAD:.0%})"
+        )
+
+
+def test_disabled_span_records_nothing(obs_disabled):
+    from repro.obs import registry
+
+    registry.timer("bench.silent").reset()
+    with span("bench.silent"):
+        pass
+    assert registry.timer("bench.silent").count == 0

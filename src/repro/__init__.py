@@ -21,6 +21,9 @@ Public API overview
   headless renderers.
 * :mod:`repro.analysis` — statistical companions for aggregated values,
   anomaly scans, run comparison.
+* :mod:`repro.obs` — self-observability: the process-wide metrics
+  registry, span instrumentation of the pipeline stages, and the
+  self-tracing profiler behind ``python -m repro profile``.
 
 Quickstart
 ----------

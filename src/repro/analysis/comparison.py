@@ -29,6 +29,7 @@ class ResourceDelta:
 
     @property
     def delta(self) -> float:
+        """Signed change, after minus before."""
         return self.after - self.before
 
 

@@ -34,6 +34,7 @@ class PathSegment:
 
     @property
     def duration(self) -> float:
+        """Length of the segment in trace time."""
         return self.end - self.start
 
 
@@ -50,6 +51,7 @@ class CriticalPath:
 
     @property
     def span(self) -> tuple[float, float]:
+        """The (start, end) interval the path covers."""
         return (self.segments[0].start, self.segments[-1].end)
 
     def time_by_state(self) -> dict[str, float]:

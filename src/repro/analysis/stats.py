@@ -38,6 +38,7 @@ class GroupStatistics:
 
     @property
     def std(self) -> float:
+        """Standard deviation of the group values."""
         return math.sqrt(self.variance)
 
     @property

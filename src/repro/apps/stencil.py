@@ -39,6 +39,7 @@ class StencilResult:
 
     @property
     def mean_iteration(self) -> float:
+        """Average wall-clock time of one stencil iteration."""
         if not self.iteration_ends:
             return 0.0
         return self.iteration_ends[-1] / len(self.iteration_ends)

@@ -9,7 +9,11 @@ Usage (``python -m repro <command> ...``):
   interactive HTML page (``--html``);
 * ``timeline <trace>`` — the behavioral Gantt view (needs state events);
 * ``treemap <trace>`` — the squarified treemap of one metric;
-* ``anomalies <trace>`` — the multi-scale utilization outlier scan.
+* ``anomalies <trace>`` — the multi-scale utilization outlier scan;
+* ``profile <trace>`` — run a scripted view loop over the trace with
+  the :mod:`repro.obs` instrumentation on, print a per-stage timing
+  table and write a repro-format *self-trace* (which ``render`` can
+  then visualize — the tool profiling itself).
 
 Traces are files in the ``repro`` text format (see
 :mod:`repro.trace.writer`) or, with ``--paje``, in the Paje format used
@@ -33,7 +37,8 @@ from repro.core import (
     render_svg,
 )
 from repro.errors import ReproError
-from repro.trace import read_trace
+from repro.obs import Profiler
+from repro.trace import read_trace, write_trace
 from repro.trace.paje import read_paje
 
 __all__ = ["main", "build_parser"]
@@ -101,6 +106,23 @@ def build_parser() -> argparse.ArgumentParser:
     anomalies.add_argument("trace", type=Path)
     anomalies.add_argument("--z", type=float, default=2.0,
                            help="z-score threshold")
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile the tool's own view loop; write a self-trace",
+    )
+    profile.add_argument("trace", type=Path)
+    profile.add_argument("--scrub", type=int, default=24,
+                         help="number of time-slice moves to replay")
+    profile.add_argument("--out", type=Path, default=Path("self.trace"),
+                         help="self-trace output path")
+    profile.add_argument("--depth", type=int, default=0,
+                         help="collapse every group at this hierarchy depth")
+    profile.add_argument("--steps", type=int, default=300,
+                         help="max layout convergence steps")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--svg", type=Path, default=None,
+                         help="also write the final rendered SVG here")
     return parser
 
 
@@ -201,6 +223,35 @@ def _cmd_anomalies(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    with Profiler() as profiler:
+        trace = _read(args)
+        session = AnalysisSession(trace, seed=args.seed)
+        if args.depth:
+            session.aggregate_depth(args.depth)
+        start, end = trace.span()
+        width = max((end - start) / 4.0, 1e-9)
+        step = max((end - start - width) / max(args.scrub, 1), 1e-9)
+        for move in range(args.scrub):
+            lo = min(start + move * step, end - width)
+            session.set_time_slice(lo, lo + width)
+            session.view(settle_steps=5)
+        session.set_time_slice(start, end)
+        view = session.view(settle_steps=args.steps)
+        from repro.core import SvgRenderer
+
+        markup = SvgRenderer().render(view, title=str(session.time_slice))
+        if args.svg:
+            args.svg.write_text(markup, encoding="utf-8")
+    print(profiler.format_table())
+    write_trace(profiler.build_trace(), args.out)
+    print(f"wrote self-trace {args.out} "
+          f"(render it: repro render {args.out})")
+    if args.svg:
+        print(f"wrote {args.svg} ({len(view)} nodes)")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "render": _cmd_render,
@@ -208,6 +259,7 @@ _COMMANDS = {
     "timeline": _cmd_timeline,
     "treemap": _cmd_treemap,
     "anomalies": _cmd_anomalies,
+    "profile": _cmd_profile,
 }
 
 

@@ -44,6 +44,8 @@ from repro.core.aggregation import (
 from repro.core.hierarchy import GroupingState, Path
 from repro.core.timeslice import TimeSlice
 from repro.errors import AggregationError
+from repro.obs.registry import registry
+from repro.obs.spans import span
 from repro.trace.signalbank import SignalBank
 from repro.trace.trace import Trace
 
@@ -84,34 +86,37 @@ class SliceCache:
         if self._slice == key and self._means is not None:
             self.stats["slice_hits"] += 1
             return self._means
-        began = time.perf_counter_ns()
-        start, end = key
-        bank = self.bank
-        if self._slice is None:
-            self._idx_start = bank.locate(start)
-            self._idx_end = bank.locate(end)
-            self.stats["slice_full"] += 1
-        else:
-            rounds_start = bank.advance(self._idx_start, start, self.advance_cap)
-            rounds_end = bank.advance(self._idx_end, end, self.advance_cap)
-            if rounds_start is None or rounds_end is None:
-                if rounds_start is None:
-                    self._idx_start = bank.locate(start)
-                if rounds_end is None:
-                    self._idx_end = bank.locate(end)
+        with span("agg.slice"):
+            began = time.perf_counter_ns()
+            start, end = key
+            bank = self.bank
+            if self._slice is None:
+                self._idx_start = bank.locate(start)
+                self._idx_end = bank.locate(end)
                 self.stats["slice_full"] += 1
             else:
-                self.stats["slice_delta"] += 1
-                self.stats["advance_rounds"] += rounds_start + rounds_end
-        if end == start:
-            means = bank.values_at(start, self._idx_start)
-        else:
-            means = bank.integrals_between(
-                start, end, self._idx_start, self._idx_end
-            ) / (end - start)
-        self._slice = key
-        self._means = means
-        self.stats["temporal_ns"] += time.perf_counter_ns() - began
+                rounds_start = bank.advance(
+                    self._idx_start, start, self.advance_cap
+                )
+                rounds_end = bank.advance(self._idx_end, end, self.advance_cap)
+                if rounds_start is None or rounds_end is None:
+                    if rounds_start is None:
+                        self._idx_start = bank.locate(start)
+                    if rounds_end is None:
+                        self._idx_end = bank.locate(end)
+                    self.stats["slice_full"] += 1
+                else:
+                    self.stats["slice_delta"] += 1
+                    self.stats["advance_rounds"] += rounds_start + rounds_end
+            if end == start:
+                means = bank.values_at(start, self._idx_start)
+            else:
+                means = bank.integrals_between(
+                    start, end, self._idx_start, self._idx_end
+                ) / (end - start)
+            self._slice = key
+            self._means = means
+            self.stats["temporal_ns"] += time.perf_counter_ns() - began
         return means
 
 
@@ -242,8 +247,10 @@ class AggregationEngine:
         self._structure: _Structure | None = None
         #: per-metric spatial memo: {"slice", "struct", "values"}
         self._combined: dict[str, dict] = {}
-        #: decision and timing counters, mirroring ``ForceLayout.stats``
-        self.stats: dict[str, int] = {
+        #: decision and timing counters, mirroring ``ForceLayout.stats``;
+        #: a :class:`repro.obs.StatGroup` registered process-wide under
+        #: the ``agg`` namespace (same dict semantics as before)
+        self.stats: dict[str, int] = registry.group("agg", {
             "views": 0,
             "slice_hits": 0,
             "slice_delta": 0,
@@ -259,7 +266,7 @@ class AggregationEngine:
             "temporal_ns": 0,
             "combine_ns": 0,
             "view_ns": 0,
-        }
+        })
 
     # ------------------------------------------------------------------
     # Cache layers
@@ -312,42 +319,43 @@ class AggregationEngine:
             self.stats["combine_hits"] += 1
             return memo["values"]
         means = self._slice_caches[metric].means(tslice)
-        keys, rows, offsets = structure.metric_layout(metric, row_of)
-        began = time.perf_counter_ns()
-        values: dict[str, float]
-        if memo is not None and memo["slice"] == slice_key:
-            # Same slice, new grouping: only units whose membership
-            # changed need their space_op re-evaluated.
-            old_members = memo["struct"].members
-            old_values = memo["values"]
-            values = {}
-            for i, key in enumerate(keys):
-                if (
-                    key in old_values
-                    and old_members.get(key) == structure.members[key]
-                ):
-                    values[key] = old_values[key]
-                    self.stats["units_reused"] += 1
-                else:
-                    values[key] = self._combine_segment(
-                        means[rows[offsets[i] : offsets[i + 1]]]
-                    )
-                    self.stats["units_recombined"] += 1
-            self.stats["combine_partial"] += 1
-        else:
-            if self.space_op is sum and keys:
-                combined = np.add.reduceat(means[rows], offsets[:-1])
-                values = dict(zip(keys, combined.tolist()))
+        with span("agg.spatial"):
+            keys, rows, offsets = structure.metric_layout(metric, row_of)
+            began = time.perf_counter_ns()
+            values: dict[str, float]
+            if memo is not None and memo["slice"] == slice_key:
+                # Same slice, new grouping: only units whose membership
+                # changed need their space_op re-evaluated.
+                old_members = memo["struct"].members
+                old_values = memo["values"]
+                values = {}
+                for i, key in enumerate(keys):
+                    if (
+                        key in old_values
+                        and old_members.get(key) == structure.members[key]
+                    ):
+                        values[key] = old_values[key]
+                        self.stats["units_reused"] += 1
+                    else:
+                        values[key] = self._combine_segment(
+                            means[rows[offsets[i] : offsets[i + 1]]]
+                        )
+                        self.stats["units_recombined"] += 1
+                self.stats["combine_partial"] += 1
             else:
-                values = {
-                    key: self._combine_segment(
-                        means[rows[offsets[i] : offsets[i + 1]]]
-                    )
-                    for i, key in enumerate(keys)
-                }
-            self.stats["combine_full"] += 1
-            self.stats["units_recombined"] += len(keys)
-        self.stats["combine_ns"] += time.perf_counter_ns() - began
+                if self.space_op is sum and keys:
+                    combined = np.add.reduceat(means[rows], offsets[:-1])
+                    values = dict(zip(keys, combined.tolist()))
+                else:
+                    values = {
+                        key: self._combine_segment(
+                            means[rows[offsets[i] : offsets[i + 1]]]
+                        )
+                        for i, key in enumerate(keys)
+                    }
+                self.stats["combine_full"] += 1
+                self.stats["units_recombined"] += len(keys)
+            self.stats["combine_ns"] += time.perf_counter_ns() - began
         self._combined[metric] = {
             "slice": slice_key,
             "struct": structure,

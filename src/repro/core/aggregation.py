@@ -40,6 +40,7 @@ class AggregatedUnit:
 
     @property
     def is_aggregate(self) -> bool:
+        """Whether this unit folds several entities into one."""
         return self.group is not None
 
     @property

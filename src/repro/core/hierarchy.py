@@ -141,6 +141,7 @@ class GroupingState:
 
     @property
     def collapsed(self) -> frozenset[Path]:
+        """The set of group paths currently collapsed."""
         return frozenset(self._collapsed)
 
     @property

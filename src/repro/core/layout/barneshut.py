@@ -33,6 +33,7 @@ from repro.core.layout.base import ForceLayout
 from repro.core.layout.forces import LayoutParams
 from repro.core.layout.quadtree import ArrayQuadTree, QuadTree
 from repro.errors import LayoutError
+from repro.obs.spans import span
 
 __all__ = ["BarnesHutLayout", "KERNELS"]
 
@@ -82,14 +83,16 @@ class BarnesHutLayout(ForceLayout):
             return self._scalar_forces(n)
         build_s = 0.0
         if self._needs_rebuild():
+            with span("layout.build"):
+                start = perf_counter()
+                self._tree = ArrayQuadTree(self._pos, self._weight)
+                self._tree_pos = self._pos.copy()
+                build_s = perf_counter() - start
+        with span("layout.traverse"):
             start = perf_counter()
-            self._tree = ArrayQuadTree(self._pos, self._weight)
-            self._tree_pos = self._pos.copy()
-            build_s = perf_counter() - start
-        start = perf_counter()
-        forces, p2p = self._tree.forces(
-            self._pos, self._weight, self.params.charge, self.params.theta
-        )
+            forces, p2p = self._tree.forces(
+                self._pos, self._weight, self.params.charge, self.params.theta
+            )
         self._record_stats(
             build_s=build_s,
             traverse_s=perf_counter() - start,
@@ -100,20 +103,22 @@ class BarnesHutLayout(ForceLayout):
 
     def _scalar_forces(self, n: int) -> np.ndarray:
         """The legacy oracle: scalar tree, per-body Python walk."""
-        start = perf_counter()
-        tree = QuadTree(
-            [(self._pos[i, 0], self._pos[i, 1]) for i in range(n)],
-            list(self._weight),
-        )
-        build_s = perf_counter() - start
+        with span("layout.build"):
+            start = perf_counter()
+            tree = QuadTree(
+                [(self._pos[i, 0], self._pos[i, 1]) for i in range(n)],
+                list(self._weight),
+            )
+            build_s = perf_counter() - start
         charge = self.params.charge
         theta = self.params.theta
         forces = np.zeros((n, 2), dtype=float)
-        start = perf_counter()
-        for i in range(n):
-            fx, fy = tree.force_on(i, charge, theta)
-            forces[i, 0] = fx
-            forces[i, 1] = fy
+        with span("layout.traverse"):
+            start = perf_counter()
+            for i in range(n):
+                fx, fy = tree.force_on(i, charge, theta)
+                forces[i, 0] = fx
+                forces[i, 1] = fy
         self._record_stats(
             build_s=build_s,
             traverse_s=perf_counter() - start,

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.layout.forces import LayoutParams
 from repro.errors import LayoutError
+from repro.obs.registry import registry
 
 __all__ = ["ForceLayout"]
 
@@ -43,16 +44,23 @@ class ForceLayout(ABC):
         #: traversal: ``build_s``/``traverse_s`` are seconds spent in
         #: the last evaluation, ``cells`` the quadtree size (0 for the
         #: naive layout), ``p2p_pairs`` the exact body-body
-        #: interactions evaluated.
-        self.stats: dict[str, float | int] = {
-            "build_s": 0.0,
-            "traverse_s": 0.0,
-            "cells": 0,
-            "p2p_pairs": 0,
-            "evals": 0,
-            "total_build_s": 0.0,
-            "total_traverse_s": 0.0,
-        }
+        #: interactions evaluated.  The dict is a
+        #: :class:`repro.obs.StatGroup` registered process-wide under
+        #: the ``layout`` namespace (``repro.obs.registry.snapshot()``
+        #: folds every live layout in); it behaves exactly like the
+        #: plain dict it used to be.
+        self.stats: dict[str, float | int] = registry.group(
+            "layout",
+            {
+                "build_s": 0.0,
+                "traverse_s": 0.0,
+                "cells": 0,
+                "p2p_pairs": 0,
+                "evals": 0,
+                "total_build_s": 0.0,
+                "total_traverse_s": 0.0,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Structure

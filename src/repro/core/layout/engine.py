@@ -185,6 +185,7 @@ class DynamicLayout:
 
     @property
     def params(self) -> LayoutParams:
+        """The force parameters of the underlying layout."""
         return self.layout.params
 
     @property

@@ -22,6 +22,7 @@ from repro.core.render.colors import (
 from repro.core.view import TopologyView
 from repro.core.visgraph import VisNode
 from repro.errors import RenderError
+from repro.obs.spans import span
 
 __all__ = ["SvgRenderer", "render_svg"]
 
@@ -62,6 +63,10 @@ class SvgRenderer:
     # ------------------------------------------------------------------
     def render(self, view: TopologyView, title: str = "") -> str:
         """The SVG document for *view*."""
+        with span("render.svg"):
+            return self._render(view, title)
+
+    def _render(self, view: TopologyView, title: str) -> str:
         min_x, min_y, max_x, max_y = view.bounds()
         span_x = max(max_x - min_x, 1e-9)
         span_y = max(max_y - min_y, 1e-9)

@@ -96,6 +96,7 @@ class AnalysisSession:
     # ------------------------------------------------------------------
     @property
     def time_slice(self) -> TimeSlice:
+        """The currently selected time slice."""
         return self._tslice
 
     def set_time_slice(self, start: float, end: float) -> None:

@@ -40,6 +40,7 @@ class StateSpan:
 
     @property
     def duration(self) -> float:
+        """Length of the state span in trace time."""
         return self.end - self.start
 
 

@@ -41,6 +41,7 @@ class TreemapCell:
 
     @property
     def area(self) -> float:
+        """Cell area in layout units (width x height)."""
         return self.width * self.height
 
     def contains(self, other: "TreemapCell", slack: float = 1e-6) -> bool:

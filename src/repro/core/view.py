@@ -42,6 +42,7 @@ class TopologyView:
 
     @property
     def edges(self) -> tuple[VisEdge, ...]:
+        """The styled edges of the underlying visual graph."""
         return self.graph.edges
 
     @property

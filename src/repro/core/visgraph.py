@@ -46,10 +46,12 @@ class VisNode:
 
     @property
     def weight(self) -> int:
+        """Number of concrete entities folded into this node."""
         return len(self.members)
 
     @property
     def is_aggregate(self) -> bool:
+        """Whether the node stands for more than one entity."""
         return len(self.members) > 1
 
 
@@ -99,6 +101,7 @@ class VisGraph:
 
     @property
     def edges(self) -> tuple[VisEdge, ...]:
+        """The deduplicated edges between visual nodes."""
         return tuple(self._edges)
 
     def nodes_of_kind(self, kind: str) -> list[VisNode]:

@@ -124,6 +124,7 @@ class MpiWorld:
 
     @property
     def size(self) -> int:
+        """Number of ranks in the communicator."""
         return len(self._hosts)
 
     def host_of(self, rank: int) -> Host:

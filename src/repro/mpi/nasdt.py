@@ -87,14 +87,17 @@ class DTGraph:
 
     @property
     def n_nodes(self) -> int:
+        """Total task count in the graph."""
         return sum(len(layer) for layer in self.layers)
 
     @property
     def sources(self) -> list[int]:
+        """Task ids with no predecessors (graph entry points)."""
         return list(self.layers[0])
 
     @property
     def sinks(self) -> list[int]:
+        """Task ids with no successors (graph exit points)."""
         return list(self.layers[-1])
 
     def predecessors(self, node: int) -> list[int]:

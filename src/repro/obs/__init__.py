@@ -1,0 +1,67 @@
+"""Unified observability: the tool instrumented with its own trace model.
+
+The paper's thesis is that aggregate views of ``rho(r, t)`` make a large
+system's behavior visible; :mod:`repro.obs` applies the same thesis to
+the reproduction itself.  Three layers:
+
+* a process-wide :class:`MetricsRegistry` (:data:`registry`) of named
+  counters/gauges/timers plus the per-component :class:`StatGroup`
+  dicts the layout, aggregation and simulation engines already expose
+  as ``.stats`` — one :meth:`~MetricsRegistry.snapshot` sees them all;
+* scoped :func:`span` timers bracketing the pipeline stages
+  (``trace.read``, ``agg.slice``, ``agg.spatial``, ``layout.build``,
+  ``layout.traverse``, ``render.svg``, ``sim.step``).  Disabled by
+  default at near-zero cost; switch on with ``REPRO_OBS=1`` or
+  :func:`enable`;
+* the :class:`Profiler`, which turns a run's spans into a repro-format
+  **self-trace** that the tool can aggregate, lay out and render like
+  any other trace — ``repro profile run.trace`` then
+  ``repro render self.trace``.
+
+>>> from repro import obs
+>>> with obs.Profiler() as profiler:
+...     with obs.span("demo.stage"):
+...         pass
+>>> [row.name for row in profiler.stage_rows()]
+['demo.stage']
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    StatGroup,
+    Timer,
+    registry,
+)
+from repro.obs.spans import (
+    Span,
+    attach_profiler,
+    attached_profiler,
+    detach_profiler,
+    disable,
+    enable,
+    enabled,
+    span,
+)
+from repro.obs.profiler import PIPELINE_STAGES, Profiler, StageStat
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "PIPELINE_STAGES",
+    "Profiler",
+    "Span",
+    "StageStat",
+    "StatGroup",
+    "Timer",
+    "attach_profiler",
+    "attached_profiler",
+    "detach_profiler",
+    "disable",
+    "enable",
+    "enabled",
+    "registry",
+    "span",
+]

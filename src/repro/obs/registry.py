@@ -1,0 +1,270 @@
+"""The process-wide metrics registry.
+
+One namespace for every counter, gauge, timer histogram and component
+stats group the library maintains about *itself*.  Before this module
+existed each subsystem grew its own ad-hoc ``stats`` dict
+(``ForceLayout.stats``, ``AggregationEngine.stats``); those dicts are
+now :class:`StatGroup` instances registered here, so one
+:meth:`MetricsRegistry.snapshot` call sees the whole pipeline while the
+owning objects keep their exact historical ``stats`` surface (a
+``StatGroup`` *is* a ``dict`` — increments stay native C speed).
+
+Three metric families:
+
+* :class:`Counter` — a monotonically increasing total (``add``);
+* :class:`Gauge` — a last-write-wins level (``set``);
+* :class:`Timer` — a duration histogram summary (``observe``) fed by
+  :func:`repro.obs.spans.span`.
+
+All of them are plain always-on objects; the *enabled* switch of
+:mod:`repro.obs.spans` only gates the span instrumentation, which is
+the only part that sits on hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "StatGroup",
+    "MetricsRegistry",
+    "registry",
+]
+
+
+class Counter:
+    """A named monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def add(self, delta: float = 1.0) -> None:
+        """Increase the counter by *delta* (must be >= 0)."""
+        self.value += delta
+
+    def reset(self) -> None:
+        """Zero the counter (testing/benchmark hygiene)."""
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A named last-write-wins level (queue depth, cache size...)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+    def reset(self) -> None:
+        """Zero the gauge (testing/benchmark hygiene)."""
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Timer:
+    """A duration histogram summary: count / total / min / max seconds.
+
+    Deliberately tiny — no buckets, no reservoir — because the profiler
+    (:class:`repro.obs.profiler.Profiler`) keeps the full interval list
+    when one is attached; the registry only needs enough to price a
+    stage after the fact.
+    """
+
+    __slots__ = ("name", "labels", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one duration in seconds."""
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        """Average observed duration (0 when never observed)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Forget every observation (testing/benchmark hygiene)."""
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer({self.name}: n={self.count}, total={self.total_s:.6f}s)"
+
+
+class StatGroup(dict):
+    """A component's stats dict, registered under a namespace.
+
+    Subclasses ``dict`` so the owning hot loops keep doing plain
+    ``stats["key"] += 1`` at native speed; the registry holds a weak
+    reference and folds live groups into :meth:`MetricsRegistry.snapshot`
+    under ``<namespace>.<key>`` names.  This is how the pre-existing
+    ``ForceLayout.stats`` / ``AggregationEngine.stats`` dicts were
+    migrated onto the registry without changing their public behavior.
+    """
+
+    __slots__ = ("name", "__weakref__")
+
+    def __init__(self, name: str, initial: Mapping | None = None) -> None:
+        super().__init__(initial or {})
+        self.name = name
+
+    # dict is unhashable; groups are identities, not values, so the
+    # registry's WeakSet tracks them by id while ``==`` keeps comparing
+    # contents like any other dict.
+    __hash__ = object.__hash__
+
+
+class MetricsRegistry:
+    """Process-wide registry of named counters, gauges, timers, groups.
+
+    ``counter``/``gauge``/``timer`` are get-or-create: the same
+    ``(name, labels)`` pair always returns the same object, so call
+    sites do not need to hold references.  ``group`` creates a fresh
+    :class:`StatGroup` per call (components own their instance counters)
+    and remembers it weakly for aggregation.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._timers: dict[tuple, Timer] = {}
+        self._groups: dict[str, weakref.WeakSet] = {}
+
+    # ------------------------------------------------------------------
+    # Creation / lookup
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(name: str, labels: dict) -> tuple:
+        return (name, tuple(sorted(labels.items())))
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create the counter *name* (+ optional labels)."""
+        key = self._key(name, labels)
+        found = self._counters.get(key)
+        if found is None:
+            found = self._counters[key] = Counter(name, key[1])
+        return found
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """Get or create the gauge *name* (+ optional labels)."""
+        key = self._key(name, labels)
+        found = self._gauges.get(key)
+        if found is None:
+            found = self._gauges[key] = Gauge(name, key[1])
+        return found
+
+    def timer(self, name: str, **labels) -> Timer:
+        """Get or create the timer *name* (+ optional labels)."""
+        key = self._key(name, labels)
+        found = self._timers.get(key)
+        if found is None:
+            found = self._timers[key] = Timer(name, key[1])
+        return found
+
+    def group(self, name: str, initial: Mapping | None = None) -> StatGroup:
+        """A new per-instance stats dict registered under *name*."""
+        group = StatGroup(name, initial)
+        self._groups.setdefault(name, weakref.WeakSet()).add(group)
+        return group
+
+    def groups(self, name: str) -> list[StatGroup]:
+        """The live (not yet garbage-collected) groups named *name*."""
+        return list(self._groups.get(name, ()))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Counter | Gauge | Timer]:
+        yield from self._counters.values()
+        yield from self._gauges.values()
+        yield from self._timers.values()
+
+    def snapshot(self, prefix: str = "") -> dict[str, float]:
+        """One flat ``name -> number`` view of everything registered.
+
+        Counters and gauges appear under their name, timers flatten to
+        ``<name>.count`` / ``.total_s`` / ``.mean_s`` / ``.max_s``, and
+        live stat groups sum across instances under
+        ``<namespace>.<key>``.  *prefix* filters by name prefix.
+        """
+        out: dict[str, float] = {}
+        for counter in self._counters.values():
+            out[counter.name] = out.get(counter.name, 0.0) + counter.value
+        for gauge in self._gauges.values():
+            out[gauge.name] = gauge.value
+        for timer in self._timers.values():
+            out[f"{timer.name}.count"] = (
+                out.get(f"{timer.name}.count", 0.0) + timer.count
+            )
+            out[f"{timer.name}.total_s"] = (
+                out.get(f"{timer.name}.total_s", 0.0) + timer.total_s
+            )
+            out[f"{timer.name}.mean_s"] = timer.mean_s
+            out[f"{timer.name}.max_s"] = (
+                timer.max_s if timer.count else 0.0
+            )
+        for name, groups in self._groups.items():
+            for group in groups:
+                for key, value in group.items():
+                    if isinstance(value, (int, float)):
+                        full = f"{name}.{key}"
+                        out[full] = out.get(full, 0.0) + value
+        if prefix:
+            out = {k: v for k, v in out.items() if k.startswith(prefix)}
+        return out
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter/gauge/timer, keeping registrations.
+
+        Stat groups belong to their components and are left untouched.
+        """
+        for metric in self:
+            metric.reset()
+
+    def clear(self) -> None:
+        """Forget every registration (test isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._groups.clear()
+
+
+#: The process-wide registry every subsystem records into.
+registry = MetricsRegistry()

@@ -1,0 +1,138 @@
+"""Scoped span timers: the pipeline's self-instrumentation primitive.
+
+A *span* brackets one unit of pipeline work — a tree build, a slice
+integration, an SVG render — exactly like the paper's traces bracket
+application activity.  Usage::
+
+    from repro.obs.spans import span
+
+    with span("layout.traverse"):
+        forces = tree.forces(...)
+
+When observability is **disabled** (the default), :func:`span` returns a
+shared no-op context manager after a single module-flag check, so
+instrumented hot paths stay within a few hundred nanoseconds of their
+uninstrumented cost (the bound is asserted by
+``benchmarks/test_obs_overhead.py``).  When **enabled** (``REPRO_OBS=1``
+in the environment, or :func:`enable`), each span records its duration
+into the :data:`~repro.obs.registry.registry` timer of the same name —
+and, if a :class:`~repro.obs.profiler.Profiler` is attached, also hands
+the raw interval to it so a full run can be serialized as a repro-format
+*self-trace*.
+
+The conventional stage names (one trace entity each in the self-trace)
+are listed in :data:`repro.obs.profiler.PIPELINE_STAGES`; any other name
+works too and simply becomes another stage.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.obs.registry import registry
+
+__all__ = ["enabled", "enable", "disable", "span", "Span"]
+
+
+def _env_enabled(value: str | None) -> bool:
+    """Interpret the ``REPRO_OBS`` environment value as a switch."""
+    return value is not None and value.strip().lower() not in ("", "0", "false", "off", "no")
+
+
+class _State:
+    """Module-level switch + attached profiler (one slot read per span)."""
+
+    __slots__ = ("enabled", "profiler")
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled(os.environ.get("REPRO_OBS"))
+        self.profiler = None
+
+
+_state = _State()
+
+
+def enabled() -> bool:
+    """Whether span instrumentation is currently on."""
+    return _state.enabled
+
+
+def enable() -> None:
+    """Turn span instrumentation on for the whole process."""
+    _state.enabled = True
+
+
+def disable() -> None:
+    """Turn span instrumentation off (spans become no-ops again)."""
+    _state.enabled = False
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        """No-op."""
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        """No-op; never swallows exceptions."""
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class Span:
+    """One live measurement; created by :func:`span` when enabled."""
+
+    __slots__ = ("name", "attrs", "began")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.began = 0.0
+
+    def __enter__(self) -> "Span":
+        """Start the clock."""
+        self.began = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        """Stop the clock; record into the registry and the profiler."""
+        ended = perf_counter()
+        registry.timer(self.name).observe(ended - self.began)
+        profiler = _state.profiler
+        if profiler is not None:
+            profiler.record(self.name, self.began, ended, self.attrs)
+        return False
+
+
+def span(name: str, **attrs) -> "Span | _NoopSpan":
+    """A context manager timing one *name*d unit of pipeline work.
+
+    Near-zero cost when observability is disabled: one flag check, then
+    the shared no-op is returned.  *attrs* are free-form annotations
+    forwarded to the attached profiler (span payload in the self-trace).
+    """
+    if not _state.enabled:
+        return _NOOP
+    return Span(name, attrs)
+
+
+def attach_profiler(profiler) -> None:
+    """Route enabled spans' raw intervals to *profiler* (one at a time)."""
+    _state.profiler = profiler
+
+
+def detach_profiler(profiler=None) -> None:
+    """Stop routing spans; no-op if *profiler* is not the attached one."""
+    if profiler is None or _state.profiler is profiler:
+        _state.profiler = None
+
+
+def attached_profiler():
+    """The currently attached profiler, or ``None``."""
+    return _state.profiler

@@ -101,14 +101,17 @@ class Platform:
 
     @property
     def hosts(self) -> list[Host]:
+        """All hosts of the platform, in insertion order."""
         return list(self._hosts.values())
 
     @property
     def links(self) -> list[Link]:
+        """All links of the platform, in insertion order."""
         return list(self._links.values())
 
     @property
     def routers(self) -> list[Router]:
+        """All routers of the platform, in insertion order."""
         return list(self._routers.values())
 
     def __contains__(self, name: str) -> bool:

@@ -22,6 +22,8 @@ from collections import deque
 from typing import Any, Callable
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.registry import registry
+from repro.obs.spans import span
 from repro.platform.model import Host, Route
 from repro.platform.topology import Platform
 from repro.simulation.activities import (
@@ -82,6 +84,22 @@ class Simulator:
         self._net_dirty = False
         #: next scheduled availability wakeup per resource (dedup)
         self._availability_wakeups: dict[str, float] = {}
+        #: engine counters — a :class:`repro.obs.StatGroup` registered
+        #: process-wide under ``sim``: ``events`` handled, ``turns``
+        #: (distinct timestamps), ``settles`` (max-min solver runs),
+        #: ``resumes`` (process continuations), ``messages`` delivered,
+        #: ``spawns``.
+        self.stats: dict[str, int] = registry.group(
+            "sim",
+            {
+                "events": 0,
+                "turns": 0,
+                "settles": 0,
+                "resumes": 0,
+                "messages": 0,
+                "spawns": 0,
+            },
+        )
         if monitor is not None:
             monitor.attach(self)
 
@@ -110,6 +128,7 @@ class Simulator:
         process.generator = fn(ctx, *args, **kwargs)
         self._processes.append(process)
         self._push(self.now, _START, process, 0)
+        self.stats["spawns"] += 1
         return process
 
     def run(self, until: float | None = None, on_blocked: str = "raise") -> float:
@@ -139,8 +158,10 @@ class Simulator:
                     f"time went backwards: {time} < {self.now}"
                 )
             self.now = time
+            self.stats["turns"] += 1
             while self._heap and self._heap[0][0] == time:
                 __, __, kind, obj, version = heapq.heappop(self._heap)
+                self.stats["events"] += 1
                 self._handle(kind, obj, version)
                 self._drain_resume()
             self._settle()
@@ -268,6 +289,7 @@ class Simulator:
             message.sent_at,
             delivered_at=self.now,
         )
+        self.stats["messages"] += 1
         if self.monitor is not None:
             self.monitor.on_message(message)
         waiting = self._mail_waiting.get(message.mailbox)
@@ -287,6 +309,7 @@ class Simulator:
             process, value = self._resume.popleft()
             if process.state == Process.DONE:  # pragma: no cover - defensive
                 continue
+            self.stats["resumes"] += 1
             process.state = Process.READY
             try:
                 request = process.generator.send(value)
@@ -397,6 +420,11 @@ class Simulator:
     # ------------------------------------------------------------------
     def _settle(self) -> None:
         """Re-rate dirty resources, reschedule completions, feed monitors."""
+        self.stats["settles"] += 1
+        with span("sim.step"):
+            self._settle_inner()
+
+    def _settle_inner(self) -> None:
         changed: list[Activity] = []
         if self._net_dirty:
             changed.extend(self.network.rerate(self.now))

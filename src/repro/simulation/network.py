@@ -36,6 +36,7 @@ class NetworkModel:
 
     @property
     def flows(self) -> set[FlowActivity]:
+        """The currently active network flows."""
         return set(self._flows)
 
     def rerate(self, now: float) -> list[FlowActivity]:

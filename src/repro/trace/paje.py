@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import IO
 
 from repro.errors import TraceError
+from repro.obs.spans import span
 from repro.trace.builder import TraceBuilder
 from repro.trace.trace import Trace
 
@@ -58,10 +59,11 @@ class _EventDef:
 
 def read_paje(source: str | Path | IO[str]) -> Trace:
     """Parse a Paje trace from a path or open stream."""
-    if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as stream:
-            return _parse(stream)
-    return _parse(source)
+    with span("trace.read"):
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as stream:
+                return _parse(stream)
+        return _parse(source)
 
 
 def loads_paje(text: str) -> Trace:

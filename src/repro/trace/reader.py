@@ -6,6 +6,7 @@ from pathlib import Path
 from typing import IO, Iterable
 
 from repro.errors import TraceError
+from repro.obs.spans import span
 from repro.trace.builder import TraceBuilder
 from repro.trace.trace import Trace
 from repro.trace.writer import FORMAT_HEADER
@@ -15,15 +16,17 @@ __all__ = ["read_trace", "loads"]
 
 def read_trace(source: str | Path | IO[str]) -> Trace:
     """Parse a trace from a path or an open text stream."""
-    if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as stream:
-            return _parse(stream)
-    return _parse(source)
+    with span("trace.read"):
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as stream:
+                return _parse(stream)
+        return _parse(source)
 
 
 def loads(text: str) -> Trace:
     """Parse a trace from a string."""
-    return _parse(text.splitlines())
+    with span("trace.read"):
+        return _parse(text.splitlines())
 
 
 def _parse_float(token: str, lineno: int) -> float:

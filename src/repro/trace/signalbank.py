@@ -87,6 +87,7 @@ class SignalBank:
 
     @property
     def total_breakpoints(self) -> int:
+        """Total number of stored (time, value) breakpoints."""
         return len(self.times)
 
     # ------------------------------------------------------------------

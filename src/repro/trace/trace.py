@@ -187,6 +187,7 @@ class Trace:
     # ------------------------------------------------------------------
     @property
     def edges(self) -> tuple[TraceEdge, ...]:
+        """Declared connections between entities."""
         return tuple(self._edges)
 
     def edges_of(self, name: str) -> list[TraceEdge]:
@@ -195,6 +196,7 @@ class Trace:
 
     @property
     def events(self) -> tuple[PointEvent, ...]:
+        """All point events, in recording order."""
         return tuple(self._events)
 
     def events_of_kind(self, kind: str) -> list[PointEvent]:
@@ -217,6 +219,7 @@ class Trace:
 
     @property
     def metrics_info(self) -> tuple[MetricInfo, ...]:
+        """Declared metric metadata (name, unit, description)."""
         return tuple(self._metrics_info.values())
 
     # ------------------------------------------------------------------

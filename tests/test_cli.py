@@ -198,3 +198,58 @@ class TestPajeInput:
         assert main(["--paje", "info", str(path)]) == 0
         out = capsys.readouterr().out
         assert "host" in out
+
+
+class TestProfile:
+    @pytest.fixture()
+    def fig3_file(self, tmp_path):
+        from repro.trace.synthetic import figure3_trace
+
+        path = tmp_path / "fig3.txt"
+        write_trace(figure3_trace(), path)
+        return path
+
+    def test_profile_writes_self_trace(self, fig3_file, tmp_path, capsys):
+        out = tmp_path / "self.trace"
+        code = main(
+            ["profile", str(fig3_file), "--scrub", "4", "--out", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        for stage in ("trace.read", "agg.slice", "layout.build",
+                      "layout.traverse", "render.svg", "wall"):
+            assert stage in text
+        assert out.exists()
+
+    def test_self_trace_round_trips_and_renders(self, fig3_file, tmp_path,
+                                                capsys):
+        from repro.trace import read_trace
+
+        out = tmp_path / "self.trace"
+        assert main(
+            ["profile", str(fig3_file), "--scrub", "4", "--out", str(out)]
+        ) == 0
+        capsys.readouterr()
+        self_trace = read_trace(out)
+        assert all(e.kind == "stage" for e in self_trace)
+        assert self_trace.meta["generator"] == "repro.obs.profiler"
+        # The dogfood loop: the self-trace renders like any other trace.
+        assert main(["render", str(out)]) == 0
+        assert "stage" in capsys.readouterr().out
+
+    def test_profile_svg_output(self, fig3_file, tmp_path, capsys):
+        out = tmp_path / "self.trace"
+        svg = tmp_path / "view.svg"
+        assert main(
+            ["profile", str(fig3_file), "--scrub", "2",
+             "--out", str(out), "--svg", str(svg)]
+        ) == 0
+        assert svg.read_text().startswith("<svg")
+
+    def test_profile_leaves_obs_disabled(self, fig3_file, tmp_path):
+        from repro.obs import enabled
+
+        was = enabled()
+        main(["profile", str(fig3_file), "--scrub", "2",
+              "--out", str(tmp_path / "s.trace")])
+        assert enabled() == was

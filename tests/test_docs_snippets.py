@@ -1,0 +1,67 @@
+"""Executable-documentation gate: every fenced python block must run.
+
+Extracts ```python fences from README.md and docs/*.md and executes
+them.  Blocks within one file share a namespace and run in order, so a
+tutorial can build on earlier snippets.  A block preceded (directly or
+with blank lines in between) by an HTML comment ``<!-- snippet: no-run
+-->`` is skipped — reserved for illustrative fragments that need
+unavailable context (network, large inputs).
+
+Each file executes inside a temporary working directory so snippets may
+freely write example output files without polluting the repo.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+FENCE = re.compile(
+    r"(?P<prefix>(?:<!--\s*snippet:\s*(?P<mode>[\w-]+)\s*-->\s*)?)"
+    r"```python[^\n]*\n(?P<body>.*?)```",
+    re.S,
+)
+
+
+def _doc_files():
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def _snippets(path: Path):
+    """(index, mode, source) triples for every python fence in *path*."""
+    out = []
+    for index, match in enumerate(FENCE.finditer(path.read_text())):
+        out.append((index, match.group("mode") or "run", match.group("body")))
+    return out
+
+
+@pytest.mark.parametrize(
+    "doc", _doc_files(), ids=lambda p: str(p.relative_to(REPO))
+)
+def test_documented_python_runs(doc, tmp_path, monkeypatch):
+    snippets = _snippets(doc)
+    if not snippets:
+        pytest.skip(f"{doc.name}: no python fences")
+    monkeypatch.chdir(tmp_path)
+    namespace: dict = {"__name__": "__doc_snippet__"}
+    for index, mode, source in snippets:
+        if mode == "no-run":
+            continue
+        try:
+            exec(compile(source, f"{doc.name}[{index}]", "exec"), namespace)
+        except Exception as error:  # pragma: no cover - diagnostic path
+            pytest.fail(
+                f"{doc.name} snippet #{index} failed: "
+                f"{type(error).__name__}: {error}\n--- snippet ---\n{source}"
+            )
+
+
+def test_docs_exist():
+    """The documentation set this gate protects must be present."""
+    for name in ("API.md", "ARCHITECTURE.md", "TUTORIAL.md", "DEVELOPMENT.md"):
+        assert (REPO / "docs" / name).exists(), f"docs/{name} missing"
+    assert (REPO / "README.md").exists()
