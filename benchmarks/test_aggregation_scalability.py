@@ -23,6 +23,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs import bench
 from repro.core import AggregationEngine, TimeSlice
 from repro.core.aggregation import aggregate_view
 from repro.core.hierarchy import GroupingState, Hierarchy
@@ -114,20 +115,28 @@ def test_slice_scrub_speedup(report, request):
     metrics = [CAPACITY, USAGE]
 
     # Scalar oracle: every move recomputes from scratch, so a subsample
-    # of the slide sequence is enough to price one move.
+    # of the slide sequence is enough to price one move.  Each move is
+    # timed individually so both paths land robust per-move statistics
+    # (median/IQR/MAD) in the shared repro-bench format.
     scalar_slices = slices if QUICK else slices[::5]
     scalar_view = aggregate_view(trace, grouping, slices[0], metrics=metrics)
-    began = time.perf_counter()
+    scalar_samples = []
     for tslice in scalar_slices:
+        began = time.perf_counter()
         scalar_view = aggregate_view(trace, grouping, tslice, metrics=metrics)
-    scalar_per_move = (time.perf_counter() - began) / len(scalar_slices)
+        scalar_samples.append(time.perf_counter() - began)
+    scalar_timing = bench.robust_stats(scalar_samples)
+    scalar_per_move = scalar_timing["median_s"]
 
     engine = AggregationEngine(trace)
     engine.view(grouping, slices[0], metrics=metrics)  # warm caches
-    began = time.perf_counter()
+    fast_samples = []
     for tslice in slices:
+        began = time.perf_counter()
         fast_view = engine.view(grouping, tslice, metrics=metrics)
-    fast_per_move = (time.perf_counter() - began) / len(slices)
+        fast_samples.append(time.perf_counter() - began)
+    fast_timing = bench.robust_stats(fast_samples)
+    fast_per_move = fast_timing["median_s"]
     speedup = scalar_per_move / fast_per_move
 
     # Same final slice, same values — and the stats must prove the
@@ -142,6 +151,8 @@ def test_slice_scrub_speedup(report, request):
     assert stats["advance_rounds"] > 0
 
     payload = {
+        "schema": bench.SCHEMA,
+        "machine": bench.machine_fingerprint(),
         "quick": QUICK,
         "entities": len(trace),
         "units": len(fast_view.units),
@@ -149,6 +160,8 @@ def test_slice_scrub_speedup(report, request):
         "scalar_moves_timed": len(scalar_slices),
         "scalar_per_move_s": scalar_per_move,
         "fast_per_move_s": fast_per_move,
+        "scalar_timing": scalar_timing,
+        "fast_timing": fast_timing,
         "speedup": speedup,
         "floor": SCRUB_FLOOR,
         "stats": {

@@ -23,12 +23,12 @@ import json
 import math
 import os
 import random
-import time
 from pathlib import Path
 
 import pytest
 
 from repro.core import LayoutParams, QuadTree, make_layout
+from repro.obs import bench
 
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
@@ -122,22 +122,25 @@ def test_vectorized_kernel_speedup(report):
 
     Both layouts are built identically (same seed, same clustered
     topology) and timed over whole relaxation steps — tree build (or
-    reuse), traversal, springs and integration included.  The numbers
-    are recorded in ``results/layout_kernel_speedup.json``.
+    reuse), traversal, springs and integration included — through the
+    calibrated :func:`repro.obs.bench.measure` harness, so the numbers
+    in ``results/layout_kernel_speedup.json`` carry the same robust
+    statistics (median/IQR/MAD) as every ``BENCH_<suite>.json``.
     """
     measured = {}
-    for kernel, reps in (("scalar", 1 if QUICK else 3), ("array", 10 if QUICK else 30)):
+    for kernel, reps in (("scalar", 3 if QUICK else 5), ("array", 10 if QUICK else 30)):
         layout = make_layout("barneshut", LayoutParams(), seed=2, kernel=kernel)
         clustered_graph(layout, SPEEDUP_N)
-        layout.step()  # warm caches before timing
-        began = time.perf_counter()
-        for _ in range(reps):
-            layout.step()
-        per_step = (time.perf_counter() - began) / reps
+        timing = bench.measure(
+            layout.step, quick=QUICK, warmup=1, repeats=reps, min_sample_s=0.0
+        )
         stats = layout.stats
         measured[kernel] = {
-            "step_s": per_step,
-            "reps": reps,
+            "step_s": timing["median_s"],
+            "reps": timing["repeats"],
+            "timing": {k: timing[k] for k in
+                       ("median_s", "iqr_s", "mad_s", "mean_s",
+                        "min_s", "max_s")},
             "cells": int(stats["cells"]),
             "p2p_pairs": int(stats["p2p_pairs"]),
             "total_build_s": stats["total_build_s"],
@@ -145,6 +148,8 @@ def test_vectorized_kernel_speedup(report):
         }
     speedup = measured["scalar"]["step_s"] / measured["array"]["step_s"]
     payload = {
+        "schema": bench.SCHEMA,
+        "machine": bench.machine_fingerprint(),
         "n": SPEEDUP_N,
         "quick": QUICK,
         "speedup": speedup,

@@ -13,7 +13,15 @@ Usage (``python -m repro <command> ...``):
 * ``profile <trace>`` — run a scripted view loop over the trace with
   the :mod:`repro.obs` instrumentation on, print a per-stage timing
   table and write a repro-format *self-trace* (which ``render`` can
-  then visualize — the tool profiling itself).
+  then visualize — the tool profiling itself).  ``--chrome``/
+  ``--jsonl``/``--snapshot`` export the same run as Chrome trace-event
+  JSON (Perfetto-loadable), streaming span JSONL, and a flat metrics
+  dump;
+* ``bench`` — run the calibrated performance suites over the hot paths
+  and write schema-versioned ``BENCH_<suite>.json`` files;
+  ``--compare BASELINE.json`` applies the noise-aware regression gate
+  and exits 3 when a median regresses beyond
+  ``max(rel_tol * base, k * IQR)``.
 
 Traces are files in the ``repro`` text format (see
 :mod:`repro.trace.writer`) or, with ``--paje``, in the Paje format used
@@ -123,6 +131,39 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--svg", type=Path, default=None,
                          help="also write the final rendered SVG here")
+    profile.add_argument("--chrome", type=Path, default=None, metavar="OUT.json",
+                         help="export spans as Chrome trace-event JSON "
+                         "(loads in Perfetto / chrome://tracing)")
+    profile.add_argument("--jsonl", type=Path, default=None, metavar="OUT.jsonl",
+                         help="stream spans to a JSONL file as they complete")
+    profile.add_argument("--snapshot", type=Path, default=None, metavar="OUT.txt",
+                         help="dump the flat metrics snapshot after the run")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run calibrated performance suites; write BENCH_<suite>.json",
+    )
+    bench.add_argument("--suites", default="all",
+                       help="comma-separated suite subset (default: all; "
+                       "see --list)")
+    bench.add_argument("--list", action="store_true",
+                       help="list available suites and exit")
+    bench.add_argument("--quick", action="store_true",
+                       help="small sizes / few repeats (CI smoke mode; "
+                       "REPRO_BENCH_QUICK=1 is equivalent)")
+    bench.add_argument("--out-dir", type=Path, default=Path("."),
+                       help="directory for BENCH_<suite>.json files "
+                       "(default: current directory)")
+    bench.add_argument("--compare", nargs="+", type=Path, default=None,
+                       metavar="BASELINE",
+                       help="baseline BENCH_*.json files (or directories "
+                       "holding them) to gate against; exit 3 on regression")
+    bench.add_argument("--rel-tol", type=float, default=0.5,
+                       help="relative regression tolerance on the median "
+                       "(default 0.5 = flag beyond +50%%)")
+    bench.add_argument("--iqr-k", type=float, default=3.0,
+                       help="noise gate: also require the regression to "
+                       "exceed k * IQR (default 3.0)")
     return parser
 
 
@@ -224,7 +265,13 @@ def _cmd_anomalies(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    with Profiler() as profiler:
+    from repro.obs import JsonlSpanSink, write_chrome_trace, write_snapshot
+    from repro.obs.registry import registry
+
+    sink = JsonlSpanSink(args.jsonl) if args.jsonl else None
+    with Profiler(sink=sink) as profiler:
+        if sink is not None:
+            sink.t0 = profiler.t0  # one clock for every export format
         trace = _read(args)
         session = AnalysisSession(trace, seed=args.seed)
         if args.depth:
@@ -243,12 +290,84 @@ def _cmd_profile(args) -> int:
         markup = SvgRenderer().render(view, title=str(session.time_slice))
         if args.svg:
             args.svg.write_text(markup, encoding="utf-8")
+    if sink is not None:
+        sink.close()
+        print(f"wrote {args.jsonl} ({sink.count} spans, streamed)")
     print(profiler.format_table())
     write_trace(profiler.build_trace(), args.out)
     print(f"wrote self-trace {args.out} "
           f"(render it: repro render {args.out})")
+    if args.chrome:
+        write_chrome_trace(profiler, args.chrome)
+        print(f"wrote {args.chrome} (open in Perfetto / chrome://tracing)")
+    if args.snapshot:
+        write_snapshot(registry.snapshot(), args.snapshot)
+        print(f"wrote {args.snapshot}")
     if args.svg:
         print(f"wrote {args.svg} ({len(view)} nodes)")
+    return 0
+
+
+def _bench_baselines(paths) -> dict:
+    """Load --compare baseline files (or directories) keyed by suite."""
+    from repro.obs import bench
+
+    baselines = {}
+    for path in paths:
+        files = sorted(path.glob("BENCH_*.json")) if path.is_dir() else [path]
+        if not files:
+            print(f"warning: no BENCH_*.json under {path}", file=sys.stderr)
+        for file in files:
+            payload = bench.load_result(file)
+            baselines[payload["suite"]] = payload
+    return baselines
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs import bench
+
+    if args.list:
+        for name in bench.available_suites():
+            print(name)
+        return 0
+    if args.suites == "all":
+        suites = bench.available_suites()
+    else:
+        suites = [s.strip() for s in args.suites.split(",") if s.strip()]
+        unknown = [s for s in suites if s not in bench.available_suites()]
+        if unknown:
+            print(f"error: unknown suite(s): {', '.join(unknown)} "
+                  f"(have: {', '.join(bench.available_suites())})",
+                  file=sys.stderr)
+            return 2
+    quick = bench.quick_mode(args.quick)
+    baselines = _bench_baselines(args.compare) if args.compare else {}
+    regressed = False
+    for name in suites:
+        result = bench.run_suite(name, quick=quick)
+        path = bench.write_result(result, args.out_dir)
+        print(f"suite [{name}] ({'quick' if quick else 'full'} mode)")
+        print(bench.format_result(result))
+        print(f"wrote {path}")
+        if args.compare:
+            baseline = baselines.get(name)
+            if baseline is None:
+                print(f"warning: no baseline for suite {name!r}; skipping "
+                      f"comparison", file=sys.stderr)
+                continue
+            try:
+                comparisons = bench.compare_results(
+                    result, baseline, rel_tol=args.rel_tol, iqr_k=args.iqr_k
+                )
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            print(bench.format_comparison(name, comparisons))
+            if bench.has_regression(comparisons):
+                regressed = True
+    if regressed:
+        print("performance regression detected", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -260,6 +379,7 @@ _COMMANDS = {
     "treemap": _cmd_treemap,
     "anomalies": _cmd_anomalies,
     "profile": _cmd_profile,
+    "bench": _cmd_bench,
 }
 
 

@@ -16,7 +16,14 @@ the reproduction itself.  Three layers:
 * the :class:`Profiler`, which turns a run's spans into a repro-format
   **self-trace** that the tool can aggregate, lay out and render like
   any other trace — ``repro profile run.trace`` then
-  ``repro render self.trace``.
+  ``repro render self.trace``;
+* the :mod:`~repro.obs.export` layer, which gets telemetry *out* of the
+  process: Chrome trace-event JSON (:func:`write_chrome_trace`, loads
+  in Perfetto), a streaming span JSONL sink (:class:`JsonlSpanSink`)
+  and flat snapshot dumps (:func:`format_snapshot`); and the
+  :mod:`~repro.obs.bench` harness behind ``repro bench``, which
+  measures the hot paths with calibrated robust statistics and gates
+  regressions via schema-versioned ``BENCH_<suite>.json`` baselines.
 
 >>> from repro import obs
 >>> with obs.Profiler() as profiler:
@@ -45,10 +52,19 @@ from repro.obs.spans import (
     span,
 )
 from repro.obs.profiler import PIPELINE_STAGES, Profiler, StageStat
+from repro.obs.export import (
+    JsonlSpanSink,
+    chrome_trace_events,
+    format_snapshot,
+    read_jsonl_spans,
+    write_chrome_trace,
+    write_snapshot,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
+    "JsonlSpanSink",
     "MetricsRegistry",
     "PIPELINE_STAGES",
     "Profiler",
@@ -58,10 +74,15 @@ __all__ = [
     "Timer",
     "attach_profiler",
     "attached_profiler",
+    "chrome_trace_events",
     "detach_profiler",
     "disable",
     "enable",
     "enabled",
+    "format_snapshot",
+    "read_jsonl_spans",
     "registry",
     "span",
+    "write_chrome_trace",
+    "write_snapshot",
 ]

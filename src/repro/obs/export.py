@@ -1,0 +1,247 @@
+"""Telemetry export: spans and snapshots in interoperable formats.
+
+The :mod:`repro.obs` layer records everything in-process — span
+intervals in a :class:`~repro.obs.profiler.Profiler`, aggregates in the
+:data:`~repro.obs.registry.registry`.  This module gets that data *out*
+in three shapes, from most to least structured:
+
+* **Chrome trace-event JSON** (:func:`write_chrome_trace`) — the
+  ``{"traceEvents": [...]}`` format understood by Perfetto and
+  ``chrome://tracing``: one ``ph: "X"`` *complete* event per span with
+  microsecond ``ts``/``dur``, the span family as the category, and the
+  span attributes as ``args``.  Load the file in a trace viewer and the
+  pipeline's own timeline appears next to everyone else's.
+* **Streaming span JSONL** (:class:`JsonlSpanSink`) — one JSON object
+  per line, flushed as each span closes, so the file is tailable while
+  the process still runs (the crash-forensics property the in-memory
+  profiler cannot offer).  :func:`read_jsonl_spans` round-trips it.
+* **Flat snapshot text** (:func:`format_snapshot`,
+  :func:`write_snapshot`) — ``registry.snapshot()`` as sorted
+  ``name value`` lines, the lowest-tech diffable dump.
+
+All three are wired into the CLI: ``repro profile run.trace
+--chrome out.json --jsonl out.jsonl --snapshot out.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+from typing import IO, Iterable, Mapping
+
+__all__ = [
+    "CHROME_PID",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "JsonlSpanSink",
+    "read_jsonl_spans",
+    "format_snapshot",
+    "write_snapshot",
+]
+
+#: The synthetic process id used for every event: the pipeline is one
+#: single-threaded process, so one (pid, tid) lane per span family
+#: keeps the trace-viewer rows readable.
+CHROME_PID = 1
+
+
+def _family(name: str) -> str:
+    """The span family — the name up to the first dot."""
+    return name.split(".", 1)[0]
+
+
+def _jsonable(attrs: Mapping) -> dict:
+    """Attributes coerced to JSON-serializable values (repr fallback)."""
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[str(key)] = value
+        else:
+            out[str(key)] = repr(value)
+    return out
+
+
+def chrome_trace_events(profiler) -> list[dict]:
+    """*profiler*'s spans as a Chrome trace-event list.
+
+    Each completed span becomes one ``ph: "X"`` (complete) event with
+    ``ts`` and ``dur`` in microseconds relative to the profiler's
+    creation instant, ``cat`` set to the span family, and the span's
+    attributes under ``args``.  Families map to thread lanes (one
+    ``tid`` per family, named by metadata events), so Perfetto draws
+    ``agg.*``, ``layout.*``, ``render.*`` ... as parallel tracks.
+    """
+    t0 = profiler.t0
+    families: dict[str, int] = {}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": CHROME_PID,
+            "tid": 0,
+            "args": {"name": "repro pipeline"},
+        }
+    ]
+    spans: list[tuple[float, str, float, dict]] = []
+    for name, intervals in profiler.intervals.items():
+        for began, ended, attrs in intervals:
+            spans.append((began, name, ended, attrs))
+    spans.sort(key=lambda item: item[0])
+    for began, name, ended, attrs in spans:
+        family = _family(name)
+        tid = families.get(family)
+        if tid is None:
+            tid = families[family] = len(families) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": CHROME_PID,
+                    "tid": tid,
+                    "args": {"name": family},
+                }
+            )
+        events.append(
+            {
+                "name": name,
+                "cat": family,
+                "ph": "X",
+                "ts": max(began - t0, 0.0) * 1e6,
+                "dur": max(ended - began, 0.0) * 1e6,
+                "pid": CHROME_PID,
+                "tid": tid,
+                "args": _jsonable(attrs),
+            }
+        )
+    return events
+
+
+def write_chrome_trace(profiler, path: str | Path) -> Path:
+    """Write *profiler*'s spans as a Chrome trace-event JSON file.
+
+    The file is the JSON-object flavor of the format (``traceEvents``
+    plus ``displayTimeUnit``/``otherData``), loadable in Perfetto or
+    ``chrome://tracing`` as-is.  Returns the written path.
+    """
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(profiler),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.export",
+            "wall_s": profiler.wall_s(),
+        },
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return path
+
+
+class JsonlSpanSink:
+    """A streaming span sink: one JSON object per line, flushed live.
+
+    Implements the same ``record(name, began, ended, attrs)`` interface
+    the :class:`~repro.obs.profiler.Profiler` consumes, so it can be
+    attached directly (``attach_profiler(sink)``) or ride along a
+    profiler (``Profiler(sink=sink)``).  Every record is written and
+    flushed immediately — the file is usable while the process runs,
+    and survives a crash up to the last completed span.
+
+    Line schema (also what :func:`read_jsonl_spans` returns)::
+
+        {"name": "layout.build", "ts_s": 0.00123, "dur_s": 0.0004,
+         "attrs": {...}}
+
+    ``ts_s`` is seconds since the sink was created (or since the
+    explicit *t0* perf-counter origin, so it can share a profiler's
+    clock).  Use as a context manager to close the file deterministically.
+    """
+
+    __slots__ = ("t0", "path", "_file", "_owns", "count")
+
+    def __init__(self, target: str | Path | IO[str], t0: float | None = None) -> None:
+        self.t0 = perf_counter() if t0 is None else t0
+        self.count = 0
+        if hasattr(target, "write"):
+            self.path = None
+            self._file = target
+            self._owns = False
+        else:
+            self.path = Path(target)
+            self._file = self.path.open("w", encoding="utf-8")
+            self._owns = True
+
+    def record(
+        self, name: str, began: float, ended: float, attrs: dict | None = None
+    ) -> None:
+        """Append one completed span as a JSON line and flush."""
+        line = json.dumps(
+            {
+                "name": name,
+                "ts_s": max(began - self.t0, 0.0),
+                "dur_s": max(ended - began, 0.0),
+                "attrs": _jsonable(attrs or {}),
+            },
+            sort_keys=True,
+        )
+        self._file.write(line + "\n")
+        self._file.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        """Close the underlying file if this sink opened it."""
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSpanSink":
+        """Context-manager entry: returns self."""
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        """Context-manager exit: closes the file, never swallows."""
+        self.close()
+        return False
+
+
+def read_jsonl_spans(source: str | Path | Iterable[str]) -> list[dict]:
+    """Parse a span JSONL file (or iterable of lines) back to dicts.
+
+    Blank lines are skipped; each remaining line must be one JSON
+    object with at least ``name``/``ts_s``/``dur_s`` — the exact shape
+    :class:`JsonlSpanSink` writes.
+    """
+    if isinstance(source, (str, Path)):
+        lines = Path(source).read_text(encoding="utf-8").splitlines()
+    else:
+        lines = list(source)
+    out = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            out.append(json.loads(line))
+    return out
+
+
+def format_snapshot(snapshot: Mapping[str, float], prefix: str = "") -> str:
+    """A registry snapshot as sorted, aligned ``name value`` lines.
+
+    *snapshot* is the dict :meth:`~repro.obs.MetricsRegistry.snapshot`
+    returns; *prefix* filters by name prefix.  Values print with ``%g``
+    so counters stay integral and timers keep their precision.
+    """
+    items = sorted(
+        (k, v) for k, v in snapshot.items() if k.startswith(prefix)
+    )
+    if not items:
+        return ""
+    width = max(len(name) for name, _ in items)
+    return "\n".join(f"{name:<{width}} {value:g}" for name, value in items)
+
+
+def write_snapshot(
+    snapshot: Mapping[str, float], path: str | Path, prefix: str = ""
+) -> Path:
+    """Write :func:`format_snapshot` of *snapshot* to *path*."""
+    path = Path(path)
+    path.write_text(format_snapshot(snapshot, prefix) + "\n", encoding="utf-8")
+    return path

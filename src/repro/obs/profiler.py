@@ -90,12 +90,16 @@ class Profiler:
     caps the number of per-span :class:`PointEvent` records embedded in
     the self-trace (the ``usage`` signals are never truncated); the
     number of spans dropped by the cap is recorded in the trace meta as
-    ``dropped_points``.
+    ``dropped_points``.  ``sink`` is an optional streaming tee — any
+    object with the same ``record(name, began, ended, attrs)`` method
+    (e.g. :class:`repro.obs.export.JsonlSpanSink`) that receives every
+    span as it completes, while the profiler keeps accumulating.
     """
 
-    def __init__(self, max_points: int = 20000) -> None:
+    def __init__(self, max_points: int = 20000, sink=None) -> None:
         self.t0 = perf_counter()
         self.max_points = max_points
+        self.sink = sink
         #: span name -> list of (began, ended, attrs), absolute seconds
         self.intervals: dict[str, list] = {}
         self._was_enabled: bool | None = None
@@ -111,6 +115,8 @@ class Profiler:
         if bucket is None:
             bucket = self.intervals[name] = []
         bucket.append((began, ended, attrs or {}))
+        if self.sink is not None:
+            self.sink.record(name, began, ended, attrs)
 
     def install(self) -> "Profiler":
         """Enable observability and route spans here; returns self."""

@@ -48,7 +48,17 @@ class Counter:
         self.value = 0.0
 
     def add(self, delta: float = 1.0) -> None:
-        """Increase the counter by *delta* (must be >= 0)."""
+        """Increase the counter by *delta* (must be >= 0).
+
+        Raises :class:`ValueError` on a negative delta — a counter is
+        monotonic by contract, and silently accepting decrements would
+        corrupt every rate/total derived from it.
+        """
+        if delta < 0:
+            raise ValueError(
+                f"Counter {self.name!r} is monotonic: add() requires "
+                f"delta >= 0, got {delta!r}"
+            )
         self.value += delta
 
     def reset(self) -> None:
@@ -226,16 +236,26 @@ class MetricsRegistry:
             out[counter.name] = out.get(counter.name, 0.0) + counter.value
         for gauge in self._gauges.values():
             out[gauge.name] = gauge.value
+        # Same-name timers (distinct label sets) aggregate: counts and
+        # totals sum, the mean derives from those sums, and the max is
+        # the max over instances — not last-write-wins.
+        timer_names = set()
         for timer in self._timers.values():
+            timer_names.add(timer.name)
             out[f"{timer.name}.count"] = (
                 out.get(f"{timer.name}.count", 0.0) + timer.count
             )
             out[f"{timer.name}.total_s"] = (
                 out.get(f"{timer.name}.total_s", 0.0) + timer.total_s
             )
-            out[f"{timer.name}.mean_s"] = timer.mean_s
-            out[f"{timer.name}.max_s"] = (
-                timer.max_s if timer.count else 0.0
+            out[f"{timer.name}.max_s"] = max(
+                out.get(f"{timer.name}.max_s", 0.0),
+                timer.max_s if timer.count else 0.0,
+            )
+        for name in timer_names:
+            count = out[f"{name}.count"]
+            out[f"{name}.mean_s"] = (
+                out[f"{name}.total_s"] / count if count else 0.0
             )
         for name, groups in self._groups.items():
             for group in groups:

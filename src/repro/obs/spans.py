@@ -100,13 +100,23 @@ class Span:
         self.began = perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
-        """Stop the clock; record into the registry and the profiler."""
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        """Stop the clock; record into the registry and the profiler.
+
+        An exception propagating out of the span body is made visible —
+        the ``<name>.errors`` counter increments and the profiler record
+        (if one is attached) gains an ``error`` attribute naming the
+        exception type — but it is never swallowed.
+        """
         ended = perf_counter()
         registry.timer(self.name).observe(ended - self.began)
+        attrs = self.attrs
+        if exc_type is not None:
+            registry.counter(f"{self.name}.errors").add()
+            attrs = dict(attrs, error=exc_type.__name__)
         profiler = _state.profiler
         if profiler is not None:
-            profiler.record(self.name, self.began, ended, self.attrs)
+            profiler.record(self.name, self.began, ended, attrs)
         return False
 
 

@@ -246,6 +246,42 @@ class TestProfile:
         ) == 0
         assert svg.read_text().startswith("<svg")
 
+    def test_profile_chrome_export(self, fig3_file, tmp_path, capsys):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        assert main(
+            ["profile", str(fig3_file), "--scrub", "2",
+             "--out", str(tmp_path / "s.trace"), "--chrome", str(chrome)]
+        ) == 0
+        assert "Perfetto" in capsys.readouterr().out
+        payload = json.loads(chrome.read_text())
+        complete = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert complete, "no complete events exported"
+        stages = {e["name"] for e in complete}
+        assert "layout.build" in stages and "render.svg" in stages
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in complete)
+
+    def test_profile_jsonl_and_snapshot_export(self, fig3_file, tmp_path,
+                                               capsys):
+        from repro.obs import read_jsonl_spans
+
+        jsonl = tmp_path / "spans.jsonl"
+        snap = tmp_path / "snap.txt"
+        assert main(
+            ["profile", str(fig3_file), "--scrub", "2",
+             "--out", str(tmp_path / "s.trace"),
+             "--jsonl", str(jsonl), "--snapshot", str(snap)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "streamed" in out
+        spans = read_jsonl_spans(jsonl)
+        assert {s["name"] for s in spans} >= {"agg.slice", "layout.build"}
+        assert all(s["dur_s"] >= 0.0 for s in spans)
+        text = snap.read_text()
+        assert "layout.build.count" in text
+        assert "agg.views" in text  # stat groups fold into the dump
+
     def test_profile_leaves_obs_disabled(self, fig3_file, tmp_path):
         from repro.obs import enabled
 

@@ -51,6 +51,17 @@ class TestRegistry:
         c.reset()
         assert c.value == 0.0
 
+    def test_counter_rejects_negative_delta(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events")
+        c.add(2.0)
+        with pytest.raises(ValueError, match="monotonic"):
+            c.add(-1.0)
+        # The failed add must not have corrupted the total.
+        assert c.value == 2.0
+        c.add(0.0)  # zero is allowed by the >= 0 contract
+        assert c.value == 2.0
+
     def test_counter_labels_distinct(self):
         reg = MetricsRegistry()
         a = reg.counter("reads", kind="paje")
@@ -113,6 +124,32 @@ class TestRegistry:
         assert "agg.label" not in snap
         del g1, g2
 
+    def test_snapshot_aggregates_same_name_labeled_timers(self):
+        """Two labeled timers under one name: counts/totals sum, the
+        mean derives from the sums, and the max is the max of maxes —
+        regardless of registration order."""
+        reg = MetricsRegistry()
+        a = reg.timer("stage", kernel="array")
+        b = reg.timer("stage", kernel="scalar")
+        a.observe(0.1)
+        a.observe(0.3)
+        b.observe(0.8)  # the slower instance registered second
+        snap = reg.snapshot()
+        assert snap["stage.count"] == 3
+        assert snap["stage.total_s"] == pytest.approx(1.2)
+        assert snap["stage.mean_s"] == pytest.approx(1.2 / 3)
+        assert snap["stage.max_s"] == pytest.approx(0.8)
+        # And with the slow instance first, the max must not regress
+        # to the last-written timer's max.
+        reg2 = MetricsRegistry()
+        slow = reg2.timer("stage", kernel="scalar")
+        fast = reg2.timer("stage", kernel="array")
+        slow.observe(0.8)
+        fast.observe(0.1)
+        snap2 = reg2.snapshot()
+        assert snap2["stage.max_s"] == pytest.approx(0.8)
+        assert snap2["stage.mean_s"] == pytest.approx(0.45)
+
     def test_snapshot_prefix_filter(self):
         reg = MetricsRegistry()
         reg.counter("agg.hits").add()
@@ -164,6 +201,33 @@ class TestSpans:
         t = registry.timer("test.stage")
         assert t.count == 2
         assert t.total_s >= 0.0
+
+    def test_span_exception_counted_never_swallowed(self):
+        enable()
+        registry.timer("test.fail").reset()
+        registry.counter("test.fail.errors").reset()
+        with pytest.raises(KeyError):
+            with span("test.fail"):
+                raise KeyError("boom")
+        assert registry.counter("test.fail.errors").value == 1.0
+        # The duration is still observed for the failed span.
+        assert registry.timer("test.fail").count == 1
+        # A clean span does not touch the error counter.
+        with span("test.fail"):
+            pass
+        assert registry.counter("test.fail.errors").value == 1.0
+
+    def test_span_exception_flags_profiler_record(self):
+        with Profiler() as profiler:
+            with pytest.raises(RuntimeError):
+                with span("agg.slice", depth=2):
+                    raise RuntimeError("boom")
+            with span("agg.slice", depth=2):
+                pass
+        attrs = [a for _, _, a in profiler.intervals["agg.slice"]]
+        assert attrs[0]["error"] == "RuntimeError"
+        assert attrs[0]["depth"] == 2
+        assert "error" not in attrs[1]
 
     def test_env_opt_in(self, monkeypatch):
         from repro.obs.spans import _env_enabled

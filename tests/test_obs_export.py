@@ -1,0 +1,196 @@
+"""Tests for repro.obs.export — Chrome trace, span JSONL, snapshot dump.
+
+The Chrome-trace checks validate the schema a real viewer needs (valid
+JSON, ``ph: "X"`` complete events, microsecond ``ts``/``dur``, correct
+containment of nested spans); the JSONL checks prove the streaming
+property (lines appear as spans close, before the run ends) and the
+line-by-line round-trip.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSpanSink,
+    Profiler,
+    chrome_trace_events,
+    format_snapshot,
+    read_jsonl_spans,
+    registry,
+    span,
+    write_chrome_trace,
+    write_snapshot,
+)
+from repro.obs.spans import attach_profiler, detach_profiler, disable, enable, enabled
+
+
+@pytest.fixture(autouse=True)
+def _restore_obs_state():
+    """Leave the process-wide switch and registry as we found them."""
+    was = enabled()
+    yield
+    (enable if was else disable)()
+    registry.reset()
+
+
+def busy_profiled_run():
+    """A profiler holding a nested + repeated span pattern."""
+    with Profiler() as profiler:
+        with span("agg.slice", depth=2):
+            with span("agg.spatial"):
+                pass
+        with span("layout.build", n=10):
+            pass
+        with span("layout.build", n=10):
+            pass
+    return profiler
+
+
+class TestChromeTrace:
+    def test_file_is_valid_json_object_form(self, tmp_path):
+        profiler = busy_profiled_run()
+        path = write_chrome_trace(profiler, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["generator"] == "repro.obs.export"
+
+    def test_complete_events_schema(self):
+        events = chrome_trace_events(busy_profiled_run())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 4  # slice, spatial, 2x build
+        for event in complete:
+            assert set(event) >= {"name", "cat", "ph", "ts", "dur",
+                                  "pid", "tid", "args"}
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["cat"] == event["name"].split(".", 1)[0]
+        # Events are emitted in start-time order.
+        assert [e["ts"] for e in complete] == sorted(
+            e["ts"] for e in complete
+        )
+
+    def test_nested_span_contained_in_parent(self):
+        events = chrome_trace_events(busy_profiled_run())
+        by_name = {}
+        for event in events:
+            if event["ph"] == "X":
+                by_name.setdefault(event["name"], []).append(event)
+        (parent,) = by_name["agg.slice"]
+        (child,) = by_name["agg.spatial"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"] + 1e-6
+
+    def test_families_get_named_thread_lanes(self):
+        events = chrome_trace_events(busy_profiled_run())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "agg" in names and "layout" in names
+        # Same family -> same tid; different families -> different tids.
+        tids = {}
+        for event in events:
+            if event["ph"] == "X":
+                tids.setdefault(event["cat"], set()).add(event["tid"])
+        assert all(len(ts) == 1 for ts in tids.values())
+        assert tids["agg"] != tids["layout"]
+
+    def test_args_carry_span_attrs_jsonable(self):
+        with Profiler() as profiler:
+            with span("render.svg", nodes=7, note="x", obj=object()):
+                pass
+        (event,) = [
+            e for e in chrome_trace_events(profiler) if e["ph"] == "X"
+        ]
+        assert event["args"]["nodes"] == 7
+        assert event["args"]["note"] == "x"
+        assert isinstance(event["args"]["obj"], str)  # repr fallback
+        json.dumps(event)  # must be serializable as-is
+
+    def test_error_span_flag_survives_export(self):
+        with Profiler() as profiler:
+            with pytest.raises(ValueError):
+                with span("agg.slice"):
+                    raise ValueError("boom")
+        (event,) = [
+            e for e in chrome_trace_events(profiler) if e["ph"] == "X"
+        ]
+        assert event["args"]["error"] == "ValueError"
+
+
+class TestJsonlSink:
+    def test_round_trips_line_by_line(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        with JsonlSpanSink(path) as sink:
+            with Profiler(sink=sink):
+                with span("layout.build", n=3):
+                    pass
+                with span("render.svg"):
+                    pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)  # every line is one standalone object
+        spans = read_jsonl_spans(path)
+        assert [s["name"] for s in spans] == ["layout.build", "render.svg"]
+        assert spans[0]["attrs"] == {"n": 3}
+        assert all(s["ts_s"] >= 0.0 and s["dur_s"] >= 0.0 for s in spans)
+
+    def test_streams_while_running(self):
+        """Each record is flushed immediately — readable mid-run."""
+        buffer = io.StringIO()
+        sink = JsonlSpanSink(buffer)
+        enable()
+        attach_profiler(sink)
+        try:
+            with span("agg.slice"):
+                pass
+            mid_run = buffer.getvalue()
+            assert mid_run.endswith("\n")
+            assert json.loads(mid_run.splitlines()[0])["name"] == "agg.slice"
+            with span("agg.slice"):
+                pass
+        finally:
+            detach_profiler(sink)
+        assert len(buffer.getvalue().splitlines()) == 2
+        assert sink.count == 2
+
+    def test_standalone_attachment_without_profiler(self, tmp_path):
+        path = tmp_path / "solo.jsonl"
+        enable()
+        with JsonlSpanSink(path) as sink:
+            attach_profiler(sink)
+            try:
+                with span("sim.step", turn=1):
+                    pass
+            finally:
+                detach_profiler(sink)
+        (record,) = read_jsonl_spans(path)
+        assert record["name"] == "sim.step"
+        assert record["attrs"] == {"turn": 1}
+
+    def test_read_accepts_iterable_and_skips_blanks(self):
+        lines = ['{"name": "a", "ts_s": 0.0, "dur_s": 1.0, "attrs": {}}',
+                 "", "  "]
+        assert read_jsonl_spans(lines) == [
+            {"name": "a", "ts_s": 0.0, "dur_s": 1.0, "attrs": {}}
+        ]
+
+
+class TestSnapshotDump:
+    def test_sorted_aligned_lines(self):
+        text = format_snapshot({"b.count": 2.0, "a": 1.5})
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].startswith("b.count")
+        assert "1.5" in lines[0] and "2" in lines[1]
+
+    def test_prefix_filter_and_file(self, tmp_path):
+        snap = {"agg.views": 3.0, "layout.evals": 9.0}
+        path = write_snapshot(snap, tmp_path / "snap.txt", prefix="agg.")
+        text = path.read_text()
+        assert "agg.views" in text and "layout" not in text
+
+    def test_empty_snapshot(self):
+        assert format_snapshot({}) == ""
