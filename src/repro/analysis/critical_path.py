@@ -54,6 +54,11 @@ class CriticalPath:
         """The (start, end) interval the path covers."""
         return (self.segments[0].start, self.segments[-1].end)
 
+    @property
+    def makespan(self) -> float:
+        """End of the path — the run's completion time it explains."""
+        return self.segments[-1].end
+
     def time_by_state(self) -> dict[str, float]:
         """Path time per state — the compute/communication breakdown."""
         totals: dict[str, float] = {}

@@ -153,13 +153,14 @@ def _worker(ctx, app: AppSpec, result: AppResult):
         message = yield ctx.recv(_worker_mailbox(app, me))
         if message.payload["type"] == "pill":
             return
-        yield ctx.execute(app.task_flops, category=app.name)
-        result.tasks_completed += 1
-        result.completed_per_worker[me] += 1
-        result.completion_times.append(ctx.now)
-        yield ctx.send(
-            app.master, 0.0, _master_mailbox(app), request, category=app.name
-        )
+        with ctx.span("task", app=app.name):
+            yield ctx.execute(app.task_flops, category=app.name)
+            result.tasks_completed += 1
+            result.completed_per_worker[me] += 1
+            result.completion_times.append(ctx.now)
+            yield ctx.send(
+                app.master, 0.0, _master_mailbox(app), request, category=app.name
+            )
 
 
 def _sender(ctx, app: AppSpec, worker: str):
@@ -235,6 +236,7 @@ def run_master_worker(
     policy: str = Policy.BANDWIDTH_CENTRIC,
     monitor: UsageMonitor | None = None,
     until: float | None = None,
+    tracer=None,
 ) -> MasterWorkerResult:
     """Run competing master-worker applications on *platform*.
 
@@ -249,6 +251,10 @@ def run_master_worker(
         Optional simulated-time cutoff; when it fires, unfinished
         applications simply stop being measured (their workers stay
         blocked), which is fine for time-sliced visualization runs.
+    tracer:
+        Optional :class:`~repro.simulation.tracing.CausalTracer`: the
+        run then records a cross-process span DAG (workers wrap each
+        task in an explicit ``"task"`` phase span).
     """
     if policy not in Policy.ALL:
         raise SimulationError(f"unknown policy {policy!r}")
@@ -268,7 +274,7 @@ def run_master_worker(
     if not worker_list:
         raise SimulationError("no worker hosts")
 
-    simulator = Simulator(platform, monitor)
+    simulator = Simulator(platform, monitor, tracer=tracer)
     results = {app.name: AppResult(app) for app in apps}
     for app in apps:
         platform.host(app.master)  # validate early

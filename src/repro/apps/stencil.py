@@ -64,6 +64,7 @@ def run_stencil(
     flops_per_iteration: float = 1e8,
     monitor: UsageMonitor | None = None,
     category: str = "stencil",
+    tracer=None,
 ) -> StencilResult:
     """Run a 2D periodic stencil with rank *i* on ``hosts[i]``.
 
@@ -73,6 +74,10 @@ def run_stencil(
         Logical rank grid ``(nx, ny)``; needs ``nx * ny`` hosts.  Both
         extents must be >= 3 so the four neighbours are distinct (a
         degenerate extent would make a rank its own neighbour).
+    tracer:
+        Optional :class:`~repro.simulation.tracing.CausalTracer`: the
+        run then records a cross-rank span DAG, each iteration wrapped
+        in an explicit ``"iteration"`` phase span.
     """
     nx, ny = grid
     if nx < 3 or ny < 3:
@@ -82,7 +87,7 @@ def run_stencil(
         raise SimulationError(
             f"stencil {nx}x{ny} needs {n_ranks} hosts, got {len(hosts)}"
         )
-    simulator = Simulator(platform, monitor)
+    simulator = Simulator(platform, monitor, tracer=tracer)
     world = MpiWorld(
         simulator, hosts[:n_ranks], name="stencil", category=category
     )
@@ -92,19 +97,20 @@ def run_stencil(
         me = rank_ctx.rank
         neighbours = _neighbours(me, nx, ny)
         for iteration in range(iterations):
-            handles = []
-            for neighbour in neighbours:
-                handles.append(
-                    (
-                        yield rank_ctx.isend(
-                            neighbour, halo_bytes, tag=iteration
+            with rank_ctx.span("iteration", i=iteration):
+                handles = []
+                for neighbour in neighbours:
+                    handles.append(
+                        (
+                            yield rank_ctx.isend(
+                                neighbour, halo_bytes, tag=iteration
+                            )
                         )
                     )
-                )
-            for neighbour in neighbours:
-                yield rank_ctx.recv(neighbour, tag=iteration)
-            yield rank_ctx.wait(handles)
-            yield rank_ctx.execute(flops_per_iteration)
+                for neighbour in neighbours:
+                    yield rank_ctx.recv(neighbour, tag=iteration)
+                yield rank_ctx.wait(handles)
+                yield rank_ctx.execute(flops_per_iteration)
             iteration_ends[iteration] = max(
                 iteration_ends[iteration], rank_ctx.now
             )

@@ -21,7 +21,14 @@ Usage (``python -m repro <command> ...``):
   and write schema-versioned ``BENCH_<suite>.json`` files;
   ``--compare BASELINE.json`` applies the noise-aware regression gate
   and exits 3 when a median regresses beyond
-  ``max(rel_tol * base, k * IQR)``.
+  ``max(rel_tol * base, k * IQR)``;
+* ``causal <app>`` — run a built-in simulated application
+  (``master-worker`` or ``stencil``) with the causal tracer attached
+  and print the span-DAG summary: span counts, DAG depth, the
+  critical-path decomposition and the top-k latency edges.
+  ``--chrome`` exports Chrome/Perfetto flow events (message causality
+  as arrows), ``--out`` writes the span DAG as an ordinary repro trace
+  that ``render``/``timeline`` can visualize.
 
 Traces are files in the ``repro`` text format (see
 :mod:`repro.trace.writer`) or, with ``--paje``, in the Paje format used
@@ -164,6 +171,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--iqr-k", type=float, default=3.0,
                        help="noise gate: also require the regression to "
                        "exceed k * IQR (default 3.0)")
+
+    causal = sub.add_parser(
+        "causal",
+        help="causally trace a built-in simulated app; print the span DAG",
+    )
+    causal.add_argument("app", choices=("master-worker", "stencil"),
+                        help="which simulated application to trace")
+    causal.add_argument("--workers", type=int, default=4,
+                        help="master-worker: number of worker hosts")
+    causal.add_argument("--tasks", type=int, default=8,
+                        help="master-worker: bag-of-tasks size")
+    causal.add_argument("--grid", nargs=2, type=int, default=(3, 3),
+                        metavar=("NX", "NY"),
+                        help="stencil: logical rank grid (>= 3x3)")
+    causal.add_argument("--iterations", type=int, default=4,
+                        help="stencil: number of halo-exchange iterations")
+    causal.add_argument("--top", type=int, default=5,
+                        help="latency edges to list in the summary")
+    causal.add_argument("--chrome", type=Path, default=None,
+                        metavar="OUT.json",
+                        help="export Chrome trace-event JSON with flow "
+                        "events (causal arrows in Perfetto)")
+    causal.add_argument("--out", type=Path, default=None,
+                        metavar="OUT.trace",
+                        help="write the span DAG as a repro-format trace "
+                        "(then: repro render/timeline OUT.trace)")
     return parser
 
 
@@ -371,6 +404,48 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_causal(args) -> int:
+    from repro.obs.causal import format_summary
+    from repro.obs.export import write_causal_chrome_trace
+    from repro.simulation.tracing import CausalTracer
+
+    tracer = CausalTracer()
+    if args.app == "master-worker":
+        from repro.apps.masterworker import AppSpec, run_master_worker
+        from repro.platform.cluster import add_cluster
+        from repro.platform.topology import Platform
+
+        if args.workers < 1:
+            print("error: --workers must be >= 1", file=sys.stderr)
+            return 2
+        platform = Platform()
+        add_cluster(platform, "c", args.workers + 1)
+        hosts = [h.name for h in platform.hosts]
+        spec = AppSpec(name="app", master=hosts[0], n_tasks=args.tasks,
+                       input_bytes=1e6, task_flops=1e8)
+        run_master_worker(platform, [spec], tracer=tracer)
+    else:
+        from repro.apps.stencil import run_stencil
+        from repro.platform.regular import torus_platform
+
+        nx, ny = args.grid
+        platform = torus_platform((nx, ny))
+        hosts = [h.name for h in platform.hosts]
+        run_stencil(platform, hosts, (nx, ny),
+                    iterations=args.iterations, tracer=tracer)
+    causal = tracer.build()
+    print(f"causal trace of {args.app}")
+    print(format_summary(causal, top=args.top))
+    if args.chrome:
+        write_causal_chrome_trace(causal, args.chrome)
+        print(f"wrote {args.chrome} (open in Perfetto; "
+              f"arrows are causal message edges)")
+    if args.out:
+        write_trace(causal.to_trace(), args.out)
+        print(f"wrote {args.out} (render it: repro render {args.out})")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "render": _cmd_render,
@@ -380,6 +455,7 @@ _COMMANDS = {
     "anomalies": _cmd_anomalies,
     "profile": _cmd_profile,
     "bench": _cmd_bench,
+    "causal": _cmd_causal,
 }
 
 

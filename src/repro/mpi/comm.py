@@ -89,6 +89,10 @@ class RankContext:
         """Block for *duration* simulated seconds."""
         return self._ctx.sleep(duration)
 
+    def span(self, name: str, **attrs):
+        """An explicit causal phase span (see :meth:`ProcessContext.span`)."""
+        return self._ctx.span(name, **attrs)
+
 
 class MpiWorld:
     """A set of ranks placed on hosts, sharing a mailbox namespace.

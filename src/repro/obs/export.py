@@ -26,14 +26,19 @@ All three are wired into the CLI: ``repro profile run.trace
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from time import perf_counter
 from typing import IO, Iterable, Mapping
 
 __all__ = [
     "CHROME_PID",
+    "CAUSAL_PID",
+    "jsonable_attrs",
     "chrome_trace_events",
     "write_chrome_trace",
+    "causal_chrome_events",
+    "write_causal_chrome_trace",
     "JsonlSpanSink",
     "read_jsonl_spans",
     "format_snapshot",
@@ -45,17 +50,33 @@ __all__ = [
 #: keeps the trace-viewer rows readable.
 CHROME_PID = 1
 
+#: The synthetic process id for *simulated* (causal) spans, so a causal
+#: trace and the pipeline's own profile can share one viewer file
+#: without lane collisions.
+CAUSAL_PID = 2
+
 
 def _family(name: str) -> str:
     """The span family — the name up to the first dot."""
     return name.split(".", 1)[0]
 
 
-def _jsonable(attrs: Mapping) -> dict:
-    """Attributes coerced to JSON-serializable values (repr fallback)."""
+def jsonable_attrs(attrs: Mapping) -> dict:
+    """Span attributes coerced to JSON-serializable values.
+
+    This is the *single* serialization rule for span attributes —
+    :func:`chrome_trace_events` and :class:`JsonlSpanSink` both call it,
+    so ``span(..., nodes=7, ratio=0.5, ok=True)`` round-trips to the
+    same JSON values in every exporter (the two used to be free to
+    drift).  str/int/float/bool/None pass through natively; non-finite
+    floats (``nan``/``inf``, invalid in strict JSON and rejected by
+    trace viewers) and everything else stringify via ``repr``.
+    """
     out = {}
     for key, value in attrs.items():
-        if isinstance(value, (str, int, float, bool)) or value is None:
+        if isinstance(value, float) and not math.isfinite(value):
+            out[str(key)] = repr(value)
+        elif isinstance(value, (str, int, float, bool)) or value is None:
             out[str(key)] = value
         else:
             out[str(key)] = repr(value)
@@ -111,7 +132,7 @@ def chrome_trace_events(profiler) -> list[dict]:
                 "dur": max(ended - began, 0.0) * 1e6,
                 "pid": CHROME_PID,
                 "tid": tid,
-                "args": _jsonable(attrs),
+                "args": jsonable_attrs(attrs),
             }
         )
     return events
@@ -131,6 +152,116 @@ def write_chrome_trace(profiler, path: str | Path) -> Path:
         "otherData": {
             "generator": "repro.obs.export",
             "wall_s": profiler.wall_s(),
+        },
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return path
+
+
+def causal_chrome_events(causal) -> list[dict]:
+    """A :class:`~repro.obs.causal.CausalTrace` as Chrome trace events.
+
+    Simulated processes map to thread lanes under :data:`CAUSAL_PID`
+    (``ts`` is simulated seconds scaled to microseconds); every span —
+    process roots, explicit phases and request spans alike — becomes a
+    ``ph: "X"`` complete event, which nest naturally per lane.  Every
+    cross-span :class:`~repro.simulation.tracing.CausalEdge` becomes a
+    matched **flow-event pair**: ``ph: "s"`` on the sender's lane at
+    ``sent_at`` and ``ph: "f"`` (``bp: "e"``: bind to the enclosing
+    slice) on the receiver's lane, sharing an ``id`` — Perfetto draws
+    these as arrows from send to recv, the message causality made
+    visible.  The ``"f"`` event binds at
+    ``max(delivered_at, recv_span.start)`` so it always lands inside
+    the receiving slice.
+    """
+    lanes: dict[str, int] = {}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": CAUSAL_PID,
+            "tid": 0,
+            "args": {"name": "simulated platform (causal)"},
+        }
+    ]
+    for process in causal.processes():
+        tid = lanes[process] = len(lanes) + 1
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": CAUSAL_PID,
+                "tid": tid,
+                "args": {"name": process},
+            }
+        )
+    for span in sorted(causal.spans, key=lambda s: (s.start, s.span_id)):
+        tid = lanes.get(span.process)
+        if tid is None:  # a process with no root span (defensive)
+            tid = lanes[span.process] = len(lanes) + 1
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(span.duration, 0.0) * 1e6,
+                "pid": CAUSAL_PID,
+                "tid": tid,
+                "args": jsonable_attrs(
+                    dict(span.attrs, span_id=span.span_id, host=span.host)
+                ),
+            }
+        )
+    for index, edge in enumerate(causal.edges):
+        flow = {
+            "name": edge.mailbox or "message",
+            "cat": "causal",
+            "id": index,
+            "pid": CAUSAL_PID,
+            "args": jsonable_attrs(
+                {
+                    "size": edge.size,
+                    "latency": edge.latency,
+                    "category": edge.category,
+                }
+            ),
+        }
+        recv = causal.span(edge.dst_span)
+        events.append(
+            dict(
+                flow,
+                ph="s",
+                ts=edge.sent_at * 1e6,
+                tid=lanes[edge.src_process],
+            )
+        )
+        events.append(
+            dict(
+                flow,
+                ph="f",
+                bp="e",
+                ts=max(edge.delivered_at, recv.start) * 1e6,
+                tid=lanes[edge.dst_process],
+            )
+        )
+    return events
+
+
+def write_causal_chrome_trace(causal, path: str | Path) -> Path:
+    """Write a causal trace as a Chrome/Perfetto JSON file.
+
+    The :func:`causal_chrome_events` list wrapped in the JSON-object
+    flavor of the format, with the simulated ``end_time`` recorded
+    under ``otherData``.  Returns the written path.
+    """
+    path = Path(path)
+    payload = {
+        "traceEvents": causal_chrome_events(causal),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.causal",
+            "end_time": causal.end_time,
         },
     }
     path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
@@ -180,7 +311,7 @@ class JsonlSpanSink:
                 "name": name,
                 "ts_s": max(began - self.t0, 0.0),
                 "dur_s": max(ended - began, 0.0),
-                "attrs": _jsonable(attrs or {}),
+                "attrs": jsonable_attrs(attrs or {}),
             },
             sort_keys=True,
         )

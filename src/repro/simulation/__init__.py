@@ -26,9 +26,17 @@ from repro.simulation.process import (
     Wait,
 )
 from repro.simulation.sharing import maxmin_allocate
+from repro.simulation.tracing import (
+    CausalEdge,
+    CausalTracer,
+    SimSpan,
+    SpanContext,
+)
 
 __all__ = [
     "Activity",
+    "CausalEdge",
+    "CausalTracer",
     "ComputeActivity",
     "CpuModel",
     "Execute",
@@ -39,8 +47,10 @@ __all__ = [
     "Process",
     "ProcessContext",
     "Put",
+    "SimSpan",
     "Simulator",
     "Sleep",
+    "SpanContext",
     "UsageMonitor",
     "Wait",
     "category_metric",

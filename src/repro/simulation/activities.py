@@ -24,7 +24,14 @@ _ids = itertools.count()
 
 @dataclass(frozen=True)
 class Message:
-    """A payload delivered to a mailbox when its carrying flow finishes."""
+    """A payload delivered to a mailbox when its carrying flow finishes.
+
+    ``category`` mirrors the sending request's activity category so
+    monitors can attribute traffic per application without re-running
+    the simulation.  ``ctx`` is the sender's injected
+    :class:`~repro.simulation.tracing.SpanContext` when causal tracing
+    is on (``None`` otherwise) — the context-propagation carrier.
+    """
 
     src_host: str
     dst_host: str
@@ -33,6 +40,8 @@ class Message:
     payload: Any = None
     sent_at: float = 0.0
     delivered_at: float = 0.0
+    category: str = ""
+    ctx: Any = None
 
 
 class Activity:

@@ -66,11 +66,18 @@ class Simulator:
         Optional :class:`~repro.simulation.monitors.UsageMonitor`; when
         given, every change of allocated rate on a host or link is
         recorded as a trace sample.
+    tracer:
+        Optional :class:`~repro.simulation.tracing.CausalTracer`; when
+        given, every process gets a root span, every request a child
+        span, and message deliveries record causal edges (contexts are
+        injected by ``Put`` and extracted by ``Get``).  ``None`` (the
+        default) keeps every hook down to one attribute check.
     """
 
-    def __init__(self, platform: Platform, monitor=None) -> None:
+    def __init__(self, platform: Platform, monitor=None, tracer=None) -> None:
         self.platform = platform
         self.monitor = monitor
+        self.tracer = tracer
         self.now = 0.0
         self.cpu = CpuModel()
         self.network = NetworkModel()
@@ -112,12 +119,15 @@ class Simulator:
         host: str | Host,
         name: str | None = None,
         *args,
+        _parent: Process | None = None,
         **kwargs,
     ) -> Process:
         """Create a process running ``fn(ctx, *args, **kwargs)`` on *host*.
 
         The process starts at the current simulated time (the next time
-        :meth:`run` executes a turn).
+        :meth:`run` executes a turn).  ``_parent`` is the spawning
+        process when the spawn came through ``ctx.spawn`` — the causal
+        tracer roots the child's span tree under it.
         """
         if isinstance(host, str):
             host = self.platform.host(host)
@@ -129,6 +139,8 @@ class Simulator:
         self._processes.append(process)
         self._push(self.now, _START, process, 0)
         self.stats["spawns"] += 1
+        if self.tracer is not None:
+            self.tracer.on_spawn(process, _parent, self.now)
         return process
 
     def run(self, until: float | None = None, on_blocked: str = "raise") -> float:
@@ -178,6 +190,8 @@ class Simulator:
                 )
         if self.monitor is not None:
             self.monitor.finalize(self.now)
+        if self.tracer is not None:
+            self.tracer.finalize(self.now)
         return self.now
 
     def blocked_processes(self) -> list[Process]:
@@ -288,6 +302,8 @@ class Simulator:
             message.payload,
             message.sent_at,
             delivered_at=self.now,
+            category=message.category,
+            ctx=message.ctx,
         )
         self.stats["messages"] += 1
         if self.monitor is not None:
@@ -311,11 +327,15 @@ class Simulator:
                 continue
             self.stats["resumes"] += 1
             process.state = Process.READY
+            if self.tracer is not None:
+                self.tracer.on_resume(process, value, self.now)
             try:
                 request = process.generator.send(value)
             except StopIteration:
                 process.state = Process.DONE
                 self._note_state(process, "end")
+                if self.tracer is not None:
+                    self.tracer.on_exit(process, self.now)
                 continue
             self._dispatch(process, request)
 
@@ -336,6 +356,8 @@ class Simulator:
         label = self._STATE_LABELS.get(type(request))
         if label is not None:
             self._note_state(process, label)
+            if self.tracer is not None:
+                self.tracer.on_request(process, request, self.now)
         if isinstance(request, Execute):
             activity = ComputeActivity(process.host, request.amount, request.category)
             activity.last_update = self.now
@@ -393,6 +415,8 @@ class Simulator:
             request.mailbox,
             request.payload,
             sent_at=self.now,
+            category=request.category,
+            ctx=self.tracer.inject(process) if self.tracer is not None else None,
         )
         flow = FlowActivity(route, request.size, message, request.category)
         flow.last_update = self.now

@@ -104,6 +104,12 @@ class UsageMonitor:
             value = rates_by_category.get(category, 0.0)
             builders.setdefault(category, SignalBuilder()).set(now, value)
 
+    #: Pinned payload schema of recorded ``"message"`` point events.
+    #: ``category`` and the end-to-end ``latency`` ride along so causal
+    #: and latency analyses work from the trace alone, without
+    #: re-running the simulation.
+    MESSAGE_PAYLOAD_KEYS = ("size", "mailbox", "sent_at", "category", "latency")
+
     def on_message(self, message: Message) -> None:
         """Record a delivered message as a point event (when enabled)."""
         if not self.record_messages:
@@ -121,6 +127,8 @@ class UsageMonitor:
                     "size": message.size,
                     "mailbox": message.mailbox,
                     "sent_at": message.sent_at,
+                    "category": message.category,
+                    "latency": message.delivered_at - message.sent_at,
                 },
             )
         )

@@ -50,6 +50,23 @@ __all__ = [
 _proc_ids = itertools.count()
 
 
+class _NoopPhase:
+    """Shared do-nothing phase returned by ``ctx.span`` when untraced."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopPhase":
+        """No-op."""
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        """No-op; never swallows exceptions."""
+        return False
+
+
+_NOOP_PHASE = _NoopPhase()
+
+
 @dataclass(frozen=True)
 class Execute:
     """Request: compute *amount* flops on the issuing process's host."""
@@ -224,5 +241,31 @@ class ProcessContext:
 
     # -- immediate actions (no yield needed) ------------------------------
     def spawn(self, fn, host: str | Host, name: str | None = None, *args, **kwargs):
-        """Start a new process immediately (see :meth:`Simulator.spawn`)."""
-        return self._simulator.spawn(fn, host, name, *args, **kwargs)
+        """Start a new process immediately (see :meth:`Simulator.spawn`).
+
+        The child is causally linked to this process: under a
+        :class:`~repro.simulation.tracing.CausalTracer` its root span
+        becomes a child of this process's current span.
+        """
+        return self._simulator.spawn(
+            fn, host, name, *args, _parent=self._process, **kwargs
+        )
+
+    def span(self, name: str, **attrs):
+        """An explicit semantic phase span (causal-tracing opt-in).
+
+        Use as a context manager around any stretch of the process
+        body — ``yield``\\ s included::
+
+            with ctx.span("iteration", i=3):
+                yield ctx.execute(flops)
+
+        Request spans opened inside the phase become its children in
+        the span DAG.  Without a tracer on the simulator this returns a
+        shared no-op (one attribute check, zero allocation), so apps
+        can keep their phases unconditionally.
+        """
+        tracer = self._simulator.tracer
+        if tracer is None:
+            return _NOOP_PHASE
+        return tracer.phase(self._simulator, self._process, name, attrs)

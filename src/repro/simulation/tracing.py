@@ -1,0 +1,421 @@
+"""Causal distributed tracing of the simulated platform.
+
+The paper analyzes traces *of* large distributed systems; the modern
+trace tooling it feeds (distributed-tracing span trees, per-message
+latency chains) is built on *causal*, context-propagated traces.  This
+module gives the flow-level simulator exactly that structure, in the
+OpenTelemetry mold:
+
+* a :class:`SpanContext` ``(trace_id, span_id, parent_id)`` lives on
+  every simulated :class:`~repro.simulation.process.Process`;
+* every request a process yields (``Execute``, ``Put``, ``Get``,
+  ``Sleep``, ``Wait``) opens a child :class:`SimSpan` that closes when
+  the engine resumes the process;
+* ``Put`` *injects* the sender's context into the carried
+  :class:`~repro.simulation.activities.Message`, and the matching
+  ``Get`` *extracts* it, recording a :class:`CausalEdge` — so the
+  cross-process span DAG appears without any application changes;
+* applications may opt into semantic phases with the explicit API
+  ``with ctx.span("iteration", i=3): ...`` — phase spans become parents
+  of the request spans opened inside them.
+
+Tracing is **zero-cost when disabled**: the engine holds a single
+``tracer`` attribute (default ``None``) and every hook site is one
+``is not None`` check, the same enable-flag discipline as
+:mod:`repro.obs.spans` (bounded by ``benchmarks/test_causal_overhead.py``).
+
+The collected DAG freezes into a :class:`repro.obs.causal.CausalTrace`
+via :meth:`CausalTracer.build`, which supports ancestry/latency/slack
+queries, a span-DAG critical path cross-validated against the
+backward-replay :func:`repro.analysis.critical_path.critical_path`,
+emission as an ordinary repro :class:`~repro.trace.trace.Trace`, and
+Chrome *flow-event* export (arrows in Perfetto) through
+:func:`repro.obs.export.causal_chrome_events`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.simulation.process import Execute, Get, Process, Put, Sleep, Wait
+
+__all__ = [
+    "SpanContext",
+    "SimSpan",
+    "CausalEdge",
+    "CausalTracer",
+    "REQUEST_KINDS",
+]
+
+#: Span kind per request type; ``"phase"`` (explicit ``ctx.span``) and
+#: ``"process"`` (per-process root) complete the vocabulary.
+REQUEST_KINDS = {
+    Execute: "compute",
+    Put: "send",
+    Get: "recv",
+    Sleep: "sleep",
+    Wait: "wait",
+}
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated causal coordinates of one span.
+
+    ``trace_id`` identifies the causally-connected tree a process root
+    belongs to (children spawned via ``ctx.spawn`` inherit it),
+    ``span_id`` the span itself and ``parent_id`` its structural parent
+    (``None`` for a root).  This is what ``Put`` injects into a message
+    and ``Get`` extracts on delivery.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: int | None
+
+
+class SimSpan:
+    """One recorded interval of simulated activity.
+
+    Spans live on *simulated* time (seconds of :attr:`Simulator.now`),
+    not wall clock.  ``kind`` is one of ``compute/send/recv/sleep/wait``
+    (request spans), ``"phase"`` (explicit ``ctx.span``) or
+    ``"process"`` (the per-process root).  ``end`` stays ``None`` while
+    the span is open; :meth:`CausalTracer.build` closes leftovers at
+    the final simulation time and marks them ``attrs["unfinished"]``.
+    """
+
+    __slots__ = (
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "process",
+        "host",
+        "name",
+        "kind",
+        "start",
+        "end",
+        "attrs",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        trace_id: int,
+        parent_id: int | None,
+        process: str,
+        host: str,
+        name: str,
+        kind: str,
+        start: float,
+        attrs: dict | None = None,
+    ) -> None:
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.process = process
+        self.host = host
+        self.name = name
+        self.kind = kind
+        self.start = start
+        self.end: float | None = None
+        self.attrs = attrs or {}
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the span covers (0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def context(self) -> SpanContext:
+        """This span's coordinates as an injectable :class:`SpanContext`."""
+        return SpanContext(self.trace_id, self.span_id, self.parent_id)
+
+    def __repr__(self) -> str:
+        when = f"[{self.start:.3g}, {self.end:.3g}]" if self.end is not None else f"[{self.start:.3g}, ...)"
+        return f"SimSpan#{self.span_id}({self.kind} {self.name!r} on {self.process} {when})"
+
+
+@dataclass(frozen=True)
+class CausalEdge:
+    """One cross-span causal link: a message from a send to a recv span.
+
+    ``sent_at``/``delivered_at`` are the message's simulated timestamps,
+    so ``latency`` is the end-to-end message time (queueing inside the
+    destination mailbox excluded — that is the edge's *slack*, see
+    :meth:`repro.obs.causal.CausalTrace.slack`).
+    """
+
+    src_span: int
+    dst_span: int
+    src_process: str
+    dst_process: str
+    sent_at: float
+    delivered_at: float
+    size: float
+    mailbox: str
+    category: str = ""
+
+    @property
+    def latency(self) -> float:
+        """End-to-end message latency in simulated seconds."""
+        return self.delivered_at - self.sent_at
+
+
+class _PhaseSpan:
+    """Context manager behind the explicit ``ctx.span(name)`` API."""
+
+    __slots__ = ("_tracer", "_simulator", "_process", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer, simulator, process, name, attrs) -> None:
+        self._tracer = tracer
+        self._simulator = simulator
+        self._process = process
+        self._name = name
+        self._attrs = attrs
+        self._span = None
+
+    def __enter__(self) -> SimSpan:
+        """Open the phase span at the current simulated time."""
+        self._span = self._tracer._open_phase(
+            self._process, self._name, self._attrs, self._simulator.now
+        )
+        return self._span
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        """Close the phase span; never swallows exceptions."""
+        self._tracer._close_phase(
+            self._process, self._span, self._simulator.now,
+            error=None if exc_type is None else exc_type.__name__,
+        )
+        return False
+
+
+class CausalTracer:
+    """Collects the causal span DAG of one simulation run.
+
+    Pass one to :class:`~repro.simulation.engine.Simulator` (or to
+    ``run_master_worker``/``run_stencil``) and every process gets a root
+    span, every yielded request a child span, and every delivered
+    message a causal edge — then freeze with :meth:`build`::
+
+        tracer = CausalTracer()
+        sim = Simulator(platform, tracer=tracer)
+        ...
+        sim.run()
+        causal = tracer.build()
+
+    The engine calls the ``on_*`` hooks; they are not part of the
+    public surface but are plain enough to drive from tests.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count()
+        self._trace_ids = itertools.count()
+        self.spans: list[SimSpan] = []
+        self.edges: list[CausalEdge] = []
+        #: process id -> open structural stack [root, phase, phase...]
+        self._stack: dict[int, list[SimSpan]] = {}
+        #: process id -> the currently open request span, if any
+        self._open_request: dict[int, SimSpan] = {}
+        self._end_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Engine hooks
+    # ------------------------------------------------------------------
+    def on_spawn(self, process: Process, parent: Process | None, now: float) -> None:
+        """Open the per-process root span (inheriting the spawner's trace)."""
+        parent_span: SimSpan | None = None
+        if parent is not None:
+            parent_stack = self._stack.get(parent.id)
+            if parent_stack:
+                parent_span = parent_stack[-1]
+        if parent_span is not None:
+            trace_id = parent_span.trace_id
+            parent_id = parent_span.span_id
+        else:
+            trace_id = next(self._trace_ids)
+            parent_id = None
+        root = SimSpan(
+            next(self._ids),
+            trace_id,
+            parent_id,
+            process.name,
+            process.host.name,
+            process.name,
+            "process",
+            now,
+        )
+        self.spans.append(root)
+        self._stack[process.id] = [root]
+
+    def on_request(self, process: Process, request: Any, now: float) -> None:
+        """Open a child span for the request the process just yielded."""
+        kind = REQUEST_KINDS.get(type(request))
+        if kind is None:  # non-request yields raise in the engine
+            return
+        if kind == "compute":
+            attrs = {"amount": request.amount, "category": request.category}
+        elif kind == "send":
+            attrs = {
+                "dst": request.dst_host,
+                "size": request.size,
+                "mailbox": request.mailbox,
+                "category": request.category,
+                "blocking": request.blocking,
+            }
+        elif kind == "recv":
+            attrs = {"mailbox": request.mailbox}
+            if request.timeout is not None:
+                attrs["timeout"] = request.timeout
+        elif kind == "sleep":
+            attrs = {"duration": request.duration}
+        else:  # wait
+            attrs = {"activities": len(request.activities)}
+        stack = self._stack.get(process.id)
+        if not stack:  # pragma: no cover - spawn always precedes requests
+            raise SimulationError(f"request from untracked process {process.name!r}")
+        parent = stack[-1]
+        span = SimSpan(
+            next(self._ids),
+            parent.trace_id,
+            parent.span_id,
+            process.name,
+            process.host.name,
+            kind,
+            kind,
+            now,
+            attrs,
+        )
+        self.spans.append(span)
+        self._open_request[process.id] = span
+
+    def inject(self, process: Process) -> SpanContext | None:
+        """The context a ``Put`` from *process* stamps onto its message."""
+        span = self._open_request.get(process.id)
+        if span is not None:
+            return span.context()
+        stack = self._stack.get(process.id)
+        return stack[-1].context() if stack else None
+
+    def on_resume(self, process: Process, value: Any, now: float) -> None:
+        """Close the open request span; extract message contexts."""
+        span = self._open_request.pop(process.id, None)
+        if span is None:
+            return
+        span.end = now
+        message = value
+        if (
+            span.kind == "recv"
+            and message is not None
+            and getattr(message, "ctx", None) is not None
+        ):
+            sender: SpanContext = message.ctx
+            self.edges.append(
+                CausalEdge(
+                    sender.span_id,
+                    span.span_id,
+                    self._span_process(sender.span_id),
+                    process.name,
+                    message.sent_at,
+                    message.delivered_at,
+                    message.size,
+                    message.mailbox,
+                    message.category,
+                )
+            )
+        elif span.kind == "recv" and message is None:
+            span.attrs["timed_out"] = True
+
+    def on_exit(self, process: Process, now: float) -> None:
+        """Close everything still open on a finished process."""
+        span = self._open_request.pop(process.id, None)
+        if span is not None:  # pragma: no cover - exit follows a resume
+            span.end = now
+        for open_span in reversed(self._stack.pop(process.id, [])):
+            if open_span.end is None:
+                open_span.end = now
+
+    def finalize(self, now: float) -> None:
+        """Remember the final simulated time (closes leftovers in build)."""
+        self._end_time = max(self._end_time, now)
+
+    # ------------------------------------------------------------------
+    # Explicit phases
+    # ------------------------------------------------------------------
+    def phase(self, simulator, process: Process, name: str, attrs: dict) -> _PhaseSpan:
+        """The live context manager behind ``ctx.span(name, **attrs)``."""
+        return _PhaseSpan(self, simulator, process, name, attrs)
+
+    def _open_phase(self, process: Process, name: str, attrs: dict, now: float) -> SimSpan:
+        """Open an explicit phase span under the process's current stack."""
+        stack = self._stack.get(process.id)
+        if not stack:
+            raise SimulationError(
+                f"ctx.span({name!r}) outside a traced process"
+            )
+        parent = stack[-1]
+        span = SimSpan(
+            next(self._ids),
+            parent.trace_id,
+            parent.span_id,
+            process.name,
+            process.host.name,
+            name,
+            "phase",
+            now,
+            dict(attrs),
+        )
+        self.spans.append(span)
+        stack.append(span)
+        return span
+
+    def _close_phase(
+        self, process: Process, span: SimSpan, now: float, error: str | None = None
+    ) -> None:
+        """Close an explicit phase span (tolerates exiting out of order)."""
+        stack = self._stack.get(process.id)
+        if stack and span in stack:
+            while stack and stack[-1] is not span:
+                dangling = stack.pop()
+                if dangling.end is None:
+                    dangling.end = now
+            stack.pop()
+        if span.end is None:
+            span.end = now
+        if error is not None:
+            span.attrs["error"] = error
+
+    # ------------------------------------------------------------------
+    # Freeze
+    # ------------------------------------------------------------------
+    def _span_process(self, span_id: int) -> str:
+        """The process name a span id belongs to (linear scan cached)."""
+        # spans append in id order: span_id is the list index.
+        return self.spans[span_id].process if span_id < len(self.spans) else ""
+
+    def end_time(self) -> float:
+        """The trace end: the later of finalize() and the last span end."""
+        end = self._end_time
+        for span in self.spans:
+            end = max(end, span.start if span.end is None else span.end)
+        return end
+
+    def build(self):
+        """Freeze into a :class:`repro.obs.causal.CausalTrace`.
+
+        Spans still open (processes blocked when the run stopped) are
+        closed at :meth:`end_time` and flagged ``unfinished``.
+        """
+        from repro.obs.causal import CausalTrace
+
+        end = self.end_time()
+        for span in self.spans:
+            if span.end is None:
+                span.end = end
+                span.attrs["unfinished"] = True
+        self._stack.clear()
+        self._open_request.clear()
+        return CausalTrace(list(self.spans), list(self.edges), end)

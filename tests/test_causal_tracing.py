@@ -1,0 +1,349 @@
+"""Tests for causal distributed tracing of the simulated platform.
+
+Three layers under test: the :class:`CausalTracer` engine hooks (spans
+open/close at the right simulated times, ``Put`` injects and ``Get``
+extracts span contexts, explicit ``ctx.span`` phases nest), the
+:class:`~repro.obs.causal.CausalTrace` DAG queries (cross-process
+ancestry, latency/slack, depth), and the headline cross-validation:
+the span-DAG critical path must reproduce the backward-replay
+:func:`repro.analysis.critical_path.critical_path` makespan to 1e-9 on
+both built-in applications.
+"""
+
+import pytest
+
+from repro.analysis.critical_path import critical_path
+from repro.apps.masterworker import AppSpec, run_master_worker
+from repro.apps.stencil import run_stencil
+from repro.errors import TraceError
+from repro.platform import Host, Link, Platform
+from repro.platform.cluster import add_cluster
+from repro.platform.regular import torus_platform
+from repro.simulation import CausalTracer, Simulator, UsageMonitor
+from repro.simulation.tracing import SpanContext
+
+
+def two_host_platform():
+    p = Platform()
+    p.add_host(Host("a", 1e9))
+    p.add_host(Host("b", 1e9))
+    p.add_link(Link("l", 1e8, latency=1e-4), "a", "b")
+    return p
+
+
+def traced_master_worker(n_hosts=5, n_tasks=6):
+    """A causally-traced master-worker run, with the replay monitor on."""
+    platform = Platform()
+    add_cluster(platform, "c", n_hosts)
+    hosts = [h.name for h in platform.hosts]
+    app = AppSpec(name="mw", master=hosts[0], n_tasks=n_tasks,
+                  input_bytes=1e6, task_flops=1e8)
+    monitor = UsageMonitor(platform, record_states=True, record_messages=True)
+    tracer = CausalTracer()
+    result = run_master_worker(platform, [app], monitor=monitor, tracer=tracer)
+    return result, monitor, tracer.build()
+
+
+def traced_stencil(grid=(3, 3), iterations=3):
+    platform = torus_platform(grid)
+    hosts = [h.name for h in platform.hosts]
+    monitor = UsageMonitor(platform, record_states=True, record_messages=True)
+    tracer = CausalTracer()
+    result = run_stencil(platform, hosts, grid, iterations=iterations,
+                         monitor=monitor, tracer=tracer)
+    return result, monitor, tracer.build()
+
+
+class TestTracerMechanics:
+    def test_request_spans_tile_process_lifetime(self):
+        sim = Simulator(two_host_platform(), tracer=CausalTracer())
+
+        def lone(ctx):
+            yield ctx.execute(1e8)
+            yield ctx.sleep(0.5)
+
+        sim.spawn(lone, "a", "p")
+        makespan = sim.run()
+        causal = sim.tracer.build()
+        (root,) = [s for s in causal.spans if s.kind == "process"]
+        leaves = [s for s in causal.spans if s.kind in ("compute", "sleep")]
+        assert root.start == 0.0 and root.end == makespan
+        assert [s.kind for s in leaves] == ["compute", "sleep"]
+        assert leaves[0].start == 0.0
+        assert leaves[0].end == pytest.approx(0.1)
+        assert leaves[1].end == pytest.approx(makespan)
+        assert all(s.parent_id == root.span_id for s in leaves)
+        assert all(s.trace_id == root.trace_id for s in leaves)
+
+    def test_put_injects_and_get_extracts_context(self):
+        sim = Simulator(two_host_platform(), tracer=CausalTracer())
+        seen = []
+
+        def sender(ctx):
+            yield ctx.send("b", 1e5, "m", payload="hi")
+
+        def receiver(ctx):
+            seen.append((yield ctx.recv("m")))
+
+        sim.spawn(sender, "a", "tx")
+        sim.spawn(receiver, "b", "rx")
+        sim.run()
+        causal = sim.tracer.build()
+        (message,) = seen
+        assert isinstance(message.ctx, SpanContext)
+        (edge,) = causal.edges
+        assert causal.span(edge.src_span).process == "tx"
+        assert causal.span(edge.dst_span).process == "rx"
+        assert edge.sent_at == message.sent_at
+        assert edge.delivered_at == message.delivered_at
+        assert edge.size == 1e5
+        assert edge.latency == pytest.approx(
+            message.delivered_at - message.sent_at
+        )
+
+    def test_spawned_child_inherits_trace_id(self):
+        sim = Simulator(two_host_platform(), tracer=CausalTracer())
+
+        def child(ctx):
+            yield ctx.sleep(0.1)
+
+        def parent(ctx):
+            ctx.spawn(child, "b", "kid")
+            yield ctx.sleep(0.2)
+
+        def stranger(ctx):
+            yield ctx.sleep(0.1)
+
+        sim.spawn(parent, "a", "mum")
+        sim.spawn(stranger, "b", "other")
+        sim.run()
+        causal = sim.tracer.build()
+        roots = {s.process: s for s in causal.spans if s.kind == "process"}
+        assert roots["kid"].trace_id == roots["mum"].trace_id
+        assert roots["kid"].parent_id == roots["mum"].span_id
+        assert roots["other"].trace_id != roots["mum"].trace_id
+        assert len(causal.trace_ids()) == 2
+
+    def test_explicit_phase_spans_parent_requests(self):
+        sim = Simulator(two_host_platform(), tracer=CausalTracer())
+
+        def worker(ctx):
+            with ctx.span("warmup", step=1):
+                yield ctx.execute(1e8)
+            yield ctx.sleep(0.1)
+
+        sim.spawn(worker, "a", "p")
+        sim.run()
+        causal = sim.tracer.build()
+        (phase,) = [s for s in causal.spans if s.kind == "phase"]
+        (compute,) = [s for s in causal.spans if s.kind == "compute"]
+        (sleep,) = [s for s in causal.spans if s.kind == "sleep"]
+        assert phase.name == "warmup"
+        assert phase.attrs == {"step": 1}
+        assert compute.parent_id == phase.span_id
+        assert sleep.parent_id != phase.span_id  # closed before the sleep
+        assert phase.start == 0.0
+        assert phase.end == pytest.approx(compute.end)
+
+    def test_span_is_noop_without_tracer(self):
+        sim = Simulator(two_host_platform())
+        ran = []
+
+        def worker(ctx):
+            with ctx.span("phase", k=1):
+                yield ctx.sleep(0.1)
+            ran.append(ctx.now)
+
+        sim.spawn(worker, "a")
+        sim.run()
+        assert ran == [pytest.approx(0.1)]
+
+    def test_phase_error_is_recorded_not_swallowed(self):
+        sim = Simulator(two_host_platform(), tracer=CausalTracer())
+
+        def worker(ctx):
+            with ctx.span("doomed"):
+                yield ctx.sleep(0.1)
+                raise RuntimeError("boom")
+
+        sim.spawn(worker, "a", "p")
+        with pytest.raises(RuntimeError):
+            sim.run()
+        causal = sim.tracer.build()
+        (phase,) = [s for s in causal.spans if s.kind == "phase"]
+        assert phase.attrs["error"] == "RuntimeError"
+
+    def test_blocked_process_spans_closed_as_unfinished(self):
+        sim = Simulator(two_host_platform(), tracer=CausalTracer())
+
+        def stuck(ctx):
+            yield ctx.recv("never")
+
+        def busy(ctx):
+            yield ctx.sleep(0.3)
+
+        sim.spawn(stuck, "a", "stuck")
+        sim.spawn(busy, "b", "busy")
+        sim.run(on_blocked="ignore")
+        causal = sim.tracer.build()
+        (recv,) = [s for s in causal.spans if s.kind == "recv"]
+        assert recv.attrs.get("unfinished") is True
+        assert recv.end == causal.end_time == pytest.approx(0.3)
+
+
+class TestCausalTraceQueries:
+    def test_cross_process_ancestry(self):
+        _, _, causal = traced_master_worker()
+        edge = causal.edges[0]
+        ancestors = causal.ancestors(edge.dst_span)
+        ids = {s.span_id for s in ancestors}
+        assert edge.src_span in ids  # crossed the process boundary
+        processes = {s.process for s in ancestors}
+        assert causal.span(edge.dst_span).process in processes  # own root
+        assert causal.span(edge.src_span).process in processes
+        assert causal.span(edge.dst_span).span_id not in ids
+
+    def test_unknown_span_id_raises(self):
+        _, _, causal = traced_master_worker()
+        with pytest.raises(TraceError):
+            causal.span(10**9)
+
+    def test_depth_counts_causal_links(self):
+        _, _, causal = traced_master_worker()
+        # A recv hangs under (send <- phase|root) on the other process:
+        # depth must exceed pure structural nesting (root -> request = 2).
+        assert causal.depth() >= 4
+
+    def test_slack_definition(self):
+        sim = Simulator(two_host_platform(), tracer=CausalTracer())
+
+        def sender(ctx):
+            yield ctx.send("b", 1e5, "m")
+
+        def lazy_receiver(ctx):
+            yield ctx.sleep(0.5)  # message arrives long before the recv
+            yield ctx.recv("m")
+
+        sim.spawn(sender, "a", "tx")
+        sim.spawn(lazy_receiver, "b", "rx")
+        sim.run()
+        causal = sim.tracer.build()
+        (edge,) = causal.edges
+        assert causal.slack(edge) == pytest.approx(0.5 - edge.delivered_at)
+        assert causal.slack(edge) > 0.0
+
+    def test_slack_zero_when_receiver_blocked(self):
+        sim = Simulator(two_host_platform(), tracer=CausalTracer())
+
+        def sender(ctx):
+            yield ctx.sleep(0.2)
+            yield ctx.send("b", 1e5, "m")
+
+        def eager_receiver(ctx):
+            yield ctx.recv("m")  # blocked before the send even starts
+
+        sim.spawn(sender, "a", "tx")
+        sim.spawn(eager_receiver, "b", "rx")
+        sim.run()
+        causal = sim.tracer.build()
+        (edge,) = causal.edges
+        assert causal.slack(edge) == 0.0
+
+    def test_top_latency_edges_sorted_and_bounded(self):
+        _, _, causal = traced_master_worker()
+        top = causal.top_latency_edges(3)
+        assert len(top) == 3
+        latencies = [e.latency for e in top]
+        assert latencies == sorted(latencies, reverse=True)
+        assert latencies[0] == max(e.latency for e in causal.edges)
+        assert causal.top_latency_edges(0) == []
+        with pytest.raises(TraceError):
+            causal.top_latency_edges(-1)
+
+    def test_counts_by_kind_covers_every_span(self):
+        _, _, causal = traced_master_worker()
+        counts = causal.counts_by_kind()
+        assert sum(counts.values()) == len(causal)
+        assert counts["process"] >= 5  # master + workers (+ senders)
+        assert counts["recv"] > 0 and counts["send"] > 0
+
+
+class TestCriticalPathDifferential:
+    """The tentpole cross-validation: span DAG vs backward replay."""
+
+    def test_master_worker_makespans_match(self):
+        result, monitor, causal = traced_master_worker()
+        from_dag = causal.critical_path()
+        from_replay = critical_path(monitor.build_trace())
+        assert from_dag.makespan == pytest.approx(result.makespan, abs=1e-9)
+        assert from_dag.makespan == pytest.approx(
+            from_replay.makespan, abs=1e-9
+        )
+
+    def test_stencil_makespans_match(self):
+        result, monitor, causal = traced_stencil()
+        from_dag = causal.critical_path()
+        from_replay = critical_path(monitor.build_trace())
+        assert from_dag.makespan == pytest.approx(result.makespan, abs=1e-9)
+        assert from_dag.makespan == pytest.approx(
+            from_replay.makespan, abs=1e-9
+        )
+
+    def test_path_segments_are_contiguous_and_labeled(self):
+        _, _, causal = traced_stencil()
+        path = causal.critical_path()
+        for before, after in zip(path.segments, path.segments[1:]):
+            if before.process == after.process:
+                assert after.start == pytest.approx(before.end, abs=1e-9)
+            assert after.end >= before.end - 1e-9
+        states = set(path.time_by_state())
+        assert states <= {"compute", "comm", "send", "wait", "sleep"}
+        assert "compute" in states
+
+    def test_empty_trace_has_no_path(self):
+        from repro.obs.causal import CausalTrace
+
+        with pytest.raises(TraceError):
+            CausalTrace([], [], 0.0).critical_path()
+
+
+class TestToTrace:
+    def test_emitted_trace_feeds_timeline_and_session(self):
+        from repro.core import AnalysisSession, Timeline
+
+        _, _, causal = traced_stencil(iterations=2)
+        trace = causal.to_trace()
+        assert len(trace.entities("process")) == len(causal.processes())
+        timeline = Timeline.from_trace(trace)
+        assert len(timeline.rows) == len(causal.processes())
+        assert len(timeline.arrows) == len(causal.edges)
+        view = AnalysisSession(trace).view(settle=False)
+        assert len(view) > 0
+
+    def test_message_events_carry_causal_payload(self):
+        _, _, causal = traced_master_worker()
+        trace = causal.to_trace()
+        messages = trace.events_of_kind("message")
+        assert len(messages) == len(causal.edges)
+        for event in messages:
+            payload = event.payload
+            assert {"size", "mailbox", "sent_at", "latency", "slack",
+                    "src_span", "dst_span"} <= set(payload)
+            assert payload["latency"] >= 0.0 and payload["slack"] >= 0.0
+
+    def test_communication_edges_deduped_and_canonical(self):
+        _, _, causal = traced_stencil(iterations=2)
+        trace = causal.to_trace()
+        comm = [e for e in trace.edges if e.source == "communication"]
+        keys = [tuple(sorted((e.a, e.b))) for e in comm]
+        assert len(keys) == len(set(keys))  # one edge per pair
+        assert comm  # stencil neighbours definitely talked
+
+    def test_summary_formats(self):
+        _, _, causal = traced_master_worker()
+        from repro.obs.causal import format_summary
+
+        text = format_summary(causal, top=2)
+        assert "causal edges" in text
+        assert "critical path" in text
+        assert "top 2 latency edges:" in text

@@ -289,3 +289,49 @@ class TestProfile:
         main(["profile", str(fig3_file), "--scrub", "2",
               "--out", str(tmp_path / "s.trace")])
         assert enabled() == was
+
+
+class TestCausal:
+    def test_master_worker_summary(self, capsys):
+        assert main(["causal", "master-worker", "--workers", "2",
+                     "--tasks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "causal trace of master-worker" in out
+        assert "causal edges" in out
+        assert "critical path" in out
+        assert "top" in out and "latency edges" in out
+
+    def test_stencil_summary(self, capsys):
+        assert main(["causal", "stencil", "--grid", "3", "3",
+                     "--iterations", "2", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "causal trace of stencil" in out
+        assert "top 2 latency edges:" in out
+
+    def test_chrome_export_has_matched_flow_pairs(self, tmp_path, capsys):
+        import json
+
+        chrome = tmp_path / "causal.json"
+        assert main(["causal", "master-worker", "--workers", "2",
+                     "--tasks", "2", "--chrome", str(chrome)]) == 0
+        payload = json.loads(chrome.read_text())
+        events = payload["traceEvents"]
+        start_ids = sorted(e["id"] for e in events if e.get("ph") == "s")
+        end_ids = sorted(e["id"] for e in events if e.get("ph") == "f")
+        assert start_ids and start_ids == end_ids
+        assert any(e.get("ph") == "X" for e in events)
+        assert str(chrome) in capsys.readouterr().out
+
+    def test_trace_export_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "causal.trace"
+        assert main(["causal", "stencil", "--iterations", "2",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "process : 9" in info.replace("  ", " ")
+        assert main(["timeline", str(out)]) == 0
+
+    def test_invalid_workers_is_an_error(self, capsys):
+        assert main(["causal", "master-worker", "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err

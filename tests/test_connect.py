@@ -105,3 +105,43 @@ class TestWithCommunicationEdges:
         trace = monitor.build_trace()
         edges = edges_from_messages(trace)
         assert [e.key() for e in edges] == [("x", "y")]
+
+
+class TestEdgeCases:
+    """Boundary behavior of the communication-pattern derivation."""
+
+    def test_zero_size_messages_still_connect(self):
+        b = TraceBuilder()
+        for name in ("a", "b"):
+            b.declare_entity(name, "host", ("g", name))
+            b.set_constant(name, CAPACITY, 1.0)
+        b.point(1.0, "message", "a", "b", size=0)  # pure control message
+        b.point(2.0, "message", "a", "b")  # no size key at all
+        trace = b.build()
+        assert communication_matrix(trace) == {("a", "b"): 0.0}
+        # Volume 0 >= min_bytes 0: control-only pairs still form edges.
+        assert [e.key() for e in edges_from_messages(trace)] == [("a", "b")]
+        # But any positive threshold drops them.
+        assert edges_from_messages(trace, min_bytes=1e-12) == []
+
+    def test_directed_duplicates_collapse_to_one_pair(self):
+        b = TraceBuilder()
+        for name in ("a", "b"):
+            b.declare_entity(name, "host", ("g", name))
+            b.set_constant(name, CAPACITY, 1.0)
+        b.point(1.0, "message", "a", "b", size=30)
+        b.point(2.0, "message", "b", "a", size=70)  # reverse direction
+        trace = b.build()
+        matrix = communication_matrix(trace)
+        # One canonical (sorted) pair, volumes summed over both directions.
+        assert matrix == {("a", "b"): 100.0}
+        edges = edges_from_messages(trace)
+        assert len(edges) == 1
+        assert edges[0].key() == ("a", "b")
+
+    def test_threshold_boundary_is_inclusive(self):
+        trace = message_trace()  # pair (a, b) totals exactly 150 bytes
+        kept = edges_from_messages(trace, min_bytes=150.0)
+        assert ("a", "b") in {e.key() for e in kept}
+        dropped = edges_from_messages(trace, min_bytes=150.0 + 1e-9)
+        assert ("a", "b") not in {e.key() for e in dropped}

@@ -122,3 +122,49 @@ class TestMonitorMechanics:
 
         sim.spawn(job, "a")
         assert sim.run() == pytest.approx(1.0)
+
+
+class TestMessagePayloadSchema:
+    """The message PointEvent payload is a pinned contract.
+
+    Downstream consumers — the timeline's arrows, the backward-replay
+    critical path, the communication-matrix derivation — index into
+    this payload by key, so its shape is part of the monitor's API:
+    exactly ``UsageMonitor.MESSAGE_PAYLOAD_KEYS``.
+    """
+
+    def delivered_message_event(self):
+        p = platform()
+        monitor = UsageMonitor(p, record_messages=True)
+        sim = Simulator(p, monitor)
+
+        def sender(ctx):
+            yield ctx.sleep(0.25)
+            yield ctx.send("b", 100.0, "m", category="app1")
+
+        def receiver(ctx):
+            yield ctx.recv("m")
+
+        sim.spawn(sender, "a")
+        sim.spawn(receiver, "b")
+        sim.run()
+        (event,) = monitor.build_trace().events_of_kind("message")
+        return event
+
+    def test_payload_keys_pinned(self):
+        event = self.delivered_message_event()
+        assert UsageMonitor.MESSAGE_PAYLOAD_KEYS == (
+            "size", "mailbox", "sent_at", "category", "latency"
+        )
+        assert tuple(event.payload) == UsageMonitor.MESSAGE_PAYLOAD_KEYS
+
+    def test_category_and_latency_values(self):
+        event = self.delivered_message_event()
+        assert event.payload["category"] == "app1"
+        assert event.payload["size"] == 100.0
+        assert event.payload["mailbox"] == "m"
+        assert event.payload["sent_at"] == pytest.approx(0.25)
+        assert event.payload["latency"] == pytest.approx(
+            event.time - event.payload["sent_at"]
+        )
+        assert event.payload["latency"] > 0.0

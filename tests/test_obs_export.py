@@ -23,6 +23,12 @@ from repro.obs import (
     write_chrome_trace,
     write_snapshot,
 )
+from repro.obs.export import (
+    CAUSAL_PID,
+    causal_chrome_events,
+    jsonable_attrs,
+    write_causal_chrome_trace,
+)
 from repro.obs.spans import attach_profiler, detach_profiler, disable, enable, enabled
 
 
@@ -176,6 +182,119 @@ class TestJsonlSink:
         assert read_jsonl_spans(lines) == [
             {"name": "a", "ts_s": 0.0, "dur_s": 1.0, "attrs": {}}
         ]
+
+
+class TestAttrSerializationParity:
+    """Satellite fix: one serialization rule across every exporter."""
+
+    ATTRS = {"n": 7, "ratio": 0.25, "ok": True, "label": "x",
+             "missing": None, "bad": float("nan"), "big": float("inf"),
+             "obj": object()}
+
+    def exported_pair(self):
+        """The same span's args via the Chrome and the JSONL exporter."""
+        buffer = io.StringIO()
+        sink = JsonlSpanSink(buffer)
+        with Profiler(sink=sink) as profiler:
+            with span("agg.slice", **self.ATTRS):
+                pass
+        chrome_args = next(
+            e for e in chrome_trace_events(profiler) if e["ph"] == "X"
+        )["args"]
+        jsonl_attrs = read_jsonl_spans(buffer.getvalue().splitlines())[0][
+            "attrs"
+        ]
+        return chrome_args, jsonl_attrs
+
+    def test_int_float_bool_round_trip_natively(self):
+        chrome_args, jsonl_attrs = self.exported_pair()
+        for attrs in (chrome_args, jsonl_attrs):
+            assert attrs["n"] == 7 and isinstance(attrs["n"], int)
+            assert attrs["ratio"] == 0.25 and isinstance(attrs["ratio"], float)
+            assert attrs["ok"] is True
+            assert attrs["label"] == "x"
+            assert attrs["missing"] is None
+
+    def test_exporters_agree_on_every_value(self):
+        chrome_args, jsonl_attrs = self.exported_pair()
+        assert chrome_args == jsonl_attrs  # no drift, key by key
+        # And both are strictly JSON-serializable (no NaN/Infinity).
+        json.loads(json.dumps(chrome_args, allow_nan=False))
+
+    def test_non_finite_floats_stringify(self):
+        out = jsonable_attrs({"a": float("nan"), "b": float("-inf")})
+        assert out == {"a": "nan", "b": "-inf"}
+
+
+def small_causal_trace():
+    """A causally-traced two-process exchange."""
+    from repro.platform import Host, Link, Platform
+    from repro.simulation import CausalTracer, Simulator
+
+    p = Platform()
+    p.add_host(Host("a", 1e9))
+    p.add_host(Host("b", 1e9))
+    p.add_link(Link("l", 1e8, latency=1e-4), "a", "b")
+    sim = Simulator(p, tracer=CausalTracer())
+
+    def sender(ctx):
+        yield ctx.execute(1e8)
+        yield ctx.send("b", 1e5, "m")
+
+    def receiver(ctx):
+        yield ctx.recv("m")
+        yield ctx.execute(1e8)
+
+    sim.spawn(sender, "a", "tx")
+    sim.spawn(receiver, "b", "rx")
+    sim.run()
+    return sim.tracer.build()
+
+
+class TestCausalChromeExport:
+    def test_flow_events_pair_per_causal_edge(self):
+        causal = small_causal_trace()
+        events = causal_chrome_events(causal)
+        starts = [e for e in events if e.get("ph") == "s"]
+        ends = [e for e in events if e.get("ph") == "f"]
+        assert len(starts) == len(ends) == len(causal.edges) == 1
+        (start,), (end,) = starts, ends
+        # Matched pair: same id, same name/cat, sender -> receiver lanes.
+        assert start["id"] == end["id"]
+        assert start["cat"] == end["cat"] == "causal"
+        assert end["bp"] == "e"  # bind to the enclosing slice
+        assert start["tid"] != end["tid"]
+        assert start["ts"] <= end["ts"]
+
+    def test_flow_finish_lands_inside_recv_slice(self):
+        causal = small_causal_trace()
+        events = causal_chrome_events(causal)
+        (end,) = [e for e in events if e.get("ph") == "f"]
+        (edge,) = causal.edges
+        recv = causal.span(edge.dst_span)
+        assert recv.start * 1e6 <= end["ts"] <= recv.end * 1e6 + 1e-9
+
+    def test_complete_events_and_lanes(self):
+        causal = small_causal_trace()
+        events = causal_chrome_events(causal)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(causal.spans)
+        assert all(e["pid"] == CAUSAL_PID for e in complete)
+        lane_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert lane_names == {"tx", "rx"}
+        json.dumps(events, allow_nan=False)  # strict-JSON clean
+
+    def test_written_file_schema(self, tmp_path):
+        causal = small_causal_trace()
+        path = write_causal_chrome_trace(causal, tmp_path / "causal.json")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["otherData"]["generator"] == "repro.obs.causal"
+        assert payload["otherData"]["end_time"] == causal.end_time
 
 
 class TestSnapshotDump:
