@@ -28,11 +28,16 @@ Usage (``python -m repro <command> ...``):
   critical-path decomposition and the top-k latency edges.
   ``--chrome`` exports Chrome/Perfetto flow events (message causality
   as arrows), ``--out`` writes the span DAG as an ordinary repro trace
-  that ``render``/``timeline`` can visualize.
+  that ``render``/``timeline`` can visualize;
+* ``convert <trace> <out.rtrace>`` — convert a text trace to the binary
+  columnar store format (:mod:`repro.trace.store`); every other
+  subcommand then opens the ``.rtrace`` file through ``numpy.memmap``
+  instead of re-parsing text.
 
 Traces are files in the ``repro`` text format (see
-:mod:`repro.trace.writer`) or, with ``--paje``, in the Paje format used
-by the original tool ecosystem.
+:mod:`repro.trace.writer`), in the binary columnar store format
+(``.rtrace``, recognized by its magic bytes) or, with ``--paje``, in
+the Paje format used by the original tool ecosystem.
 """
 
 from __future__ import annotations
@@ -197,10 +202,26 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="OUT.trace",
                         help="write the span DAG as a repro-format trace "
                         "(then: repro render/timeline OUT.trace)")
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a text trace to the binary columnar store (.rtrace)",
+    )
+    convert.add_argument("trace", type=Path, help="input text trace")
+    convert.add_argument("out", type=Path,
+                         help="output path (conventionally .rtrace)")
+    convert.add_argument("--input-format", choices=("auto", "repro", "paje"),
+                         default="auto",
+                         help="input parser (default: sniff; --paje also "
+                         "forces the Paje parser)")
     return parser
 
 
 def _read(args):
+    from repro.trace.store import is_store_file, open_store
+
+    if is_store_file(args.trace):
+        return open_store(args.trace).open_trace()
     return read_paje(args.trace) if args.paje else read_trace(args.trace)
 
 
@@ -446,6 +467,18 @@ def _cmd_causal(args) -> int:
     return 0
 
 
+def _cmd_convert(args) -> int:
+    from repro.trace.store import convert, open_store
+
+    input_format = "paje" if args.paje else args.input_format
+    trace = convert(args.trace, args.out, input_format=input_format)
+    store = open_store(args.out)
+    size = args.out.stat().st_size
+    print(f"wrote {args.out} ({size} bytes, {len(trace)} entities, "
+          f"{store.total_breakpoints} breakpoints)")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "render": _cmd_render,
@@ -456,6 +489,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "bench": _cmd_bench,
     "causal": _cmd_causal,
+    "convert": _cmd_convert,
 }
 
 

@@ -274,11 +274,19 @@ class AggregationEngine:
     def _bank(self, metric: str) -> tuple[SignalBank, dict[str, int]]:
         entry = self._banks.get(metric)
         if entry is None:
-            names = [e.name for e in self.trace if metric in e.metrics]
-            bank = SignalBank(
-                [self.trace.entity(name).metrics[metric] for name in names]
-            )
-            entry = (bank, {name: row for row, name in enumerate(names)})
+            provider = getattr(self.trace, "signal_bank", None)
+            if provider is not None:
+                # Duck-typed bank provider: a StoredTrace serves
+                # mmap-backed banks straight off the columnar file, so
+                # no Signal objects are ever materialized on this path.
+                bank, row_of = provider(metric)
+                entry = (bank, dict(row_of))
+            else:
+                names = [e.name for e in self.trace if metric in e.metrics]
+                bank = SignalBank(
+                    [self.trace.entity(name).metrics[metric] for name in names]
+                )
+                entry = (bank, {name: row for row, name in enumerate(names)})
             self._banks[metric] = entry
             self._slice_caches[metric] = SliceCache(
                 bank, self.stats, self.advance_cap

@@ -11,6 +11,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "TraceError",
+    "TraceStoreError",
     "SignalError",
     "PlatformError",
     "RoutingError",
@@ -32,6 +33,17 @@ class ReproError(Exception):
 
 class TraceError(ReproError):
     """Malformed trace data, unknown entities or bad trace files."""
+
+
+class TraceStoreError(TraceError):
+    """Corrupt, truncated or incompatible columnar trace-store file.
+
+    Raised by :mod:`repro.trace.store` whenever a ``.rtrace`` file fails
+    validation — bad magic, version skew, wrong endianness, truncated
+    sections, out-of-bounds array references — instead of ever handing
+    garbage data (or an out-of-range :func:`numpy.memmap` view) to the
+    aggregation layer.
+    """
 
 
 class SignalError(TraceError):

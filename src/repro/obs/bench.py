@@ -15,8 +15,9 @@ could diff run *N* against run *N-1*.  This module fixes the substrate:
 * named **suites** over the real hot paths — ``layout`` (Barnes-Hut
   build+traverse at several *n*), ``aggregation`` (slice-scrub, the
   paper's interactive loop), ``signals`` (batch signal ops),
-  ``render`` (SVG generation), ``sim`` (discrete-event engine) — each
-  serialized as one schema-versioned ``BENCH_<suite>.json``;
+  ``render`` (SVG generation), ``sim`` (discrete-event engine),
+  ``store`` (columnar trace-store convert / cold-open / mmap scrub) —
+  each serialized as one schema-versioned ``BENCH_<suite>.json``;
 * :func:`compare_results` — the noise-aware regression gate: a case
   fails only when its median exceeds the baseline median by more than
   ``max(rel_tol * baseline, iqr_k * IQR)``, so real slowdowns trip CI
@@ -474,6 +475,104 @@ def _sim_suite(quick: bool) -> list[BenchCase]:
             make,
             {"workers": n_workers, "tasks_per_worker": tasks},
         )
+    ]
+
+
+@_suite("store")
+def _store_suite(quick: bool) -> list[BenchCase]:
+    """The columnar trace store: convert, cold-open, scrub via mmap.
+
+    ``cold_open`` vs ``text_reparse`` is the headline pair — opening a
+    converted ``.rtrace`` only validates the header, checksums the
+    directory and maps the columns, while re-parsing the text form
+    re-tokenizes every breakpoint.  The scrub pair prices the mmap
+    bank's per-row bisection against the resident sweep on identical
+    windows.
+    """
+    import tempfile
+
+    from repro.trace.signalbank import SignalBank
+    from repro.trace.store import open_store, write_store
+    from repro.trace.synthetic import random_hierarchical_trace
+    from repro.trace.writer import write_trace
+
+    if quick:
+        trace = random_hierarchical_trace(
+            n_sites=2, clusters_per_site=2, hosts_per_cluster=4, seed=11
+        )
+    else:
+        trace = random_hierarchical_trace(
+            n_sites=4, clusters_per_site=3, hosts_per_cluster=8, seed=11
+        )
+    scratch = tempfile.TemporaryDirectory(prefix="repro-bench-store-")
+    root = Path(scratch.name)
+    store_path = root / "bench.rtrace"
+    text_path = root / "bench.trace"
+    write_store(trace, store_path)
+    write_trace(trace, text_path)
+    metric = trace.metric_names()[0]
+    start, end = trace.span()
+    moves = 8 if quick else 32
+    width = (end - start) / 10.0
+    step = (end - start - width) / max(moves - 1, 1)
+    windows = [
+        (start + i * step, start + i * step + width) for i in range(moves)
+    ]
+    shape = {
+        "entities": len(trace),
+        "breakpoints": int(
+            sum(len(s) for e in trace for s in e.metrics.values())
+        ),
+        "bytes": store_path.stat().st_size,
+    }
+
+    def make_convert():
+        """Time a full streaming conversion (scratch holds the output)."""
+        out = root / "rewrite.rtrace"
+        return lambda: write_store(trace, out)
+
+    def make_cold_open():
+        """Header + CRC + directory decode + memmap, nothing else."""
+        return lambda: open_store(store_path)
+
+    def make_text_reparse():
+        """The pre-store cold path: re-parse the text serialization."""
+        from repro.trace.reader import read_trace
+
+        return lambda: read_trace(text_path)
+
+    def scrubber(bank):
+        state = {"i": 0}
+
+        def one_move():
+            """One window query in the scripted slide loop."""
+            state["i"] = (state["i"] + 1) % len(windows)
+            a, b = windows[state["i"]]
+            return bank.window_means(a, b)
+
+        return one_move
+
+    def make_mmap_scrub():
+        """Window means straight off the stored columns."""
+        keep = scratch  # noqa: F841 - pin the scratch dir's lifetime
+        bank, _ = open_store(store_path).signal_bank(metric)
+        return scrubber(bank)
+
+    def make_resident_scrub():
+        """The same windows on a fully resident bank."""
+        rows = [e.metrics[metric] for e in trace if metric in e.metrics]
+        return scrubber(SignalBank(rows))
+
+    return [
+        BenchCase("convert_write", make_convert, shape),
+        BenchCase("cold_open", make_cold_open, shape),
+        BenchCase("text_reparse", make_text_reparse, shape),
+        BenchCase(
+            "mmap_scrub", make_mmap_scrub, {**shape, "moves": moves}
+        ),
+        BenchCase(
+            "resident_scrub", make_resident_scrub, {**shape, "moves": moves}
+        ),
     ]
 
 

@@ -3,8 +3,9 @@
 The visualization pipeline consumes :class:`~repro.trace.trace.Trace`
 objects.  They are produced either by the simulation monitors
 (:mod:`repro.simulation.monitors`), by the synthetic generators
-(:mod:`repro.trace.synthetic`) or parsed from the text format
-(:mod:`repro.trace.reader`).
+(:mod:`repro.trace.synthetic`), parsed from the text format
+(:mod:`repro.trace.reader`) or memory-mapped from the binary columnar
+store (:mod:`repro.trace.store`).
 """
 
 from repro.trace.builder import TraceBuilder
@@ -18,6 +19,14 @@ from repro.trace.filter import filter_trace
 from repro.trace.reader import loads, read_trace
 from repro.trace.signal import Signal, SignalBuilder, combine, constant
 from repro.trace.signalbank import SignalBank
+from repro.trace.store import (
+    StoredTrace,
+    TraceStore,
+    convert,
+    is_store_file,
+    open_store,
+    write_store,
+)
 from repro.trace.trace import (
     CAPACITY,
     USAGE,
@@ -37,18 +46,24 @@ __all__ = [
     "Signal",
     "SignalBank",
     "SignalBuilder",
+    "StoredTrace",
     "Trace",
     "TraceBuilder",
     "TraceEdge",
+    "TraceStore",
     "VariableEvent",
     "combine",
     "communication_matrix",
     "constant",
+    "convert",
     "dumps",
     "edges_from_messages",
     "filter_trace",
+    "is_store_file",
     "loads",
+    "open_store",
     "read_trace",
     "with_communication_edges",
+    "write_store",
     "write_trace",
 ]

@@ -1,0 +1,363 @@
+"""The on-disk columnar trace format (the ``.rtrace`` byte layout).
+
+This module owns the *bytes* of the out-of-core trace store; the
+higher-level API (writing a :class:`~repro.trace.trace.Trace`, opening a
+:class:`~repro.trace.store.TraceStore`) lives in
+:mod:`repro.trace.store`.  The layout is deliberately close to the
+in-memory shape of :class:`~repro.trace.signalbank.SignalBank` — per
+metric, the flat float64 breakpoint/value/prefix-sum arrays plus the
+row-offset table — so a memory-mapped file *is* a signal bank, with no
+deserialization between the page cache and Equation 1:
+
+.. code-block:: text
+
+    offset 0
+    +------------------------------------------------------------------+
+    | header (64 bytes, little-endian, struct "<8sIIQQQQQI4x")         |
+    |   magic   8s  \\x89 R T C \\r \\n \\x1a \\n  (PNG-style: catches  |
+    |               text-mode mangling and truncation at byte 0)       |
+    |   version u32 format major version (readers reject skew)         |
+    |   endian  u32 0x01020304 read back little-endian; a byte-swapped |
+    |               value means the file crossed an endianness boundary |
+    |   dir_off u64 --+  byte range of the JSON directory              |
+    |   dir_len u64 --+                                                |
+    |   data_off u64 -+  byte range of the columnar data section       |
+    |   data_len u64 -+                                                |
+    |   file_len u64 total file size (truncation check)                |
+    |   dir_crc u32  zlib.crc32 of the directory bytes                 |
+    +------------------------------------------------------------------+
+    | data section: 8-byte-aligned little-endian arrays, one after the |
+    | other.  Per metric: offsets <i8 (rows+1), initials <f8 (rows),   |
+    | times <f8, values <f8, prefix <f8 (flat, row i spanning          |
+    | [offsets[i], offsets[i+1]) exactly as SignalBank stores them)    |
+    +------------------------------------------------------------------+
+    | directory: one JSON object (schema "rtrace/1") naming entities   |
+    | (name, kind, path), metric metadata, edges, point events, the    |
+    | time span, and — per metric — the row order (entity names) plus  |
+    | an ArrayRef {offset, count, dtype} per column into the data      |
+    | section                                                          |
+    +------------------------------------------------------------------+
+
+Every quantity a reader uses for addressing is validated *before* any
+:func:`numpy.memmap` view is taken (magic, version, endianness, CRC,
+section bounds, array-reference bounds, alignment, name lengths), and
+every failure raises the typed
+:class:`~repro.errors.TraceStoreError` — never garbage data, never an
+out-of-range mapped read.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import IO
+
+import numpy as np
+
+from repro.errors import TraceStoreError
+
+__all__ = [
+    "ALIGNMENT",
+    "ArrayRef",
+    "ColumnWriter",
+    "check_name",
+    "load_directory",
+    "DIRECTORY_SCHEMA",
+    "ENDIAN_CHECK",
+    "HEADER",
+    "MAGIC",
+    "MAX_NAME_BYTES",
+    "VERSION",
+    "Header",
+    "directory_crc",
+    "dtype_of",
+    "pack_header",
+    "read_header",
+    "resolve_array",
+    "sniff_magic",
+]
+
+#: Eight magic bytes opening every store file.  Modeled on PNG's: the
+#: high bit catches 7-bit transport, ``\r\n`` catches newline
+#: translation, ``\x1a`` stops accidental ``type`` on DOS, and the
+#: trailing ``\n`` catches ``\n`` -> ``\r\n`` rewriting.
+MAGIC = b"\x89RTC\r\n\x1a\n"
+
+#: Format major version; bump on any incompatible layout change.
+VERSION = 1
+
+#: Sentinel read back as a little-endian u32; the byte-swapped value
+#: indicates a file written (or mangled) with the opposite endianness.
+ENDIAN_CHECK = 0x01020304
+
+#: Every array in the data section starts on a multiple of this, so
+#: typed views over the memory map are always aligned.
+ALIGNMENT = 8
+
+#: Hard cap on entity/metric/kind name length (bytes of UTF-8).  A
+#: directory claiming longer names is corrupt or hostile, not a trace.
+MAX_NAME_BYTES = 1024
+
+#: Schema tag stamped into (and required of) the JSON directory.
+DIRECTORY_SCHEMA = "rtrace/1"
+
+#: The fixed 64-byte little-endian header layout.
+HEADER = struct.Struct("<8sIIQQQQQI4x")
+
+#: Dtypes allowed in the data section (explicitly little-endian).
+_DTYPES = {"<f8": np.dtype("<f8"), "<i8": np.dtype("<i8")}
+
+
+@dataclass(frozen=True)
+class Header:
+    """The decoded fixed header of a store file."""
+
+    version: int
+    directory_offset: int
+    directory_length: int
+    data_offset: int
+    data_length: int
+    file_length: int
+    directory_crc: int
+
+
+def pack_header(header: Header) -> bytes:
+    """Serialize *header* to its fixed 64-byte little-endian form."""
+    return HEADER.pack(
+        MAGIC,
+        header.version,
+        ENDIAN_CHECK,
+        header.directory_offset,
+        header.directory_length,
+        header.data_offset,
+        header.data_length,
+        header.file_length,
+        header.directory_crc,
+    )
+
+
+def sniff_magic(prefix: bytes) -> bool:
+    """Whether *prefix* (the first bytes of a file) opens a store file."""
+    return prefix[: len(MAGIC)] == MAGIC
+
+
+def read_header(buffer: bytes, *, what: str = "trace store") -> Header:
+    """Decode and validate the fixed header from *buffer*.
+
+    Raises :class:`~repro.errors.TraceStoreError` on every corruption
+    class the header can witness: short reads, bad magic, version skew,
+    wrong endianness and nonsensical section geometry.
+    """
+    if len(buffer) < HEADER.size:
+        raise TraceStoreError(
+            f"{what}: file too short for a store header "
+            f"({len(buffer)} < {HEADER.size} bytes)"
+        )
+    (
+        magic,
+        version,
+        endian,
+        dir_off,
+        dir_len,
+        data_off,
+        data_len,
+        file_len,
+        dir_crc,
+    ) = HEADER.unpack_from(buffer)
+    if magic != MAGIC:
+        raise TraceStoreError(
+            f"{what}: bad magic {magic!r} (not a columnar trace store)"
+        )
+    if endian != ENDIAN_CHECK:
+        swapped = int.from_bytes(
+            ENDIAN_CHECK.to_bytes(4, "little"), "big"
+        )
+        if endian == swapped:
+            raise TraceStoreError(
+                f"{what}: endianness marker is byte-swapped (file written "
+                f"on an opposite-endian machine or corrupted); refusing "
+                f"to reinterpret the arrays"
+            )
+        raise TraceStoreError(
+            f"{what}: corrupt endianness marker 0x{endian:08x}"
+        )
+    if version != VERSION:
+        raise TraceStoreError(
+            f"{what}: unsupported format version {version} "
+            f"(this reader understands version {VERSION})"
+        )
+    header = Header(
+        version, dir_off, dir_len, data_off, data_len, file_len, dir_crc
+    )
+    for name, off, length in (
+        ("directory", dir_off, dir_len),
+        ("data section", data_off, data_len),
+    ):
+        if off < HEADER.size or length < 0 or off + length > file_len:
+            raise TraceStoreError(
+                f"{what}: {name} [{off}, {off + length}) falls outside "
+                f"the declared file length {file_len}"
+            )
+    return header
+
+
+def directory_crc(payload: bytes) -> int:
+    """The checksum guarding the JSON directory bytes."""
+    return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """One column's location inside the data section.
+
+    ``offset`` is relative to the data section start; ``count`` is the
+    element count; ``dtype`` one of the explicitly-little-endian codes
+    in the format (``"<f8"``/``"<i8"``).
+    """
+
+    offset: int
+    count: int
+    dtype: str
+
+    def to_json(self) -> dict:
+        """The directory representation of this reference."""
+        return {"offset": self.offset, "count": self.count, "dtype": self.dtype}
+
+    @classmethod
+    def from_json(cls, payload: object, *, what: str) -> "ArrayRef":
+        """Decode (and type-check) a directory array reference."""
+        if not isinstance(payload, dict):
+            raise TraceStoreError(f"{what}: array reference is not an object")
+        try:
+            offset = payload["offset"]
+            count = payload["count"]
+            dtype = payload["dtype"]
+        except KeyError as error:
+            raise TraceStoreError(
+                f"{what}: array reference misses key {error}"
+            ) from None
+        if not isinstance(offset, int) or not isinstance(count, int):
+            raise TraceStoreError(
+                f"{what}: array reference offset/count must be integers"
+            )
+        return cls(offset, count, str(dtype))
+
+
+def dtype_of(ref: ArrayRef, *, what: str) -> np.dtype:
+    """The numpy dtype of *ref*, rejecting unknown codes."""
+    try:
+        return _DTYPES[ref.dtype]
+    except KeyError:
+        raise TraceStoreError(
+            f"{what}: unknown array dtype {ref.dtype!r} "
+            f"(known: {sorted(_DTYPES)})"
+        ) from None
+
+
+def resolve_array(
+    data: np.ndarray, ref: ArrayRef, *, what: str
+) -> np.ndarray:
+    """A typed view of *ref* inside the mapped *data* section bytes.
+
+    Validates bounds, sign and alignment against the actual section
+    length before taking the view, so a corrupt reference can never
+    reach past the mapping.
+    """
+    dtype = dtype_of(ref, what=what)
+    if ref.count < 0 or ref.offset < 0:
+        raise TraceStoreError(
+            f"{what}: negative array bounds (offset={ref.offset}, "
+            f"count={ref.count})"
+        )
+    if ref.offset % ALIGNMENT:
+        raise TraceStoreError(
+            f"{what}: array offset {ref.offset} is not {ALIGNMENT}-byte "
+            f"aligned"
+        )
+    end = ref.offset + ref.count * dtype.itemsize
+    if end > data.size:
+        raise TraceStoreError(
+            f"{what}: array [{ref.offset}, {end}) overruns the data "
+            f"section ({data.size} bytes)"
+        )
+    return data[ref.offset : end].view(dtype)
+
+
+class ColumnWriter:
+    """Sequential, aligned writer of the data section.
+
+    Wraps the (binary) output stream positioned at the start of the
+    data section; :meth:`put` appends one array — converted to the
+    format's little-endian dtype, padded to :data:`ALIGNMENT` — and
+    returns its :class:`ArrayRef`.  Arrays are written column by
+    column, so converting a trace streams one metric's worth of data
+    at a time instead of assembling the whole file in memory.
+    """
+
+    def __init__(self, stream: IO[bytes]) -> None:
+        self._stream = stream
+        self._written = 0
+
+    @property
+    def written(self) -> int:
+        """Bytes emitted into the data section so far."""
+        return self._written
+
+    def put(self, array: np.ndarray, dtype: str) -> ArrayRef:
+        """Append *array* as *dtype*; return its directory reference."""
+        return self.put_stream((array,), dtype)
+
+    def put_stream(self, chunks, dtype: str) -> ArrayRef:
+        """Append the concatenation of *chunks* as one logical array.
+
+        Lets a converter stream a long flat column (e.g. every signal's
+        breakpoints for one metric) without materializing the
+        concatenation.  Both format dtypes are 8 bytes wide, so chunk
+        boundaries always land on :data:`ALIGNMENT` and only the final
+        array gets tail padding.
+        """
+        target = _DTYPES[dtype]
+        offset = self._written
+        count = 0
+        for chunk in chunks:
+            data = np.ascontiguousarray(chunk, dtype=target)
+            payload = data.tobytes()
+            self._stream.write(payload)
+            self._written += len(payload)
+            count += int(data.size)
+        pad = (-self._written) % ALIGNMENT
+        if pad:  # pragma: no cover - 8-byte dtypes never need padding
+            self._stream.write(b"\x00" * pad)
+            self._written += pad
+        return ArrayRef(offset, count, dtype)
+
+
+def check_name(name: str, *, what: str) -> str:
+    """Reject absent or overlong names (used on both write and read)."""
+    if not isinstance(name, str) or not name:
+        raise TraceStoreError(f"{what}: name must be a non-empty string")
+    if len(name.encode("utf-8", "surrogatepass")) > MAX_NAME_BYTES:
+        raise TraceStoreError(
+            f"{what}: name of {len(name)} characters exceeds the "
+            f"{MAX_NAME_BYTES}-byte format cap"
+        )
+    return name
+
+
+def load_directory(payload: bytes, *, what: str) -> dict:
+    """Parse and schema-check the JSON directory bytes."""
+    try:
+        directory = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TraceStoreError(f"{what}: corrupt directory: {error}") from None
+    if not isinstance(directory, dict):
+        raise TraceStoreError(f"{what}: directory is not a JSON object")
+    schema = directory.get("schema")
+    if schema != DIRECTORY_SCHEMA:
+        raise TraceStoreError(
+            f"{what}: unknown directory schema {schema!r} "
+            f"(expected {DIRECTORY_SCHEMA!r})"
+        )
+    return directory

@@ -324,6 +324,19 @@ def _write(trace: Trace, out: IO[str]) -> None:
                     )
                 )
                 continue
+            if signal.initial and signal.times[0] > 0.0:
+                # Paje has no initial-value record: materialize it as a
+                # SetVariable at time 0 so ``value_at`` agrees on
+                # [0, first breakpoint).  An initial before a breakpoint
+                # at or below t=0 has no representable slot and drops
+                # (pinned by tests/test_roundtrip_golden.py).
+                records.append(
+                    (
+                        0.0,
+                        f"3 0.0 {variable} {_quote(entity.name)} "
+                        f"{signal.initial!r}",
+                    )
+                )
             for time, value in signal.steps():
                 records.append(
                     (

@@ -134,7 +134,17 @@ def _parse(lines: Iterable[str]) -> Trace:
 
 
 def _coerce(text: str):
-    """Interpret *text* as int, float or keep it as a string."""
+    """Interpret *text* as bool, int, float or keep it as a string.
+
+    The bool arm mirrors how the writer prints python bools (``True`` /
+    ``False``); without it a round trip silently turns meta flags and
+    payload booleans into strings (pinned by
+    ``tests/test_roundtrip_golden.py``).
+    """
+    if text == "True":
+        return True
+    if text == "False":
+        return False
     for caster in (int, float):
         try:
             return caster(text)

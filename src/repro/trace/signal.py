@@ -67,6 +67,37 @@ class Signal:
         self._initial = float(initial)
         self._np: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
+    @classmethod
+    def _from_columns(
+        cls,
+        times: np.ndarray,
+        values: np.ndarray,
+        prefix: np.ndarray,
+        initial: float,
+    ) -> "Signal":
+        """Materialize a signal from pre-built float64 column arrays.
+
+        Fast path for :class:`repro.trace.store.TraceStore`: the store
+        already holds the ``arrays()`` representation, so this seeds the
+        cache directly and re-checks only monotonicity (vectorized)
+        instead of re-validating element by element.
+        """
+        times = np.ascontiguousarray(times, dtype=float)
+        values = np.ascontiguousarray(values, dtype=float)
+        prefix = np.ascontiguousarray(prefix, dtype=float)
+        if len(times) and not (
+            np.isfinite(times).all() and (np.diff(times) > 0).all()
+        ):
+            raise SignalError(
+                "stored breakpoints are not strictly increasing finite times"
+            )
+        signal = cls.__new__(cls)
+        signal._times = times.tolist()
+        signal._values = values.tolist()
+        signal._initial = float(initial)
+        signal._np = (times, values, prefix)
+        return signal
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -23,6 +23,15 @@ window integral from the prefix sums, decomposed into boundary partials
 plus an interior prefix-sum difference (never the antiderivative
 difference ``F(b) - F(a)``, which cancels catastrophically on windows
 tiny relative to their distance from a breakpoint).
+
+A bank also need not be resident: :meth:`SignalBank.from_arrays` wraps
+pre-built column arrays — typically :func:`numpy.memmap` views handed
+out by :class:`repro.trace.store.TraceStore` — without copying them.
+Such a bank reports ``backing == "mmap"`` and switches :meth:`locate`
+from the full cumulative-count sweep (which would fault in every page
+of the file) to a per-row binary search that touches only O(log n)
+pages per signal; :meth:`advance` is already incremental, so a scrub
+step reads only the byte ranges its delta windows cross.
 """
 
 from __future__ import annotations
@@ -43,6 +52,11 @@ class SignalBank:
 
     Row *i* corresponds to ``signals[i]``; all per-row results come back
     as float64 arrays of length ``len(bank)``.
+
+    :attr:`backing` names where the column arrays live: ``"resident"``
+    (built in memory from :class:`~repro.trace.signal.Signal` objects)
+    or ``"mmap"`` (zero-copy views over an on-disk columnar store).
+    The query API is identical for both.
     """
 
     __slots__ = (
@@ -52,10 +66,12 @@ class SignalBank:
         "offsets",
         "lengths",
         "initials",
+        "backing",
     )
 
     def __init__(self, signals: Sequence[Signal]) -> None:
         signals = list(signals)
+        self.backing = "resident"
         n = len(signals)
         self.offsets = np.zeros(n + 1, dtype=np.intp)
         self.initials = np.empty(n, dtype=float)
@@ -82,6 +98,60 @@ class SignalBank:
             self.prefix = np.zeros(0, dtype=float)
         self.lengths = np.diff(self.offsets)
 
+    @classmethod
+    def from_signals(cls, signals: Sequence[Signal]) -> "SignalBank":
+        """Build a resident bank from *signals* (same as the constructor)."""
+        return cls(signals)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        times: np.ndarray,
+        values: np.ndarray,
+        prefix: np.ndarray,
+        offsets: np.ndarray,
+        initials: np.ndarray,
+        backing: str = "mmap",
+    ) -> "SignalBank":
+        """Wrap pre-built column arrays without copying them.
+
+        *times* / *values* / *prefix* are the flat float64 columns (row
+        *i* spanning ``[offsets[i], offsets[i+1])``), typically
+        :func:`numpy.memmap` views from a
+        :class:`~repro.trace.store.TraceStore`; *offsets* (length
+        rows+1) and *initials* (length rows) are small and converted to
+        resident arrays so cursor arithmetic never faults a page.  The
+        flat columns are kept as given — reads stay lazy.
+        """
+        bank = object.__new__(cls)
+        bank.times = times
+        bank.values = values
+        bank.prefix = prefix
+        bank.offsets = np.ascontiguousarray(offsets, dtype=np.intp)
+        bank.initials = np.ascontiguousarray(initials, dtype=float)
+        bank.lengths = np.diff(bank.offsets)
+        bank.backing = backing
+        if (bank.lengths < 0).any():
+            raise SignalError("bank offsets must be non-decreasing")
+        if len(bank.offsets) and (
+            bank.offsets[0] != 0 or bank.offsets[-1] != len(bank.times)
+        ):
+            raise SignalError(
+                f"bank offsets [{bank.offsets[0]}..{bank.offsets[-1]}] do "
+                f"not tile the {len(bank.times)}-breakpoint column"
+            )
+        if len(bank.initials) != len(bank.lengths):
+            raise SignalError(
+                f"{len(bank.initials)} initial values for "
+                f"{len(bank.lengths)} rows"
+            )
+        if not (len(bank.times) == len(bank.values) == len(bank.prefix)):
+            raise SignalError(
+                f"column lengths differ: {len(bank.times)} times, "
+                f"{len(bank.values)} values, {len(bank.prefix)} prefix"
+            )
+        return bank
+
     def __len__(self) -> int:
         return len(self.lengths)
 
@@ -102,11 +172,25 @@ class SignalBank:
     def locate(self, t: float) -> np.ndarray:
         """Per-row ``bisect_right(times, t)``, fully vectorized.
 
-        One comparison sweep over the flat breakpoint array plus a
-        cumulative-count rank per row; exact (no float tricks), cost
-        O(total breakpoints).
+        For a resident bank: one comparison sweep over the flat
+        breakpoint array plus a cumulative-count rank per row; exact
+        (no float tricks), cost O(total breakpoints).  For an
+        ``"mmap"``-backed bank the sweep would fault in every page of
+        the stored file, so each row instead gets its own
+        :func:`numpy.searchsorted` over its slice of the column —
+        identical ``bisect_right`` semantics, O(log n) page touches
+        per row.
         """
         t = self._check_time(t)
+        if self.backing == "mmap":
+            n = len(self.lengths)
+            out = np.empty(n, dtype=np.intp)
+            times, offsets = self.times, self.offsets
+            for i in range(n):
+                out[i] = np.searchsorted(
+                    times[offsets[i] : offsets[i + 1]], t, side="right"
+                )
+            return out
         counts = np.zeros(len(self.times) + 1, dtype=np.intp)
         np.cumsum(self.times <= t, out=counts[1:])
         return counts[self.offsets[1:]] - counts[self.offsets[:-1]]

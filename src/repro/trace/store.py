@@ -1,0 +1,607 @@
+"""Out-of-core columnar trace store: write once, memory-map forever.
+
+The text formats (:mod:`repro.trace.reader`, :mod:`repro.trace.paje`)
+cap trace size at RAM and pay a full re-parse on every cold load.  This
+module stores a :class:`~repro.trace.trace.Trace` in the binary
+columnar layout of :mod:`repro.trace.columnar` — per metric, the exact
+structure-of-arrays representation
+:class:`~repro.trace.signalbank.SignalBank` computes in memory
+(breakpoints, values, prefix sums, row offsets, initial values) — and
+reads it back through :func:`numpy.memmap` with zero-copy slices:
+
+* :func:`write_store` / :func:`convert` — stream a trace to a
+  ``.rtrace`` file.  Output bytes are deterministic (no timestamps, a
+  canonical JSON directory), so golden fixtures can assert byte
+  stability.
+* :func:`open_store` — validate and map a stored file into a
+  :class:`TraceStore` without reading the column data (cold-open cost
+  is the 64-byte header plus the JSON directory).
+* :meth:`TraceStore.open_trace` — a :class:`StoredTrace` (a
+  :class:`~repro.trace.trace.Trace` subclass) whose entity metrics are
+  materialized lazily and which hands the aggregation engine
+  mmap-backed signal banks, so :class:`~repro.core.session.AnalysisSession`
+  and :class:`~repro.core.aggengine.AggregationEngine` work unchanged:
+  scrubbing the time slice faults in only the byte ranges the delta
+  windows cross.
+
+Because the stored columns are the *bits* of the resident
+``Signal.arrays()`` representation, an mmap-backed bank and a resident
+bank run identical arithmetic on identical float64 values — the
+differential suite (``tests/test_store_differential.py``) asserts exact
+equality, not tolerance.  Every structural defect in a file raises
+:class:`~repro.errors.TraceStoreError` before any typed memory-map view
+is taken.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.errors import TraceError, TraceStoreError
+from repro.obs.spans import span
+from repro.trace.columnar import (
+    ArrayRef,
+    ColumnWriter,
+    DIRECTORY_SCHEMA,
+    HEADER,
+    MAGIC,
+    Header,
+    check_name,
+    directory_crc,
+    load_directory,
+    pack_header,
+    read_header,
+    resolve_array,
+    sniff_magic,
+)
+from repro.trace.events import PointEvent
+from repro.trace.signal import Signal
+from repro.trace.signalbank import SignalBank
+from repro.trace.trace import Entity, MetricInfo, Trace, TraceEdge
+
+__all__ = [
+    "StoredTrace",
+    "TraceStore",
+    "convert",
+    "is_store_file",
+    "open_store",
+    "write_store",
+]
+
+#: Conventional file extension of the columnar store format.
+STORE_SUFFIX = ".rtrace"
+
+
+def is_store_file(path: str | Path) -> bool:
+    """Whether *path* exists and starts with the store magic bytes."""
+    try:
+        with open(path, "rb") as stream:
+            return sniff_magic(stream.read(len(MAGIC)))
+    except OSError:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+def _json_safe(value: Any, *, what: str) -> Any:
+    """Check *value* can live in the directory; raise a typed error."""
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError) as error:
+        raise TraceStoreError(
+            f"{what} is not storable (must be JSON-serializable): {error}"
+        ) from None
+    return value
+
+
+def write_store(trace: Trace, destination: str | Path) -> None:
+    """Serialize *trace* to the binary columnar format at *destination*.
+
+    Streams one metric column at a time (the per-signal float64 arrays
+    are written row after row), so peak memory stays near one metric's
+    worth of breakpoints.  The produced bytes are a pure function of the
+    trace content — no timestamps, canonical JSON — so re-converting an
+    identical trace yields an identical file.
+    """
+    try:
+        span_lo, span_hi = trace.span()
+        stored_span: list[float] | None = [span_lo, span_hi]
+    except TraceError:
+        stored_span = None
+
+    entities = list(trace)
+    for entity in entities:
+        check_name(entity.name, what=f"entity {entity.name!r}")
+        check_name(entity.kind, what=f"kind of entity {entity.name!r}")
+        for part in entity.path:
+            check_name(part, what=f"path of entity {entity.name!r}")
+    metric_names = trace.metric_names()
+    for metric in metric_names:
+        check_name(metric, what=f"metric {metric!r}")
+
+    destination = Path(destination)
+    with open(destination, "wb") as stream:
+        stream.write(b"\0" * HEADER.size)
+        writer = ColumnWriter(stream)
+        columns: dict[str, dict[str, Any]] = {}
+        for metric in metric_names:
+            rows = [e for e in entities if metric in e.metrics]
+            signals = [e.metrics[metric] for e in rows]
+            offsets = np.zeros(len(signals) + 1, dtype=np.int64)
+            np.cumsum([len(s.arrays()[0]) for s in signals], out=offsets[1:])
+            initials = np.asarray([s.initial for s in signals], dtype=float)
+            columns[metric] = {
+                "rows": [e.name for e in rows],
+                "offsets": writer.put(offsets, "<i8").to_json(),
+                "initials": writer.put(initials, "<f8").to_json(),
+                "times": writer.put_stream(
+                    (s.arrays()[0] for s in signals), "<f8"
+                ).to_json(),
+                "values": writer.put_stream(
+                    (s.arrays()[1] for s in signals), "<f8"
+                ).to_json(),
+                "prefix": writer.put_stream(
+                    (s.arrays()[2] for s in signals), "<f8"
+                ).to_json(),
+            }
+        data_length = writer.written
+
+        directory = {
+            "schema": DIRECTORY_SCHEMA,
+            "meta": _json_safe(dict(trace.meta), what="trace meta"),
+            "span": stored_span,
+            "entities": [
+                [e.name, e.kind, list(e.path)] for e in entities
+            ],
+            "metrics_info": [
+                [m.name, m.unit, m.description] for m in trace.metrics_info
+            ],
+            "edges": [
+                [e.a, e.b, e.via, e.source] for e in trace.edges
+            ],
+            "events": [
+                [
+                    ev.time,
+                    ev.kind,
+                    ev.source,
+                    ev.target,
+                    _json_safe(
+                        dict(ev.payload), what=f"payload of event at t={ev.time}"
+                    ),
+                ]
+                for ev in trace.events
+            ],
+            "columns": columns,
+        }
+        payload = json.dumps(
+            directory, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        directory_offset = HEADER.size + data_length
+        stream.write(payload)
+        file_length = directory_offset + len(payload)
+        stream.seek(0)
+        stream.write(
+            pack_header(
+                Header(
+                    version=1,
+                    directory_offset=directory_offset,
+                    directory_length=len(payload),
+                    data_offset=HEADER.size,
+                    data_length=data_length,
+                    file_length=file_length,
+                    directory_crc=directory_crc(payload),
+                )
+            )
+        )
+
+
+def convert(
+    source: str | Path, destination: str | Path, input_format: str = "auto"
+) -> Trace:
+    """Read a text trace at *source* and store it at *destination*.
+
+    *input_format* is ``"repro"``, ``"paje"`` or ``"auto"`` (sniff: a
+    ``.paje`` suffix or a Paje ``%EventDef`` preamble selects the Paje
+    parser).  Returns the parsed trace so callers can report on it.
+    """
+    from repro.trace.paje import read_paje
+    from repro.trace.reader import read_trace
+
+    source = Path(source)
+    if input_format == "auto":
+        if source.suffix == ".paje":
+            input_format = "paje"
+        else:
+            with open(source, "r", encoding="utf-8", errors="replace") as fh:
+                head = fh.read(4096)
+            input_format = "paje" if "%EventDef" in head else "repro"
+    if input_format == "paje":
+        trace = read_paje(source)
+    elif input_format == "repro":
+        trace = read_trace(source)
+    else:
+        raise TraceStoreError(
+            f"unknown input format {input_format!r} "
+            f"(pick 'auto', 'repro' or 'paje')"
+        )
+    write_store(trace, destination)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Reading
+# ----------------------------------------------------------------------
+class _MetricColumns:
+    """Resolved (but unread) memory-map views of one metric's columns."""
+
+    __slots__ = ("rows", "row_of", "offsets", "initials", "times", "values", "prefix")
+
+    def __init__(
+        self,
+        rows: list[str],
+        offsets: np.ndarray,
+        initials: np.ndarray,
+        times: np.ndarray,
+        values: np.ndarray,
+        prefix: np.ndarray,
+        *,
+        what: str,
+    ) -> None:
+        self.rows = rows
+        self.row_of = {name: i for i, name in enumerate(rows)}
+        if len(offsets) != len(rows) + 1:
+            raise TraceStoreError(
+                f"{what}: {len(offsets)} offsets for {len(rows)} rows "
+                f"(need rows + 1)"
+            )
+        if len(initials) != len(rows):
+            raise TraceStoreError(
+                f"{what}: {len(initials)} initial values for {len(rows)} rows"
+            )
+        if not (len(times) == len(values) == len(prefix)):
+            raise TraceStoreError(
+                f"{what}: column lengths differ ({len(times)} times, "
+                f"{len(values)} values, {len(prefix)} prefix)"
+            )
+        offs = np.ascontiguousarray(offsets, dtype=np.int64)
+        if len(offs) == 0 or offs[0] != 0 or offs[-1] != len(times):
+            raise TraceStoreError(
+                f"{what}: offsets do not tile the breakpoint column "
+                f"(span [{offs[0] if len(offs) else '?'}..."
+                f"{offs[-1] if len(offs) else '?'}] over {len(times)})"
+            )
+        if (np.diff(offs) < 0).any():
+            raise TraceStoreError(f"{what}: offsets decrease")
+        self.offsets = offs
+        self.initials = initials
+        self.times = times
+        self.values = values
+        self.prefix = prefix
+
+
+class TraceStore:
+    """A validated, memory-mapped columnar trace file.
+
+    Opening a store reads only the fixed header and the JSON directory;
+    the column data stays on disk behind :func:`numpy.memmap` views and
+    is faulted in page by page as queries touch it.  Use
+    :meth:`open_trace` for a drop-in :class:`~repro.trace.trace.Trace`,
+    or :meth:`signal_bank` for direct mmap-backed
+    :class:`~repro.trace.signalbank.SignalBank` access.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        what = f"trace store {self.path.name!r}"
+        try:
+            size = os.path.getsize(self.path)
+            with open(self.path, "rb") as stream:
+                head = stream.read(HEADER.size)
+        except OSError as error:
+            raise TraceStoreError(f"{what}: cannot open: {error}") from None
+        self.header = read_header(head, what=what)
+        if self.header.file_length != size:
+            raise TraceStoreError(
+                f"{what}: file is {size} bytes but the header declares "
+                f"{self.header.file_length} (truncated or padded file)"
+            )
+        if size > 0:
+            self._raw: np.ndarray = np.memmap(
+                self.path, dtype=np.uint8, mode="r"
+            )
+        else:  # pragma: no cover - read_header already rejected this
+            raise TraceStoreError(f"{what}: empty file")
+        h = self.header
+        payload = bytes(
+            self._raw[h.directory_offset : h.directory_offset + h.directory_length]
+        )
+        if directory_crc(payload) != h.directory_crc:
+            raise TraceStoreError(
+                f"{what}: directory checksum mismatch (file corrupted)"
+            )
+        self.directory = load_directory(payload, what=what)
+        self._data = self._raw[h.data_offset : h.data_offset + h.data_length]
+        self._columns: dict[str, _MetricColumns] = {}
+        self._banks: dict[str, tuple[SignalBank, dict[str, int]]] = {}
+        self._decode_directory(what)
+
+    # -- directory decoding -------------------------------------------
+    def _decode_directory(self, what: str) -> None:
+        d = self.directory
+        try:
+            raw_entities = d["entities"]
+            raw_columns = d["columns"]
+        except KeyError as error:
+            raise TraceStoreError(
+                f"{what}: directory misses section {error}"
+            ) from None
+        self.entity_kinds: dict[str, str] = {}
+        self.entity_paths: dict[str, tuple[str, ...]] = {}
+        for row in raw_entities:
+            try:
+                name, kind, path = row
+            except (TypeError, ValueError):
+                raise TraceStoreError(
+                    f"{what}: malformed entity row {row!r}"
+                ) from None
+            check_name(name, what=f"{what}: entity name")
+            check_name(kind, what=f"{what}: entity kind")
+            if name in self.entity_kinds:
+                raise TraceStoreError(f"{what}: duplicate entity {name!r}")
+            self.entity_kinds[name] = kind
+            self.entity_paths[name] = tuple(str(p) for p in path)
+        if not isinstance(raw_columns, dict):
+            raise TraceStoreError(f"{what}: 'columns' is not an object")
+        for metric, refs in raw_columns.items():
+            check_name(metric, what=f"{what}: metric name")
+            where = f"{what}: metric {metric!r}"
+            if not isinstance(refs, dict):
+                raise TraceStoreError(f"{where}: column entry is not an object")
+            try:
+                rows = list(refs["rows"])
+            except (KeyError, TypeError):
+                raise TraceStoreError(f"{where}: missing row list") from None
+            for name in rows:
+                if name not in self.entity_kinds:
+                    raise TraceStoreError(
+                        f"{where}: row entity {name!r} is not declared"
+                    )
+            arrays = {}
+            for column in ("offsets", "initials", "times", "values", "prefix"):
+                try:
+                    ref = ArrayRef.from_json(refs[column], what=where)
+                except KeyError:
+                    raise TraceStoreError(
+                        f"{where}: missing column {column!r}"
+                    ) from None
+                arrays[column] = resolve_array(
+                    self._data, ref, what=f"{where} column {column!r}"
+                )
+            self._columns[metric] = _MetricColumns(
+                rows,
+                arrays["offsets"],
+                arrays["initials"],
+                arrays["times"],
+                arrays["values"],
+                arrays["prefix"],
+                what=where,
+            )
+        self.span_hint: tuple[float, float] | None = None
+        stored = d.get("span")
+        if stored is not None:
+            try:
+                lo, hi = (float(v) for v in stored)
+            except (TypeError, ValueError):
+                raise TraceStoreError(
+                    f"{what}: malformed span {stored!r}"
+                ) from None
+            self.span_hint = (lo, hi)
+
+    # -- introspection ------------------------------------------------
+    def metric_names(self) -> list[str]:
+        """Metric names stored in the file, sorted."""
+        return sorted(self._columns)
+
+    def entity_names(self) -> list[str]:
+        """Entity names in their stored (trace iteration) order."""
+        return list(self.entity_kinds)
+
+    def metrics_of(self, entity: str) -> list[str]:
+        """Sorted metric names recorded for *entity*."""
+        return sorted(
+            metric
+            for metric, cols in self._columns.items()
+            if entity in cols.row_of
+        )
+
+    @property
+    def total_breakpoints(self) -> int:
+        """Total stored (time, value) breakpoints across all metrics."""
+        return sum(len(c.times) for c in self._columns.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceStore({str(self.path)!r}: {len(self.entity_kinds)} "
+            f"entities, {len(self._columns)} metrics, "
+            f"{self.total_breakpoints} breakpoints)"
+        )
+
+    # -- query surfaces ------------------------------------------------
+    def signal_bank(self, metric: str) -> tuple[SignalBank, dict[str, int]]:
+        """``(bank, row_of)`` for *metric*, mmap-backed, cached.
+
+        The bank's flat columns are zero-copy views into the mapped
+        file; ``row_of`` maps entity name to bank row.  This is the
+        provider surface :class:`~repro.core.aggengine.AggregationEngine`
+        consumes via the ``signal_bank`` hook on :class:`StoredTrace`.
+        """
+        entry = self._banks.get(metric)
+        if entry is None:
+            cols = self._column(metric)
+            try:
+                bank = SignalBank.from_arrays(
+                    cols.times,
+                    cols.values,
+                    cols.prefix,
+                    cols.offsets,
+                    cols.initials,
+                    backing="mmap",
+                )
+            except Exception as error:
+                raise TraceStoreError(
+                    f"trace store {self.path.name!r}: metric {metric!r}: "
+                    f"{error}"
+                ) from None
+            entry = (bank, dict(cols.row_of))
+            self._banks[metric] = entry
+        return entry
+
+    def _column(self, metric: str) -> _MetricColumns:
+        try:
+            return self._columns[metric]
+        except KeyError:
+            raise TraceStoreError(
+                f"trace store {self.path.name!r} has no metric {metric!r}; "
+                f"available: {self.metric_names()}"
+            ) from None
+
+    def signal(self, entity: str, metric: str) -> Signal:
+        """Materialize one entity's signal for *metric* from the store."""
+        cols = self._column(metric)
+        try:
+            row = cols.row_of[entity]
+        except KeyError:
+            raise TraceStoreError(
+                f"trace store {self.path.name!r}: entity {entity!r} has "
+                f"no stored metric {metric!r}"
+            ) from None
+        lo, hi = int(cols.offsets[row]), int(cols.offsets[row + 1])
+        return Signal._from_columns(
+            cols.times[lo:hi],
+            cols.values[lo:hi],
+            cols.prefix[lo:hi],
+            float(cols.initials[row]),
+        )
+
+    def open_trace(self) -> "StoredTrace":
+        """A lazy :class:`~repro.trace.trace.Trace` over this store."""
+        return StoredTrace(self)
+
+
+def open_store(path: str | Path) -> TraceStore:
+    """Validate and map the store file at *path*.
+
+    Runs under the same ``trace.read`` observability span as the text
+    parsers, so profiles of stored and text workloads line up.
+    """
+    with span("trace.read"):
+        return TraceStore(path)
+
+
+# ----------------------------------------------------------------------
+# Trace facade
+# ----------------------------------------------------------------------
+class _LazyMetrics(Mapping):
+    """Per-entity metric mapping that materializes signals on demand.
+
+    Membership and iteration read only the store directory; indexing
+    builds (and caches) a :class:`~repro.trace.signal.Signal` whose
+    arrays are zero-copy views into the mapped file.
+    """
+
+    __slots__ = ("_store", "_entity", "_names", "_cache")
+
+    def __init__(self, store: TraceStore, entity: str) -> None:
+        self._store = store
+        self._entity = entity
+        self._names = store.metrics_of(entity)
+        self._cache: dict[str, Signal] = {}
+
+    def __contains__(self, metric: object) -> bool:
+        return metric in self._cache or metric in self._names
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __getitem__(self, metric: str) -> Signal:
+        signal = self._cache.get(metric)
+        if signal is None:
+            if metric not in self._names:
+                raise KeyError(metric)
+            signal = self._store.signal(self._entity, metric)
+            self._cache[metric] = signal
+        return signal
+
+
+class StoredTrace(Trace):
+    """A :class:`~repro.trace.trace.Trace` backed by a :class:`TraceStore`.
+
+    Entities, edges, events and metadata come from the store directory
+    (cheap); per-entity signals materialize lazily on first access, and
+    the aggregation engine bypasses them entirely through
+    :meth:`signal_bank`, which serves mmap-backed banks.  Everything
+    downstream — :class:`~repro.core.session.AnalysisSession`, the
+    hierarchy, renderers — sees an ordinary trace.
+    """
+
+    def __init__(self, store: TraceStore) -> None:
+        self.store = store
+        d = store.directory
+        try:
+            entities = [
+                Entity(
+                    name,
+                    store.entity_kinds[name],
+                    store.entity_paths[name],
+                    _LazyMetrics(store, name),
+                )
+                for name in store.entity_names()
+            ]
+            super().__init__(
+                entities=entities,
+                edges=[
+                    TraceEdge(str(a), str(b), str(via), str(source))
+                    for a, b, via, source in d.get("edges", [])
+                ],
+                events=[
+                    PointEvent(
+                        float(time), str(kind), str(src), str(dst), dict(payload)
+                    )
+                    for time, kind, src, dst, payload in d.get("events", [])
+                ],
+                metrics_info=[
+                    MetricInfo(str(n), str(u), str(desc))
+                    for n, u, desc in d.get("metrics_info", [])
+                ],
+                meta=d.get("meta", {}),
+            )
+        except TraceStoreError:
+            raise
+        except (TypeError, ValueError, TraceError) as error:
+            raise TraceStoreError(
+                f"trace store {store.path.name!r}: corrupt directory: {error}"
+            ) from None
+
+    def signal_bank(self, metric: str) -> tuple[SignalBank, dict[str, int]]:
+        """The engine's bank provider hook — mmap-backed, from the store."""
+        return self.store.signal_bank(metric)
+
+    def metric_names(self) -> list[str]:
+        """Stored metric names (directory lookup, no signal access)."""
+        return self.store.metric_names()
+
+    def span(self) -> tuple[float, float]:
+        """The stored time span — no column data is touched."""
+        if self.store.span_hint is not None:
+            return self.store.span_hint
+        return super().span()

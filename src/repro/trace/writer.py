@@ -42,6 +42,21 @@ def _check_token(token: str, what: str) -> str:
     return token
 
 
+def _check_tail(text: str, what: str) -> str:
+    """Validate a free-text tail field (may hold spaces, never newlines)."""
+    if "\n" in text or "\r" in text:
+        raise TraceError(f"{what} {text!r} must not contain line breaks")
+    return text
+
+
+def _check_value(token: str, what: str) -> str:
+    """Validate a ``key=value`` payload value: empty is fine (it parses
+    back to ``""``), embedded whitespace would shear the record apart."""
+    if any(c.isspace() for c in token):
+        raise TraceError(f"{what} {token!r} must not contain whitespace")
+    return token
+
+
 def write_trace(trace: Trace, destination: str | Path | IO[str]) -> None:
     """Serialize *trace* to a path or an open text stream."""
     if isinstance(destination, (str, Path)):
@@ -61,11 +76,13 @@ def dumps(trace: Trace) -> str:
 def _write(trace: Trace, out: IO[str]) -> None:
     out.write(FORMAT_HEADER + "\n")
     for key, value in sorted(trace.meta.items()):
-        out.write(f"META {_check_token(key, 'meta key')} {value}\n")
+        text = _check_tail(str(value), f"meta value of {key!r}")
+        out.write(f"META {_check_token(key, 'meta key')} {text}\n")
     for info in trace.metrics_info:
         name = _check_token(info.name, "metric name")
         unit = info.unit if info.unit else "-"
-        out.write(f"METRIC {name} {_check_token(unit, 'unit')} {info.description}\n")
+        description = _check_tail(info.description, f"description of {name!r}")
+        out.write(f"METRIC {name} {_check_token(unit, 'unit')} {description}\n")
     for entity in trace:
         name = _check_token(entity.name, "entity name")
         kind = _check_token(entity.kind, "entity kind")
@@ -89,14 +106,19 @@ def _write(trace: Trace, out: IO[str]) -> None:
                     f"VAR {entity.name} {metric_tok} {time!r} {value!r}\n"
                 )
     for edge in trace.edges:
-        via = edge.via if edge.via else "-"
-        out.write(f"EDGE {edge.a} {edge.b} {via} {edge.source}\n")
+        via = _check_token(edge.via, "edge via") if edge.via else "-"
+        source = _check_token(edge.source, "edge source")
+        out.write(f"EDGE {edge.a} {edge.b} {via} {source}\n")
     for event in trace.events:
+        kind = _check_token(event.kind, "event kind")
         source = _check_token(event.source, "event source")
-        target = event.target if event.target else "-"
+        target = (
+            _check_token(event.target, "event target") if event.target else "-"
+        )
         fields = " ".join(
-            f"{_check_token(str(k), 'payload key')}={v}"
+            f"{_check_token(str(k), 'payload key')}="
+            f"{_check_value(str(v), f'payload value of {k!r}')}"
             for k, v in sorted(event.payload.items())
         )
-        line = f"POINT {event.time!r} {event.kind} {source} {target}"
+        line = f"POINT {event.time!r} {kind} {source} {target}"
         out.write(line + (f" {fields}" if fields else "") + "\n")

@@ -335,3 +335,62 @@ class TestCausal:
     def test_invalid_workers_is_an_error(self, capsys):
         assert main(["causal", "master-worker", "--workers", "0"]) == 2
         assert "workers" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_convert_then_info_round_trip(self, trace_file, tmp_path, capsys):
+        """convert writes an .rtrace that every reading command accepts."""
+        out = tmp_path / "t.rtrace"
+        assert main(["convert", str(trace_file), str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "wrote" in stdout and "entities" in stdout
+        assert out.stat().st_size > 0
+        # The store is sniffed by magic: info works without any flag.
+        assert main(["info", str(out)]) == 0
+        assert "entities : 3" in capsys.readouterr().out
+
+    def test_convert_render_from_store(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "t.rtrace"
+        assert main(["convert", str(trace_file), str(out)]) == 0
+        capsys.readouterr()
+        assert main(["render", str(out), "--steps", "5"]) == 0
+        assert "HostA [host]" in capsys.readouterr().out
+
+    def test_convert_paje_input(self, tmp_path, capsys):
+        from repro.trace.paje import write_paje
+        from repro.trace.store import open_store
+
+        src = tmp_path / "t.paje"
+        write_paje(figure1_trace(), src)
+        out = tmp_path / "t.rtrace"
+        assert main(["convert", str(src), str(out)]) == 0
+        assert sorted(open_store(out).entity_names()) == sorted(
+            e.name for e in figure1_trace()
+        ) + ["root"]
+
+    def test_convert_explicit_input_format(self, trace_file, tmp_path):
+        out = tmp_path / "t.rtrace"
+        assert main(
+            ["convert", str(trace_file), str(out), "--input-format", "repro"]
+        ) == 0
+        assert out.stat().st_size > 0
+
+    def test_convert_missing_input_is_an_error(self, tmp_path, capsys):
+        code = main(
+            ["convert", str(tmp_path / "no.trace"), str(tmp_path / "o.rtrace")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_converted_values_match_text_parse(self, grid_file, tmp_path):
+        from repro.trace import read_trace
+        from repro.trace.store import open_store
+
+        out = tmp_path / "grid.rtrace"
+        assert main(["convert", str(grid_file), str(out)]) == 0
+        original = read_trace(grid_file)
+        mirror = open_store(out).open_trace()
+        for entity in original:
+            twin = mirror.entity(entity.name)
+            for metric, signal in entity.metrics.items():
+                assert twin.metrics[metric] == signal

@@ -145,3 +145,138 @@ class TestEdgeCases:
         assert ("a", "b") in {e.key() for e in kept}
         dropped = edges_from_messages(trace, min_bytes=150.0 + 1e-9)
         assert ("a", "b") not in {e.key() for e in dropped}
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties of the communication-pattern derivation
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+HOSTS = ("h0", "h1", "h2", "h3", "h4")
+TARGETS = HOSTS + ("ghost", "")
+
+
+@st.composite
+def message_logs(draw):
+    """Timestamped messages with unknown endpoints, self-sends and
+    empty targets mixed in; integer sizes keep float sums exact."""
+    n = draw(st.integers(min_value=0, max_value=30))
+    log, t = [], 0.0
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.0, max_value=2.0))
+        log.append(
+            (
+                t,
+                draw(st.sampled_from(HOSTS)),
+                draw(st.sampled_from(TARGETS)),
+                draw(st.integers(min_value=0, max_value=10**6)),
+            )
+        )
+    return log
+
+
+def build_message_trace(log, edges=()):
+    b = TraceBuilder()
+    for name in HOSTS:
+        b.declare_entity(name, "host", ("g", name))
+        b.set_constant(name, CAPACITY, 1.0)
+    for time, src, dst, size in log:
+        b.point(time, "message", src, dst, size=size)
+    for a, bb in edges:
+        b.connect(a, bb, source="topology")
+    b.set_meta("end_time", (log[-1][0] if log else 0.0) + 1.0)
+    return b.build()
+
+
+PROPS = settings(max_examples=60, deadline=None)
+
+
+class TestMatrixProperties:
+    @given(message_logs())
+    @PROPS
+    def test_volume_is_conserved(self, log):
+        """Every counted byte came from exactly one message: the matrix
+        total equals the sum over non-self, targeted messages."""
+        matrix = communication_matrix(build_message_trace(log))
+        want = sum(
+            size for _, src, dst, size in log if dst and dst != src
+        )
+        assert sum(matrix.values()) == float(want)
+
+    @given(message_logs())
+    @PROPS
+    def test_direction_collapse_symmetry(self, log):
+        """Reversing every message leaves the undirected matrix fixed."""
+        log = [entry for entry in log if entry[2]]  # reversible only
+        flipped = [(t, dst, src, size) for t, src, dst, size in log]
+        a = communication_matrix(build_message_trace(log))
+        b = communication_matrix(build_message_trace(flipped))
+        assert a == b
+
+    @given(message_logs())
+    @PROPS
+    def test_pairs_are_canonical(self, log):
+        for a, b in communication_matrix(build_message_trace(log)):
+            assert a < b  # sorted and never a self-pair
+
+
+class TestEdgeProperties:
+    @given(
+        message_logs(),
+        st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+    )
+    @PROPS
+    def test_threshold_is_monotone(self, log, x, y):
+        """Raising min_bytes can only shrink the edge set."""
+        trace = build_message_trace(log)
+        lo, hi = min(x, y), max(x, y)
+        loose = {e.key() for e in edges_from_messages(trace, min_bytes=lo)}
+        tight = {e.key() for e in edges_from_messages(trace, min_bytes=hi)}
+        assert tight <= loose
+
+    @given(message_logs(), st.integers(min_value=0, max_value=8))
+    @PROPS
+    def test_top_keeps_the_heaviest(self, log, k):
+        trace = build_message_trace(log)
+        matrix = communication_matrix(trace)
+        kept = edges_from_messages(trace, top=k)
+        everything = edges_from_messages(trace)
+        assert len(kept) == min(k, len(everything))
+        if kept and len(kept) < len(everything):
+            kept_volumes = [matrix[e.key()] for e in kept]
+            dropped = {e.key() for e in everything} - {e.key() for e in kept}
+            assert min(kept_volumes) >= max(matrix[key] for key in dropped)
+
+    @given(message_logs())
+    @PROPS
+    def test_edges_are_entities_with_communication_source(self, log):
+        trace = build_message_trace(log)
+        for edge in edges_from_messages(trace):
+            assert edge.a in trace and edge.b in trace
+            assert edge.source == "communication"
+            assert "ghost" not in edge.endpoints()
+
+
+class TestMergeProperties:
+    @given(message_logs())
+    @PROPS
+    def test_replace_equals_derivation(self, log):
+        trace = build_message_trace(log, edges=[("h0", "h1")])
+        replaced = with_communication_edges(trace, replace=True)
+        assert [e.key() for e in replaced.edges] == [
+            e.key() for e in edges_from_messages(trace)
+        ]
+
+    @given(message_logs())
+    @PROPS
+    def test_merge_is_a_deduplicated_superset(self, log):
+        trace = build_message_trace(log, edges=[("h0", "h1")])
+        merged = with_communication_edges(trace)
+        keys = [e.key() for e in merged.edges]
+        assert len(keys) == len(set(keys))  # no duplicate pairs
+        assert merged.edges[: len(trace.edges)] == trace.edges
+        derived = {e.key() for e in edges_from_messages(trace)}
+        assert derived <= set(keys)
