@@ -32,7 +32,19 @@ Usage (``python -m repro <command> ...``):
 * ``convert <trace> <out.rtrace>`` — convert a text trace to the binary
   columnar store format (:mod:`repro.trace.store`); every other
   subcommand then opens the ``.rtrace`` file through ``numpy.memmap``
-  instead of re-parsing text.
+  instead of re-parsing text;
+* ``serve <trace>`` — the multi-session analysis server
+  (:mod:`repro.server`): load the trace once, serve many concurrent
+  WebSocket sessions (slice scrubs, group/ungroup, SVG tiles) plus the
+  ``/healthz`` / ``/info`` / ``/stats`` / ``/render`` HTTP endpoints;
+  ``--selfcheck`` runs a small in-process concurrent load with the
+  differential byte-comparison instead of serving;
+* ``loadtest <trace>`` — drive a server (in-process by default, or a
+  running one via ``--url``) with N concurrent scrub-storm sessions;
+  prints p50/p95/p99 latency and the shared-cache counters,
+  ``--differential`` byte-compares every concurrent payload against
+  fresh isolated sessions (exit 4 on mismatch), ``--report`` writes
+  the JSON report.
 
 Traces are files in the ``repro`` text format (see
 :mod:`repro.trace.writer`), in the binary columnar store format
@@ -214,6 +226,53 @@ def build_parser() -> argparse.ArgumentParser:
                          default="auto",
                          help="input parser (default: sniff; --paje also "
                          "forces the Paje parser)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the trace to many concurrent analysis sessions",
+    )
+    serve.add_argument("trace", type=Path)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: loopback)")
+    serve.add_argument("--port", type=int, default=8722,
+                       help="TCP port (0 picks a free one; default 8722)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       help="concurrent session ceiling")
+    serve.add_argument("--settle-steps", type=int, default=2,
+                       help="layout relaxation steps per returned view")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="layout determinism seed for every session")
+    serve.add_argument("--cache-entries", type=int, default=4096,
+                       help="shared result-cache capacity")
+    serve.add_argument("--selfcheck", action="store_true",
+                       help="run a small in-process concurrent load with "
+                       "the differential check, print the report and exit "
+                       "instead of serving")
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="concurrent scrub-storm load test against a server",
+    )
+    loadtest.add_argument("trace", type=Path)
+    loadtest.add_argument("--url", default=None, metavar="http://HOST:PORT",
+                          help="a running server to drive (default: start "
+                          "an in-process one)")
+    loadtest.add_argument("--sessions", type=int, default=8,
+                          help="concurrent WebSocket sessions")
+    loadtest.add_argument("--moves", type=int, default=100,
+                          help="storm length per session")
+    loadtest.add_argument("--seed", type=int, default=7,
+                          help="storm determinism seed")
+    loadtest.add_argument("--settle-steps", type=int, default=2,
+                          help="layout steps per view (must match the "
+                          "server's when --url is used)")
+    loadtest.add_argument("--differential", action="store_true",
+                          help="byte-compare every concurrent payload "
+                          "against fresh isolated sessions; exit 4 on "
+                          "any mismatch")
+    loadtest.add_argument("--report", type=Path, default=None,
+                          metavar="OUT.json",
+                          help="write the full JSON report here")
     return parser
 
 
@@ -479,6 +538,78 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.server import ReproServer, ServerConfig, format_report, run_load
+
+    trace = _read(args)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        settle_steps=args.settle_steps,
+        seed=args.seed,
+        cache_entries=args.cache_entries,
+    )
+    if args.selfcheck:
+        report = run_load(
+            trace=trace,
+            sessions=4,
+            moves=12,
+            settle_steps=args.settle_steps,
+            layout_seed=args.seed,
+            differential=True,
+            cache_entries=args.cache_entries,
+        )
+        print(format_report(report))
+        ok = report["differential"]["ok"]
+        print(f"selfcheck: {'OK' if ok else 'FAILED'}")
+        return 0 if ok else 4
+
+    async def _serve() -> None:
+        server = ReproServer(trace, config)
+        await server.start()
+        print(f"serving {args.trace} on {server.url} "
+              f"(WebSocket at {server.url}/ws; Ctrl-C to stop)")
+        sys.stdout.flush()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    import json
+
+    from repro.server import format_report, run_load
+
+    trace = _read(args)
+    report = run_load(
+        trace=trace,
+        url=args.url,
+        sessions=args.sessions,
+        moves=args.moves,
+        seed=args.seed,
+        settle_steps=args.settle_steps,
+        differential=args.differential,
+    )
+    print(format_report(report))
+    if args.report:
+        args.report.write_text(
+            json.dumps(report, indent=1, sort_keys=True), encoding="utf-8"
+        )
+        print(f"wrote {args.report}")
+    if args.differential and not report["differential"]["ok"]:
+        print("differential check FAILED: concurrent sessions diverged "
+              "from isolated sessions", file=sys.stderr)
+        return 4
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "render": _cmd_render,
@@ -490,6 +621,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "causal": _cmd_causal,
     "convert": _cmd_convert,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
 }
 
 

@@ -5,7 +5,12 @@ dynamic, interactive force-directed graph layout (Sections 3.3/4.2),
 driven through :class:`AnalysisSession`.
 """
 
-from repro.core.aggengine import AggregationEngine, SliceCache, make_aggregator
+from repro.core.aggengine import (
+    AggregationEngine,
+    SharedTraceData,
+    SliceCache,
+    make_aggregator,
+)
 from repro.core.aggregation import (
     AggregatedEdge,
     AggregatedUnit,
@@ -45,6 +50,7 @@ __all__ = [
     "AggregatedEdge",
     "AggregatedUnit",
     "AggregationEngine",
+    "SharedTraceData",
     "ArrayQuadTree",
     "AggregatedView",
     "AnalysisSession",

@@ -26,10 +26,33 @@ function is kept as the differential-testing oracle, selected with
 Every decision is counted in :attr:`AggregationEngine.stats` (mirroring
 ``ForceLayout.stats``), so benchmarks and the differential suite can
 assert that deltas were actually taken.
+
+Since the multi-session analysis server (:mod:`repro.server`) these
+layers are split along a sharing boundary:
+
+* :class:`SharedTraceData` owns everything derived *only from the
+  trace* — the resource hierarchy, the per-metric signal banks and the
+  unit structures keyed on the **canonical grouping token**
+  (:attr:`~repro.core.hierarchy.GroupingState.state_key`) — all
+  immutable once built, so N concurrent sessions read them without
+  copies or locks on the hot path;
+* :class:`AggregationEngine` is the thin **per-session** layer: slice
+  cursors, the private spatial memo and (optionally) a handle on a
+  process-wide result cache shared with other sessions, keyed on
+  ``(slice.as_tuple(), grouping.state_key, metric)`` so sessions
+  scrubbing the same region hit each other's work.
+
+A single-user :class:`~repro.core.session.AnalysisSession` builds a
+private :class:`SharedTraceData` and no result cache — behavior is
+unchanged.  Everything handed across the sharing boundary is genuinely
+immutable: cached mean arrays are marked read-only and the structure
+tuples are frozen, so one session can never observe another session's
+in-flight mutation (``tests/test_session_isolation.py``).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Sequence
 
@@ -41,7 +64,7 @@ from repro.core.aggregation import (
     AggregatedView,
     unit_key,
 )
-from repro.core.hierarchy import GroupingState, Path
+from repro.core.hierarchy import GroupingState, Hierarchy, Path
 from repro.core.timeslice import TimeSlice
 from repro.errors import AggregationError
 from repro.obs.registry import registry
@@ -49,7 +72,12 @@ from repro.obs.spans import span
 from repro.trace.signalbank import SignalBank
 from repro.trace.trace import Trace
 
-__all__ = ["AggregationEngine", "SliceCache", "make_aggregator"]
+__all__ = [
+    "AggregationEngine",
+    "SharedTraceData",
+    "SliceCache",
+    "make_aggregator",
+]
 
 
 class SliceCache:
@@ -114,6 +142,11 @@ class SliceCache:
                 means = bank.integrals_between(
                     start, end, self._idx_start, self._idx_end
                 ) / (end - start)
+            # The cached array is handed to every consumer by reference
+            # (and, through the shared result cache, potentially across
+            # sessions) — freeze it so an accidental in-place write
+            # raises instead of silently corrupting other views.
+            means.setflags(write=False)
             self._slice = key
             self._means = means
             self.stats["temporal_ns"] += time.perf_counter_ns() - began
@@ -123,14 +156,17 @@ class SliceCache:
 class _Structure:
     """The slice-independent half of one view: units and edges.
 
-    Valid for one ``(grouping, revision)`` pair; rebuilding it is the
-    only per-interaction cost of collapsing/expanding groups, and slice
-    scrubbing reuses it untouched.
+    Valid for one canonical grouping token
+    (:attr:`~repro.core.hierarchy.GroupingState.state_key`); rebuilding
+    it is the only per-interaction cost of collapsing/expanding groups,
+    and slice scrubbing reuses it untouched.  Instances are immutable
+    after construction (apart from the idempotent lazy metric-layout
+    memo) and shared freely across concurrent sessions whose collapsed
+    sets coincide.
     """
 
     __slots__ = (
-        "grouping",
-        "revision",
+        "key",
         "unit_order",
         "members",
         "meta",
@@ -141,8 +177,7 @@ class _Structure:
     )
 
     def __init__(self, trace: Trace, grouping: GroupingState) -> None:
-        self.grouping = grouping
-        self.revision = grouping.revision
+        self.key = grouping.state_key
         members: dict[str, list[str]] = {}
         meta: dict[str, tuple[Path | None, str]] = {}
         for entity in trace:
@@ -150,7 +185,7 @@ class _Structure:
             key = unit_key(group, entity.kind, entity.name)
             members.setdefault(key, []).append(entity.name)
             meta[key] = (group, entity.kind)
-        self.unit_order = list(members)
+        self.unit_order = tuple(members)
         self.members = {key: tuple(names) for key, names in members.items()}
         self.meta = meta
         self.labels = {
@@ -174,10 +209,10 @@ class _Structure:
                     continue  # internal to an aggregate
                 pair = (ux, uy) if ux <= uy else (uy, ux)
                 multiplicity[pair] = multiplicity.get(pair, 0) + 1
-        self.edges = [
+        self.edges = tuple(
             AggregatedEdge(a, b, count)
             for (a, b), count in sorted(multiplicity.items())
-        ]
+        )
         self._metric_layouts: dict[
             str, tuple[list[str], np.ndarray, np.ndarray]
         ] = {}
@@ -213,6 +248,149 @@ class _Structure:
         return cached
 
 
+class SharedTraceData:
+    """Process-wide immutable structures derived from one loaded trace.
+
+    The sharing substrate of the multi-session analysis server: the
+    trace is loaded **once** and every concurrent session attaches to
+    the same instance, reusing
+
+    * the resource :class:`~repro.core.hierarchy.Hierarchy`;
+    * one :class:`~repro.trace.signalbank.SignalBank` (plus its
+      entity-to-row map) per metric — for a ``.rtrace`` store these are
+      zero-copy views over the memory-mapped columns;
+    * the unit :class:`_Structure` of every grouping the analysts have
+      visited, keyed on the canonical
+      :attr:`~repro.core.hierarchy.GroupingState.state_key` token (two
+      sessions with the same collapsed groups share one structure);
+    * the hierarchical radial layout seeds per grouping token (the
+      quadtree seeding of Section 3.3).
+
+    Everything stored here is immutable once built, so readers take no
+    lock; the lock only serializes construction.  A plain single-user
+    :class:`~repro.core.session.AnalysisSession` builds a private
+    instance — sharing is strictly opt-in.
+    """
+
+    #: Distinct grouping structures kept before the oldest is dropped;
+    #: a bound on pathological sessions cycling through thousands of
+    #: grouping states (engines keep the structures they actively use
+    #: alive through their own references).
+    MAX_STRUCTURES = 256
+
+    def __init__(
+        self,
+        trace: Trace,
+        space_op: Callable[[Sequence[float]], float] = sum,
+    ) -> None:
+        self.trace = trace
+        self.space_op = space_op
+        self._lock = threading.Lock()
+        self._hierarchy: Hierarchy | None = None
+        self._banks: dict[str, tuple[SignalBank, dict[str, int]]] = {}
+        self._structures: dict[tuple, _Structure] = {}
+        self._seeds: dict[tuple, tuple[frozenset, dict]] = {}
+        #: build/reuse counters, a :class:`repro.obs.StatGroup`
+        #: registered under the ``aggshared`` namespace
+        self.stats: dict[str, int] = registry.group("aggshared", {
+            "bank_builds": 0,
+            "structure_builds": 0,
+            "structure_shared_hits": 0,
+            "structure_evictions": 0,
+            "seed_builds": 0,
+            "seed_shared_hits": 0,
+        })
+
+    @property
+    def hierarchy(self) -> Hierarchy:
+        """The resource hierarchy, built once and shared by sessions."""
+        with self._lock:
+            if self._hierarchy is None:
+                self._hierarchy = Hierarchy.from_trace(self.trace)
+            return self._hierarchy
+
+    def bank(self, metric: str) -> tuple[SignalBank, dict[str, int]]:
+        """The shared ``(SignalBank, row_of)`` pair for *metric*.
+
+        Built on first demand; for a duck-typed bank provider (a
+        ``StoredTrace``) the bank is served straight off the columnar
+        file, so no ``Signal`` objects are ever materialized.
+        """
+        with self._lock:
+            entry = self._banks.get(metric)
+            if entry is None:
+                provider = getattr(self.trace, "signal_bank", None)
+                if provider is not None:
+                    bank, row_of = provider(metric)
+                    entry = (bank, dict(row_of))
+                else:
+                    names = [
+                        e.name for e in self.trace if metric in e.metrics
+                    ]
+                    bank = SignalBank(
+                        [
+                            self.trace.entity(name).metrics[metric]
+                            for name in names
+                        ]
+                    )
+                    entry = (
+                        bank,
+                        {name: row for row, name in enumerate(names)},
+                    )
+                self._banks[metric] = entry
+                self.stats["bank_builds"] += 1
+            return entry
+
+    def structure(self, grouping: GroupingState) -> _Structure:
+        """The shared unit structure for *grouping*'s collapsed set.
+
+        Keyed on the canonical ``state_key`` token, so any session
+        whose collapsed groups coincide gets the same (immutable)
+        object back — counted in ``structure_shared_hits``.
+        """
+        key = grouping.state_key
+        with self._lock:
+            structure = self._structures.get(key)
+        if structure is not None:
+            self.stats["structure_shared_hits"] += 1
+            return structure
+        built = _Structure(self.trace, grouping)
+        with self._lock:
+            structure = self._structures.setdefault(key, built)
+            while len(self._structures) > self.MAX_STRUCTURES:
+                self._structures.pop(next(iter(self._structures)))
+                self.stats["structure_evictions"] += 1
+        self.stats["structure_builds"] += 1
+        return structure
+
+    def radial_seeds(
+        self, grouping_key: tuple, graph, spring_length: float
+    ) -> dict[str, tuple[float, float]]:
+        """Shared hierarchical seed positions for one grouping's graph.
+
+        Memoized per ``(grouping token, spring length)``; the stored
+        node-key set is checked so a different visual mapping (a
+        different node subset) recomputes instead of serving stale
+        seeds.  Returns a fresh dict — callers own their copy.
+        """
+        from repro.core.layout.seeding import radial_seeds
+
+        node_keys = frozenset(node.key for node in graph)
+        memo_key = (grouping_key, float(spring_length))
+        with self._lock:
+            entry = self._seeds.get(memo_key)
+        if entry is not None and entry[0] == node_keys:
+            self.stats["seed_shared_hits"] += 1
+            return dict(entry[1])
+        seeds = radial_seeds(
+            self.hierarchy, graph, spring_length=spring_length
+        )
+        with self._lock:
+            self._seeds[memo_key] = (node_keys, seeds)
+        self.stats["seed_builds"] += 1
+        return dict(seeds)
+
+
 class AggregationEngine:
     """Cached, vectorized production of :class:`AggregatedView`\\ s.
 
@@ -231,6 +409,25 @@ class AggregationEngine:
       changed are recombined;
     * a different grouping *object* or trace mutation → build a fresh
       engine (signals are immutable, so banks never go stale).
+
+    Parameters
+    ----------
+    shared:
+        A :class:`SharedTraceData` to attach to (the multi-session
+        path); ``None`` builds a private one, which is the single-user
+        behavior this class always had.
+    result_cache:
+        An optional process-wide result cache shared with other
+        engines (duck-typed ``get(key, requester=...)`` /
+        ``put(key, value, owner=...)``, e.g.
+        :class:`repro.server.cache.SharedResultCache`).  Keys are
+        ``(slice.as_tuple(), grouping.state_key, metric)``; values are
+        the combined per-unit value dicts, treated as immutable by
+        every engine.
+    cache_owner:
+        Identity reported to the result cache so cross-session hits
+        (one session consuming work another session paid for) are
+        attributable; defaults to a per-engine token.
     """
 
     def __init__(
@@ -238,13 +435,34 @@ class AggregationEngine:
         trace: Trace,
         space_op: Callable[[Sequence[float]], float] = sum,
         advance_cap: int = 64,
+        shared: SharedTraceData | None = None,
+        result_cache=None,
+        cache_owner: str | None = None,
     ) -> None:
-        self.trace = trace
-        self.space_op = space_op
+        if shared is None:
+            shared = SharedTraceData(trace, space_op=space_op)
+        else:
+            if shared.trace is not trace:
+                raise AggregationError(
+                    "shared trace data was built for a different trace"
+                )
+            if space_op is not sum and space_op is not shared.space_op:
+                raise AggregationError(
+                    "space_op differs from the shared trace data's; "
+                    "sharing results across different combination "
+                    "operators would serve wrong values"
+                )
+        self.shared = shared
+        self.trace = shared.trace
+        self.space_op = shared.space_op
         self.advance_cap = advance_cap
-        self._banks: dict[str, tuple[SignalBank, dict[str, int]]] = {}
+        self.result_cache = result_cache
+        self.cache_owner = (
+            cache_owner if cache_owner is not None else f"engine-{id(self):x}"
+        )
         self._slice_caches: dict[str, SliceCache] = {}
-        self._structure: _Structure | None = None
+        self._row_maps: dict[str, dict[str, int]] = {}
+        self._structure: tuple[GroupingState, int, _Structure] | None = None
         #: per-metric spatial memo: {"slice", "struct", "values"}
         self._combined: dict[str, dict] = {}
         #: decision and timing counters, mirroring ``ForceLayout.stats``;
@@ -263,6 +481,8 @@ class AggregationEngine:
             "combine_partial": 0,
             "units_reused": 0,
             "units_recombined": 0,
+            "shared_hits": 0,
+            "shared_puts": 0,
             "temporal_ns": 0,
             "combine_ns": 0,
             "view_ns": 0,
@@ -272,38 +492,26 @@ class AggregationEngine:
     # Cache layers
     # ------------------------------------------------------------------
     def _bank(self, metric: str) -> tuple[SignalBank, dict[str, int]]:
-        entry = self._banks.get(metric)
-        if entry is None:
-            provider = getattr(self.trace, "signal_bank", None)
-            if provider is not None:
-                # Duck-typed bank provider: a StoredTrace serves
-                # mmap-backed banks straight off the columnar file, so
-                # no Signal objects are ever materialized on this path.
-                bank, row_of = provider(metric)
-                entry = (bank, dict(row_of))
-            else:
-                names = [e.name for e in self.trace if metric in e.metrics]
-                bank = SignalBank(
-                    [self.trace.entity(name).metrics[metric] for name in names]
-                )
-                entry = (bank, {name: row for row, name in enumerate(names)})
-            self._banks[metric] = entry
-            self._slice_caches[metric] = SliceCache(
+        cache = self._slice_caches.get(metric)
+        if cache is None:
+            bank, row_of = self.shared.bank(metric)
+            self._slice_caches[metric] = cache = SliceCache(
                 bank, self.stats, self.advance_cap
             )
-        return entry
+            self._row_maps[metric] = row_of
+        return cache.bank, self._row_maps[metric]
 
     def _structure_for(self, grouping: GroupingState) -> _Structure:
-        structure = self._structure
+        memo = self._structure
         if (
-            structure is not None
-            and structure.grouping is grouping
-            and structure.revision == grouping.revision
+            memo is not None
+            and memo[0] is grouping
+            and memo[1] == grouping.revision
         ):
             self.stats["struct_hits"] += 1
-            return structure
-        structure = _Structure(self.trace, grouping)
-        self._structure = structure
+            return memo[2]
+        structure = self.shared.structure(grouping)
+        self._structure = (grouping, grouping.revision, structure)
         self.stats["struct_rebuilds"] += 1
         return structure
 
@@ -326,6 +534,21 @@ class AggregationEngine:
         ):
             self.stats["combine_hits"] += 1
             return memo["values"]
+        cache = self.result_cache
+        cache_key = (slice_key, structure.key, metric)
+        if cache is not None:
+            shared_values = cache.get(cache_key, requester=self.cache_owner)
+            if shared_values is not None:
+                # Another session already combined this exact
+                # (slice, grouping, metric) triple — adopt its result
+                # wholesale (values are immutable by contract).
+                self.stats["shared_hits"] += 1
+                self._combined[metric] = {
+                    "slice": slice_key,
+                    "struct": structure,
+                    "values": shared_values,
+                }
+                return shared_values
         means = self._slice_caches[metric].means(tslice)
         with span("agg.spatial"):
             keys, rows, offsets = structure.metric_layout(metric, row_of)
@@ -369,6 +592,9 @@ class AggregationEngine:
             "struct": structure,
             "values": values,
         }
+        if cache is not None:
+            cache.put(cache_key, values, owner=self.cache_owner)
+            self.stats["shared_puts"] += 1
         return values
 
     # ------------------------------------------------------------------
@@ -423,15 +649,26 @@ def make_aggregator(
     engine: str,
     trace: Trace,
     space_op: Callable[[Sequence[float]], float] = sum,
+    shared: SharedTraceData | None = None,
+    result_cache=None,
+    cache_owner: str | None = None,
 ) -> AggregationEngine | None:
     """``AggregationEngine`` for ``"fast"``, ``None`` for ``"scalar"``.
 
     The scalar oracle path is the plain
     :func:`~repro.core.aggregation.aggregate_view` call sites already
     use; sessions switch with ``AnalysisSession(engine="scalar")``.
+    *shared*/*result_cache*/*cache_owner* forward to
+    :class:`AggregationEngine` for the multi-session server path.
     """
     if engine == "fast":
-        return AggregationEngine(trace, space_op=space_op)
+        return AggregationEngine(
+            trace,
+            space_op=space_op,
+            shared=shared,
+            result_cache=result_cache,
+            cache_owner=cache_owner,
+        )
     if engine == "scalar":
         return None
     raise AggregationError(

@@ -138,6 +138,8 @@ class GroupingState:
         self.hierarchy = hierarchy
         self._collapsed: set[Path] = set()
         self._revision = 0
+        self._state_key: tuple[Path, ...] = ()
+        self._state_key_revision = 0
 
     @property
     def collapsed(self) -> frozenset[Path]:
@@ -155,6 +157,24 @@ class GroupingState:
         one) do not bump it.
         """
         return self._revision
+
+    @property
+    def state_key(self) -> tuple[Path, ...]:
+        """Canonical, hashable token of the collapsed set.
+
+        Two :class:`GroupingState` objects — in two different analysis
+        sessions — with the same collapsed groups produce the *same*
+        token, which is what lets the multi-session result cache share
+        aggregation work across sessions: cache keys built from
+        ``state_key`` (instead of the per-object :attr:`revision`)
+        collide exactly when the views are interchangeable.  The token
+        is recomputed at most once per revision bump, so reading it on
+        every view is O(1) between grouping changes.
+        """
+        if self._state_key_revision != self._revision:
+            self._state_key = tuple(sorted(self._collapsed))
+            self._state_key_revision = self._revision
+        return self._state_key
 
     def collapse(self, path: Path | Iterable[str]) -> None:
         """Aggregate everything under *path* into one unit per kind."""

@@ -22,7 +22,11 @@ import json
 import pathlib
 from typing import Callable, Iterable, Iterator, Sequence
 
-from repro.core.aggengine import AggregationEngine, make_aggregator
+from repro.core.aggengine import (
+    AggregationEngine,
+    SharedTraceData,
+    make_aggregator,
+)
 from repro.core.aggregation import aggregate_view
 from repro.core.hierarchy import GroupingState, Hierarchy, Path
 from repro.core.layout.engine import DynamicLayout
@@ -64,6 +68,20 @@ class AnalysisSession:
         :func:`~repro.core.aggregation.aggregate_view`, kept as the
         differential-testing oracle — exactly like the layout's
         ``kernel="scalar"``).
+    shared:
+        A :class:`~repro.core.aggengine.SharedTraceData` holding the
+        trace's immutable structures (hierarchy, signal banks, unit
+        structures, layout seeds).  The multi-session analysis server
+        (:mod:`repro.server`) passes one instance to every session so
+        the trace is loaded once; ``None`` (the default) builds a
+        private one — single-user behavior is unchanged.
+    result_cache:
+        Optional process-wide aggregation result cache shared across
+        sessions (see :class:`repro.server.cache.SharedResultCache`);
+        only meaningful with ``engine="fast"``.
+    session_id:
+        Identity reported to *result_cache* so cross-session cache
+        hits are attributable per session.
     """
 
     def __init__(
@@ -76,16 +94,33 @@ class AnalysisSession:
         seed: int = 0,
         max_pixel: float = 60.0,
         engine: str = "fast",
+        shared: SharedTraceData | None = None,
+        result_cache=None,
+        session_id: str | None = None,
     ) -> None:
+        if shared is not None and shared.trace is not trace:
+            raise AggregationError(
+                "shared trace data was built for a different trace"
+            )
         self.trace = trace
-        self.hierarchy = Hierarchy.from_trace(trace)
+        self._shared = shared
+        self.session_id = session_id
+        self.hierarchy = (
+            shared.hierarchy if shared is not None
+            else Hierarchy.from_trace(trace)
+        )
         self.grouping = GroupingState(self.hierarchy)
         self.mapping = mapping if mapping is not None else VisualMapping.paper_default()
         self.scales = ScaleSet(max_pixel=max_pixel)
-        self.space_op = space_op
+        self.space_op = shared.space_op if shared is not None else space_op
         self.engine = engine
         self._aggregator: AggregationEngine | None = make_aggregator(
-            engine, trace, space_op=space_op
+            engine,
+            trace,
+            space_op=space_op,
+            shared=shared,
+            result_cache=result_cache,
+            cache_owner=session_id,
         )
         self.dynamic = DynamicLayout(layout_algorithm, layout_params, seed)
         start, end = trace.span()
@@ -274,14 +309,19 @@ class AnalysisSession:
         if not aggregated.units:
             raise AggregationError("the trace has no entities to display")
         graph = build_visgraph(aggregated, self.mapping, self.scales)
-        self.dynamic.sync(
-            graph,
-            seed_positions=radial_seeds(
+        if self._shared is not None:
+            seeds = self._shared.radial_seeds(
+                self.grouping.state_key,
+                graph,
+                self.dynamic.params.spring_length,
+            )
+        else:
+            seeds = radial_seeds(
                 self.hierarchy,
                 graph,
                 spring_length=self.dynamic.params.spring_length,
-            ),
-        )
+            )
+        self.dynamic.sync(graph, seed_positions=seeds)
         if settle:
             self.dynamic.settle(max_steps=settle_steps)
         return TopologyView(

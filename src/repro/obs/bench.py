@@ -16,8 +16,10 @@ could diff run *N* against run *N-1*.  This module fixes the substrate:
   build+traverse at several *n*), ``aggregation`` (slice-scrub, the
   paper's interactive loop), ``signals`` (batch signal ops),
   ``render`` (SVG generation), ``sim`` (discrete-event engine),
-  ``store`` (columnar trace-store convert / cold-open / mmap scrub) —
-  each serialized as one schema-versioned ``BENCH_<suite>.json``;
+  ``store`` (columnar trace-store convert / cold-open / mmap scrub),
+  ``server`` (multi-session scrub-storm round trips, solo vs 8-way
+  concurrent, with p50/p95/p99 percentiles) — each serialized as one
+  schema-versioned ``BENCH_<suite>.json``;
 * :func:`compare_results` — the noise-aware regression gate: a case
   fails only when its median exceeds the baseline median by more than
   ``max(rel_tol * baseline, iqr_k * IQR)``, so real slowdowns trip CI
@@ -198,19 +200,33 @@ class BenchCase:
     callable that :func:`measure` times; ``params`` documents the
     workload shape in the result payload so baselines are only ever
     compared like-for-like.
+
+    Cases whose samples are not repeated calls of one closure — e.g.
+    the ``server`` suite, where each sample is one request round trip
+    inside a concurrent storm — pass ``runner`` instead: a callable
+    taking the quick flag and returning a complete stats dict (at
+    least the :func:`robust_stats` keys plus ``repeats`` /
+    ``inner_loops`` / ``warmup`` / ``samples_s``, so the comparison
+    gate and formatters treat both kinds identically).
     """
 
-    __slots__ = ("name", "make", "params")
+    __slots__ = ("name", "make", "params", "runner")
 
     def __init__(
         self,
         name: str,
-        make: Callable[[], Callable[[], object]],
+        make: Callable[[], Callable[[], object]] | None = None,
         params: Mapping | None = None,
+        runner: Callable[[bool], dict] | None = None,
     ) -> None:
+        if (make is None) == (runner is None):
+            raise ValueError(
+                f"case {name!r} needs exactly one of make or runner"
+            )
         self.name = name
         self.make = make
         self.params = dict(params or {})
+        self.runner = runner
 
 
 # ----------------------------------------------------------------------
@@ -576,6 +592,78 @@ def _store_suite(quick: bool) -> list[BenchCase]:
     ]
 
 
+@_suite("server")
+def _server_suite(quick: bool) -> list[BenchCase]:
+    """Multi-session server round trips: solo vs 8-way concurrency.
+
+    Each case replays the same deterministic scrub storm through the
+    full stack — WebSocket framing, canonical-JSON payloads, shared
+    aggregation cache — and every *sample* is one request round trip,
+    so the stats come straight from :func:`robust_stats` over the
+    pooled latencies plus the p50/p95/p99 percentiles the acceptance
+    gate reads.  ``scrub_c8`` runs eight concurrent closed-loop
+    sessions; the ROADMAP target is its p95 staying within 3x the
+    ``scrub_solo`` p95 (asserted by ``benchmarks/test_server_load.py``).
+    """
+    from repro.server.load import percentile, run_load
+    from repro.trace.synthetic import random_hierarchical_trace
+
+    if quick:
+        trace = random_hierarchical_trace(
+            n_sites=12, clusters_per_site=6, hosts_per_cluster=24, seed=13
+        )
+        moves = 16
+    else:
+        trace = _aggregation_trace(False)
+        moves = 48
+    # settle_steps=0: a scrub does not change the graph structure, so
+    # the scrub-latency benchmark pins the layout at its radial seeds —
+    # the measured work is aggregation + payload + transport, which is
+    # what concurrency contends on (the differential tests exercise the
+    # settling path separately).
+    shape = {"entities": len(trace), "moves": moves, "settle_steps": 0}
+
+    def storm_runner(sessions: int):
+        def run(quick_flag: bool) -> dict:
+            """One full load run; samples are request round trips."""
+            report = run_load(
+                trace=trace,
+                sessions=sessions,
+                moves=moves,
+                settle_steps=0,
+                keep_samples=True,
+            )
+            samples = report["latency"]["samples_s"]
+            stats = robust_stats(samples)
+            stats.update(
+                repeats=len(samples),
+                inner_loops=1,
+                warmup=0,
+                samples_s=samples,
+                p50_s=percentile(samples, 50),
+                p95_s=percentile(samples, 95),
+                p99_s=percentile(samples, 99),
+                throughput_rps=report["throughput_rps"],
+                cache_cross_hits=report["cache"]["cross_hits"],
+            )
+            return stats
+
+        return run
+
+    return [
+        BenchCase(
+            "scrub_solo",
+            runner=storm_runner(1),
+            params={**shape, "sessions": 1},
+        ),
+        BenchCase(
+            "scrub_c8",
+            runner=storm_runner(8),
+            params={**shape, "sessions": 8},
+        ),
+    ]
+
+
 # ----------------------------------------------------------------------
 # Running and serializing
 # ----------------------------------------------------------------------
@@ -593,8 +681,11 @@ def run_suite(name: str, quick: bool | None = None, **measure_kwargs) -> dict:
     quick = quick_mode(quick)
     cases = {}
     for case in _SUITES[name](quick):
-        fn = case.make()
-        stats = measure(fn, quick=quick, **measure_kwargs)
+        if case.runner is not None:
+            stats = case.runner(quick)
+        else:
+            fn = case.make()
+            stats = measure(fn, quick=quick, **measure_kwargs)
         stats["params"] = case.params
         cases[case.name] = stats
     return {

@@ -1,0 +1,60 @@
+"""Multi-session analysis server (ROADMAP item 1).
+
+A long-lived asyncio service that loads a trace **once** into the
+shared immutable structures of
+:class:`~repro.core.aggengine.SharedTraceData` and serves many
+concurrent analysis sessions over HTTP + WebSocket: slice scrubs,
+group/ungroup, layout frames and rendered SVG tiles.  Aggregation work
+is shared across sessions through a process-wide
+:class:`~repro.server.cache.SharedResultCache`, so N analysts scrubbing
+the same region hit each other's work.
+
+Layers (one module each):
+
+* :mod:`repro.server.protocol` — canonical-JSON wire envelopes, typed
+  :class:`~repro.server.protocol.ProtocolError` codes, view payloads;
+* :mod:`repro.server.cache` — the shared LRU result cache with
+  hit/miss/eviction/cross-hit counters in the obs registry;
+* :mod:`repro.server.state` — shared-vs-per-session state split and
+  the op dispatch (:class:`~repro.server.state.SessionState.apply`);
+* :mod:`repro.server.ws` — stdlib RFC 6455 WebSocket codec;
+* :mod:`repro.server.app` — the asyncio HTTP/WS server;
+* :mod:`repro.server.client` — a minimal WebSocket client;
+* :mod:`repro.server.load` — deterministic scrub storms, the
+  concurrent load harness and the differential oracle replay.
+"""
+
+from repro.server.app import ReproServer
+from repro.server.cache import SharedResultCache
+from repro.server.client import WsClient, http_get
+from repro.server.load import (
+    format_report,
+    make_storm,
+    replay_storm_local,
+    run_load,
+)
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    canonical_json,
+    view_payload,
+)
+from repro.server.state import ServerConfig, SessionState, SharedServerState
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReproServer",
+    "ServerConfig",
+    "SessionState",
+    "SharedResultCache",
+    "SharedServerState",
+    "WsClient",
+    "canonical_json",
+    "format_report",
+    "http_get",
+    "make_storm",
+    "replay_storm_local",
+    "run_load",
+    "view_payload",
+]

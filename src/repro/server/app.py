@@ -1,0 +1,330 @@
+"""The asyncio HTTP + WebSocket analysis server.
+
+:class:`ReproServer` binds one TCP socket and speaks a tiny HTTP/1.1
+subset on it:
+
+* ``GET /healthz`` — liveness probe, ``{"ok": true}``;
+* ``GET /info`` — trace vitals (entities, kinds, metrics, span);
+* ``GET /stats`` — server / shared-cache / shared-structure counters;
+* ``GET /render?start=..&end=..[&depth=..]`` — a one-shot SVG tile of
+  the requested slice, rendered by an ephemeral session;
+* ``GET /ws`` with an ``Upgrade: websocket`` header — the interactive
+  session protocol of :mod:`repro.server.protocol`.
+
+Everything runs on one event loop; the per-request work (aggregation,
+layout, render) is synchronous CPU-bound Python, so requests from
+concurrent sessions interleave at message granularity.  That is the
+semantics the cross-session differential test relies on: each request
+is applied atomically to its session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.parse
+
+from repro.core.render.svg import SvgRenderer
+from repro.errors import ReproError
+from repro.server.protocol import (
+    ProtocolError,
+    canonical_json,
+    decode_request,
+    error_envelope,
+)
+from repro.server.state import ServerConfig, SessionState, SharedServerState
+from repro.server.ws import WebSocketConnection, WebSocketError, accept_token
+
+__all__ = ["ReproServer"]
+
+_MAX_HEAD = 64 * 1024
+
+
+class ReproServer:
+    """One trace, many sessions, one asyncio server.
+
+    Parameters
+    ----------
+    trace:
+        The loaded trace (resident or a memory-mapped ``StoredTrace``).
+    config:
+        Host/port/limits; ``None`` uses :class:`ServerConfig` defaults
+        (loopback, ephemeral port).
+    """
+
+    def __init__(self, trace, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.state = SharedServerState(trace, self.config)
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved when config asked for port 0)."""
+        if self._server is None:
+            raise ReproError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        """The server's HTTP base URL."""
+        return f"http://{self.config.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting and close the listening socket."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "ReproServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+                ConnectionError):
+            writer.close()
+            return
+        try:
+            method, target, headers = _parse_head(head)
+        except ValueError:
+            await _respond(writer, 400, {"error": "malformed request"})
+            writer.close()
+            return
+        path = urllib.parse.urlsplit(target).path
+        if (
+            path == "/ws"
+            and headers.get("upgrade", "").lower() == "websocket"
+        ):
+            await self._handle_ws(reader, writer, headers)
+            return
+        try:
+            await self._handle_http(writer, method, target)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_http(self, writer, method: str, target: str) -> None:
+        self.state.stats["http_requests"] += 1
+        parts = urllib.parse.urlsplit(target)
+        query = dict(urllib.parse.parse_qsl(parts.query))
+        if method != "GET":
+            await _respond(writer, 405, {"error": "only GET is supported"})
+            return
+        if parts.path == "/healthz":
+            await _respond(writer, 200, {"ok": True})
+        elif parts.path == "/info":
+            await _respond(writer, 200, self.state.info())
+        elif parts.path == "/stats":
+            await _respond(writer, 200, self.state.stats_payload())
+        elif parts.path == "/render":
+            await self._handle_render(writer, query)
+        else:
+            await _respond(writer, 404, {"error": f"no route {parts.path!r}"})
+
+    async def _handle_render(self, writer, query: dict) -> None:
+        """One-shot SVG tile: an ephemeral session, never registered."""
+        try:
+            msg = {"op": "scrub"}
+            for field in ("start", "end"):
+                if field not in query:
+                    raise ProtocolError(
+                        "bad_request", f"missing query parameter {field!r}"
+                    )
+                try:
+                    msg[field] = float(query[field])
+                except ValueError:
+                    raise ProtocolError(
+                        "bad_slice", f"{field!r} is not a number"
+                    ) from None
+            session = SessionState(
+                "render",
+                _ephemeral_session(self.state),
+                settle_steps=self.config.settle_steps,
+            )
+            if "depth" in query:
+                try:
+                    depth = int(query["depth"])
+                except ValueError:
+                    raise ProtocolError(
+                        "bad_depth", "'depth' is not an integer"
+                    ) from None
+                session.apply({"op": "depth", "depth": depth})
+            session.apply(msg)
+            view = session.session.view(settle_steps=self.config.settle_steps)
+            markup = SvgRenderer().render(view)
+        except ProtocolError as err:
+            await _respond(
+                writer, 400, {"error": {"code": err.code, "message": err.message}}
+            )
+            return
+        except ReproError as err:
+            await _respond(
+                writer, 500,
+                {"error": {"code": "server_error", "message": str(err)}},
+            )
+            return
+        await _respond_raw(writer, 200, "image/svg+xml", markup.encode("utf-8"))
+
+    async def _handle_ws(self, reader, writer, headers: dict) -> None:
+        key = headers.get("sec-websocket-key")
+        if not key:
+            await _respond(writer, 400, {"error": "missing Sec-WebSocket-Key"})
+            writer.close()
+            return
+        try:
+            session = self.state.create_session()
+        except ProtocolError as err:
+            await _respond(
+                writer, 503, {"error": {"code": err.code, "message": err.message}}
+            )
+            writer.close()
+            return
+        writer.write(
+            b"HTTP/1.1 101 Switching Protocols\r\n"
+            b"Upgrade: websocket\r\n"
+            b"Connection: Upgrade\r\n"
+            b"Sec-WebSocket-Accept: " + accept_token(key).encode("ascii")
+            + b"\r\n\r\n"
+        )
+        await writer.drain()
+        ws = WebSocketConnection(reader, writer, is_server=True)
+        try:
+            while True:
+                try:
+                    text = await ws.recv_text()
+                except WebSocketError:
+                    break
+                if text is None:
+                    break
+                reply, done = self._serve_frame(session, text)
+                await ws.send_text(reply)
+                if done:
+                    break
+        finally:
+            self.state.close_session(session.session_id)
+            await ws.close()
+
+    def _serve_frame(
+        self, session: SessionState, text: str
+    ) -> tuple[str, bool]:
+        """One request frame in, one canonical reply frame out.
+
+        Returns ``(reply_text, session_is_done)``.  Never raises for
+        request-level failures — malformed frames become typed error
+        envelopes and the session stays usable.
+        """
+        try:
+            msg = decode_request(text)
+        except ProtocolError as err:
+            self.state.stats["requests"] += 1
+            self.state.stats["errors"] += 1
+            envelope = error_envelope(None, err.code, err.message)
+            return canonical_json(envelope), False
+        envelope = self.state.dispatch(session, msg)
+        done = bool(envelope.get("ok")) and msg.get("op") == "bye"
+        try:
+            reply = canonical_json(envelope)
+        except ValueError as err:
+            # A non-finite float escaped into a payload: report instead
+            # of shipping NaN bytes.
+            reply = canonical_json(
+                error_envelope(
+                    msg.get("id"), "server_error",
+                    f"unserializable payload: {err}",
+                )
+            )
+        return reply, done
+
+
+def _ephemeral_session(state: SharedServerState):
+    """An unregistered shared-data session for one-shot HTTP renders."""
+    from repro.core.session import AnalysisSession
+
+    return AnalysisSession(
+        state.trace,
+        seed=state.config.seed,
+        shared=state.shared,
+        result_cache=state.cache,
+        session_id="render",
+    )
+
+
+def _parse_head(head: bytes) -> tuple[str, str, dict]:
+    """``(method, target, lowercase-header dict)`` of one request head."""
+    if len(head) > _MAX_HEAD:
+        raise ValueError("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method, target, headers
+
+
+async def _respond(writer, status: int, payload: dict) -> None:
+    """Send one JSON HTTP response."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    await _respond_raw(writer, status, "application/json", body)
+
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+async def _respond_raw(
+    writer, status: int, content_type: str, body: bytes
+) -> None:
+    """Send one complete HTTP/1.1 response and flush it."""
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    try:
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass

@@ -1,0 +1,110 @@
+"""A minimal WebSocket / HTTP client for the analysis server.
+
+Used by the load harness, the CLI ``loadtest`` subcommand and every
+server test.  :class:`WsClient` speaks exactly the protocol of
+:mod:`repro.server.protocol`: send one JSON request, await one JSON
+envelope.  :func:`http_get` fetches the plain HTTP endpoints
+(``/healthz``, ``/info``, ``/stats``, ``/render``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import itertools
+import json
+import os
+
+from repro.server.protocol import canonical_json
+from repro.server.ws import WebSocketConnection, WebSocketError, accept_token
+
+__all__ = ["WsClient", "http_get"]
+
+
+class WsClient:
+    """One interactive session over a WebSocket connection.
+
+    Build with :meth:`connect`; drive with :meth:`request`; finish with
+    :meth:`close`.  Not task-safe: one coroutine per client, which is
+    exactly how the load harness uses it (N clients = N coroutines).
+    """
+
+    def __init__(self, ws: WebSocketConnection) -> None:
+        self.ws = ws
+        self._ids = itertools.count(1)
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, path: str = "/ws"
+    ) -> "WsClient":
+        """Open a connection and perform the RFC 6455 upgrade."""
+        reader, writer = await asyncio.open_connection(host, port)
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        writer.write(
+            (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Upgrade: websocket\r\n"
+                f"Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                f"Sec-WebSocket-Version: 13\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        head = await reader.readuntil(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        if " 101 " not in f"{status_line} ":
+            writer.close()
+            raise WebSocketError(f"upgrade refused: {status_line}")
+        expected = accept_token(key)
+        accept = ""
+        for line in head.decode("latin-1").split("\r\n")[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        if accept != expected:
+            writer.close()
+            raise WebSocketError("bad Sec-WebSocket-Accept token")
+        return cls(WebSocketConnection(reader, writer, is_server=False))
+
+    async def request(self, op: str, **params) -> dict:
+        """Send one request and await its reply envelope (as a dict)."""
+        msg = {"id": next(self._ids), "op": op, **params}
+        return await self.send_raw(canonical_json(msg))
+
+    async def send_raw(self, text: str) -> dict:
+        """Send a raw frame (possibly malformed on purpose) and await
+        the reply envelope — the malformed-request battery's entry
+        point."""
+        await self.ws.send_text(text)
+        reply = await self.ws.recv_text()
+        if reply is None:
+            raise WebSocketError("server closed before replying")
+        return json.loads(reply)
+
+    async def close(self) -> None:
+        """Close the WebSocket and the transport."""
+        await self.ws.close()
+
+
+async def http_get(
+    host: str, port: int, path: str
+) -> tuple[int, bytes]:
+    """``(status, body)`` of one plain HTTP GET against the server."""
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        (
+            f"GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body

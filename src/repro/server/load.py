@@ -1,0 +1,342 @@
+"""Deterministic scrub storms, the load harness and the differential oracle.
+
+The server's headline risk is concurrency correctness, so this module
+provides the three pieces its test net is built from:
+
+* :func:`make_storm` — a deterministic, seeded list of protocol ops (a
+  "scrub storm" with grouping toggles mixed in) that every concurrent
+  session replays identically;
+* :func:`replay_storm_local` — the **differential oracle**: the same
+  storm applied to a fresh, fully isolated
+  :class:`~repro.core.session.AnalysisSession` (no shared structures,
+  no result cache), returning canonical payload bytes per move;
+* :func:`run_load` — N closed-loop concurrent WebSocket clients against
+  an in-process (or remote ``--url``) server, measuring per-request
+  round-trip latency percentiles (p50/p95/p99), optionally
+  byte-comparing every concurrent payload against the oracle, and
+  reporting the shared-cache counters that prove cross-session reuse.
+
+Determinism is load-bearing: the storm is pure ``random.Random(seed)``,
+layouts are seeded, payloads are canonical JSON — so "concurrent equals
+isolated" is a byte equality over the full storm, not a tolerance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+import urllib.parse
+
+from repro.errors import ReproError
+from repro.server.app import ReproServer
+from repro.server.client import WsClient, http_get
+from repro.server.protocol import canonical_json
+from repro.server.state import ServerConfig, SessionState
+
+__all__ = [
+    "default_group_paths",
+    "format_report",
+    "make_storm",
+    "percentile",
+    "replay_storm_local",
+    "run_load",
+    "run_load_async",
+]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The *q*-th percentile of *samples* (linear interpolation)."""
+    if not samples:
+        raise ReproError("no samples to take a percentile of")
+    if not 0.0 <= q <= 100.0:
+        raise ReproError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def default_group_paths(trace, limit: int = 2) -> list[tuple[str, ...]]:
+    """The first *limit* shallow hierarchy groups of *trace* — the
+    storm's group/ungroup toggle targets."""
+    from repro.core.hierarchy import Hierarchy
+
+    return Hierarchy.from_trace(trace).groups()[:limit]
+
+
+def make_storm(
+    span: tuple[float, float],
+    moves: int = 100,
+    seed: int = 7,
+    group_paths: list[tuple[str, ...]] | None = None,
+    start_depth: int = 2,
+    group_every: int = 8,
+) -> list[dict]:
+    """A deterministic list of *moves* protocol requests.
+
+    The first move collapses to *start_depth* (the aggregate-first
+    posture: scrub over aggregates, drill down on demand); the bulk is
+    random slice scrubs inside *span*; every *group_every*-th move is a
+    grouping interaction instead — a group/ungroup toggle on one of
+    *group_paths* or a depth flip — exercising structure rebuilds and
+    cache-key changes mid-storm.  Same ``(span, moves, seed, paths)``
+    always yields the same storm; ``id`` fields are added by the
+    transport, not here.
+    """
+    if moves < 1:
+        raise ReproError(f"storm needs at least 1 move, got {moves}")
+    rng = random.Random(seed)
+    start, end = span
+    width = end - start
+    paths = list(group_paths or [])
+    storm: list[dict] = []
+    if start_depth > 0:
+        storm.append({"op": "depth", "depth": start_depth})
+    toggled: set[tuple[str, ...]] = set()
+    while len(storm) < moves:
+        move_index = len(storm)
+        if group_every > 0 and move_index % group_every == group_every - 1:
+            choice = rng.random()
+            if paths and choice < 0.6:
+                path = paths[rng.randrange(len(paths))]
+                if path in toggled:
+                    toggled.discard(path)
+                    storm.append({"op": "ungroup", "path": list(path)})
+                else:
+                    toggled.add(path)
+                    storm.append({"op": "group", "path": list(path)})
+                continue
+            toggled.clear()
+            storm.append(
+                {"op": "depth", "depth": start_depth if choice < 0.8 else 1}
+            )
+            continue
+        a = start + rng.random() * width
+        b = start + rng.random() * width
+        lo, hi = (a, b) if a <= b else (b, a)
+        storm.append({"op": "scrub", "start": lo, "end": hi})
+    return storm
+
+
+def replay_storm_local(
+    trace, storm: list[dict], seed: int = 0, settle_steps: int = 2
+) -> list[str]:
+    """Canonical payload bytes of *storm* on one isolated session.
+
+    The differential oracle: a fresh single-user
+    :class:`~repro.core.session.AnalysisSession` with the same layout
+    *seed* and *settle_steps* the server gives its sessions, sharing
+    nothing with anyone.  Returns one canonical-JSON string per move.
+    """
+    state = SessionState.local(
+        trace, seed=seed, settle_steps=settle_steps
+    )
+    return [canonical_json(state.apply(dict(move))) for move in storm]
+
+
+async def _client_storm(
+    host: str, port: int, storm: list[dict]
+) -> tuple[list[float], list[str]]:
+    """One closed-loop client: replay *storm*, record round trips.
+
+    Returns ``(latencies_s, canonical payload strings)``; raises on any
+    error envelope (the storm is valid by construction).
+    """
+    client = await WsClient.connect(host, port)
+    latencies: list[float] = []
+    payloads: list[str] = []
+    try:
+        hello = await client.request("hello")
+        if not hello.get("ok"):
+            raise ReproError(f"hello failed: {hello!r}")
+        for move in storm:
+            began = time.perf_counter()
+            reply = await client.request(**move)
+            latencies.append(time.perf_counter() - began)
+            if not reply.get("ok"):
+                raise ReproError(f"storm move {move!r} failed: {reply!r}")
+            payloads.append(canonical_json(reply["result"]))
+        await client.request("bye")
+    finally:
+        await client.close()
+    return latencies, payloads
+
+
+async def run_load_async(
+    trace=None,
+    url: str | None = None,
+    sessions: int = 8,
+    moves: int = 100,
+    seed: int = 7,
+    settle_steps: int = 2,
+    layout_seed: int = 0,
+    differential: bool = False,
+    cache_entries: int = 4096,
+    keep_samples: bool = False,
+) -> dict:
+    """The async body of :func:`run_load` (same parameters)."""
+    own_server: ReproServer | None = None
+    if url is None:
+        if trace is None:
+            raise ReproError("run_load needs a trace or a --url")
+        config = ServerConfig(
+            port=0,
+            settle_steps=settle_steps,
+            seed=layout_seed,
+            max_sessions=max(sessions + 2, 8),
+            cache_entries=cache_entries,
+        )
+        own_server = ReproServer(trace, config)
+        await own_server.start()
+        host, port = config.host, own_server.port
+    else:
+        parts = urllib.parse.urlsplit(url)
+        if parts.hostname is None or parts.port is None:
+            raise ReproError(f"url must be http://host:port, got {url!r}")
+        host, port = parts.hostname, parts.port
+    if differential and trace is None:
+        raise ReproError("the differential check needs the trace locally")
+    try:
+        if trace is not None:
+            span = trace.span()
+            group_paths = default_group_paths(trace)
+        else:
+            import json as _json
+
+            status, body = await http_get(host, port, "/info")
+            if status != 200:
+                raise ReproError(f"/info returned HTTP {status}")
+            span = tuple(_json.loads(body)["span"])
+            group_paths = []
+        storm = make_storm(
+            span, moves=moves, seed=seed, group_paths=group_paths
+        )
+        began = time.perf_counter()
+        results = await asyncio.gather(
+            *(_client_storm(host, port, storm) for _ in range(sessions))
+        )
+        wall_s = time.perf_counter() - began
+        pooled = [lat for latencies, _ in results for lat in latencies]
+        report = {
+            "sessions": sessions,
+            "moves": len(storm),
+            "requests": len(pooled),
+            "wall_s": wall_s,
+            "throughput_rps": len(pooled) / wall_s if wall_s > 0 else 0.0,
+            "latency": {
+                "p50_s": percentile(pooled, 50),
+                "p95_s": percentile(pooled, 95),
+                "p99_s": percentile(pooled, 99),
+                "max_s": max(pooled),
+                "mean_s": sum(pooled) / len(pooled),
+            },
+            "per_session_p95_s": [
+                percentile(latencies, 95) for latencies, _ in results
+            ],
+        }
+        if keep_samples:
+            report["latency"]["samples_s"] = pooled
+        if differential:
+            oracle = replay_storm_local(
+                trace, storm, seed=layout_seed, settle_steps=settle_steps
+            )
+            mismatches = sum(
+                1
+                for _, payloads in results
+                for got, want in zip(payloads, oracle)
+                if got != want
+            )
+            report["differential"] = {
+                "checked": len(storm) * sessions,
+                "mismatches": mismatches,
+                "ok": mismatches == 0,
+            }
+        if own_server is not None:
+            report["cache"] = own_server.state.cache.snapshot()
+            report["server"] = dict(own_server.state.stats)
+        else:
+            import json as _json
+
+            status, body = await http_get(host, port, "/stats")
+            if status == 200:
+                stats = _json.loads(body)
+                report["cache"] = stats.get("cache", {})
+                report["server"] = stats.get("server", {})
+        return report
+    finally:
+        if own_server is not None:
+            await own_server.aclose()
+
+
+def run_load(
+    trace=None,
+    url: str | None = None,
+    sessions: int = 8,
+    moves: int = 100,
+    seed: int = 7,
+    settle_steps: int = 2,
+    layout_seed: int = 0,
+    differential: bool = False,
+    cache_entries: int = 4096,
+    keep_samples: bool = False,
+) -> dict:
+    """Run a concurrent scrub-storm load test; return the report dict.
+
+    With *url* ``None`` an in-process server is started on an ephemeral
+    loopback port (the default for tests and benches); otherwise the
+    harness drives a running ``repro serve`` instance.  *sessions*
+    closed-loop WebSocket clients each replay the same deterministic
+    storm of *moves* requests; the report carries pooled and
+    per-session latency percentiles, throughput, shared-cache counters
+    and (with ``differential=True``, trace required) the byte-exact
+    concurrent-vs-isolated comparison.  ``keep_samples=True`` includes
+    the raw pooled round-trip samples (the bench suite's input).
+    """
+    return asyncio.run(
+        run_load_async(
+            trace=trace,
+            url=url,
+            sessions=sessions,
+            moves=moves,
+            seed=seed,
+            settle_steps=settle_steps,
+            layout_seed=layout_seed,
+            differential=differential,
+            cache_entries=cache_entries,
+            keep_samples=keep_samples,
+        )
+    )
+
+
+def format_report(report: dict) -> str:
+    """The load report as an aligned human-readable text block."""
+    latency = report["latency"]
+    lines = [
+        f"sessions            {report['sessions']}",
+        f"moves/session       {report['moves']}",
+        f"requests            {report['requests']}",
+        f"wall time           {report['wall_s']:.3f} s",
+        f"throughput          {report['throughput_rps']:.1f} req/s",
+        f"latency p50         {latency['p50_s'] * 1e3:.2f} ms",
+        f"latency p95         {latency['p95_s'] * 1e3:.2f} ms",
+        f"latency p99         {latency['p99_s'] * 1e3:.2f} ms",
+        f"latency max         {latency['max_s'] * 1e3:.2f} ms",
+    ]
+    cache = report.get("cache")
+    if cache:
+        lines.append(
+            f"cache hits/lookups  {cache['hits']}/{cache['lookups']}"
+            f" (cross-session {cache['cross_hits']})"
+        )
+    diff = report.get("differential")
+    if diff:
+        verdict = "OK" if diff["ok"] else f"{diff['mismatches']} MISMATCHES"
+        lines.append(
+            f"differential        {verdict} over {diff['checked']} payloads"
+        )
+    return "\n".join(lines)

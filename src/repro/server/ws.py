@@ -1,0 +1,226 @@
+"""Minimal RFC 6455 WebSocket codec over asyncio streams.
+
+The container ships no third-party WebSocket stack, and the server's
+needs are narrow — text frames, ping/pong, clean close — so this module
+implements exactly that subset of RFC 6455 on top of
+:class:`asyncio.StreamReader` / :class:`asyncio.StreamWriter`:
+
+* the opening-handshake key transform (:func:`accept_token`);
+* frame encode/decode with 7/16/64-bit payload lengths and client-side
+  masking (:func:`encode_frame` / :func:`read_frame`), masking applied
+  vectorized through NumPy so large view payloads stay cheap;
+* :class:`WebSocketConnection`, a message-level wrapper that reassembles
+  continuation frames, answers pings transparently and echoes close.
+
+Protocol violations raise :class:`WebSocketError` (a
+:class:`~repro.errors.ReproError`), never garbage frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import os
+import struct
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "GUID",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_CONT",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "WebSocketConnection",
+    "WebSocketError",
+    "accept_token",
+    "encode_frame",
+    "read_frame",
+]
+
+#: The fixed handshake GUID of RFC 6455 §1.3.
+GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Refuse frames above this payload size (a sanity bound, not a spec
+#: limit — the biggest legitimate payload is one full-detail view).
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class WebSocketError(ReproError):
+    """A WebSocket protocol violation or unexpected stream end."""
+
+
+def accept_token(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client *key* (§4.2.2)."""
+    digest = hashlib.sha1((key + GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def _apply_mask(payload: bytes, mask: bytes) -> bytes:
+    """XOR *payload* with the repeating 4-byte *mask* (vectorized)."""
+    if not payload:
+        return payload
+    data = np.frombuffer(payload, dtype=np.uint8)
+    repeats = -(-len(payload) // 4)  # ceil division
+    key = np.frombuffer((mask * repeats)[: len(payload)], dtype=np.uint8)
+    return (data ^ key).tobytes()
+
+
+def encode_frame(
+    opcode: int, payload: bytes, mask: bool, fin: bool = True
+) -> bytes:
+    """One wire frame: header + (masked) payload.
+
+    Clients MUST mask (``mask=True``), servers MUST NOT — the caller
+    picks per its role.
+    """
+    head = bytearray()
+    head.append((0x80 if fin else 0) | (opcode & 0x0F))
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head.extend(struct.pack(">H", length))
+    else:
+        head.append(mask_bit | 127)
+        head.extend(struct.pack(">Q", length))
+    if mask:
+        key = os.urandom(4)
+        head.extend(key)
+        payload = _apply_mask(payload, key)
+    return bytes(head) + payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> tuple[int, bool, bytes]:
+    """Read one frame: ``(opcode, fin, unmasked payload)``.
+
+    Raises :class:`WebSocketError` on truncated streams or oversized
+    frames.
+    """
+    try:
+        head = await reader.readexactly(2)
+    except (asyncio.IncompleteReadError, ConnectionError) as err:
+        raise WebSocketError(f"connection closed mid-frame: {err}") from None
+    fin = bool(head[0] & 0x80)
+    opcode = head[0] & 0x0F
+    masked = bool(head[1] & 0x80)
+    length = head[1] & 0x7F
+    try:
+        if length == 126:
+            (length,) = struct.unpack(">H", await reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack(">Q", await reader.readexactly(8))
+        if length > MAX_FRAME:
+            raise WebSocketError(f"frame of {length} bytes exceeds MAX_FRAME")
+        mask = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except (asyncio.IncompleteReadError, ConnectionError) as err:
+        raise WebSocketError(f"connection closed mid-frame: {err}") from None
+    if masked:
+        payload = _apply_mask(payload, mask)
+    return opcode, fin, payload
+
+
+class WebSocketConnection:
+    """Message-level send/receive over an established WebSocket.
+
+    Parameters
+    ----------
+    reader, writer:
+        The asyncio stream pair, *after* the HTTP upgrade handshake.
+    is_server:
+        Servers send unmasked and require masked input; clients the
+        reverse (RFC 6455 §5.1).
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        is_server: bool,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.is_server = is_server
+        self.closed = False
+
+    async def send_text(self, text: str) -> None:
+        """Send one text message."""
+        await self._send(OP_TEXT, text.encode("utf-8"))
+
+    async def _send(self, opcode: int, payload: bytes) -> None:
+        self.writer.write(
+            encode_frame(opcode, payload, mask=not self.is_server)
+        )
+        await self.writer.drain()
+
+    async def recv_text(self) -> str | None:
+        """The next text message, or ``None`` once the peer closed.
+
+        Pings are answered and pongs swallowed transparently;
+        continuation frames are reassembled.
+        """
+        buffer = b""
+        assembling = False
+        while True:
+            opcode, fin, payload = await read_frame(self.reader)
+            if opcode == OP_PING:
+                await self._send(OP_PONG, payload)
+                continue
+            if opcode == OP_PONG:
+                continue
+            if opcode == OP_CLOSE:
+                if not self.closed:
+                    self.closed = True
+                    try:
+                        await self._send(OP_CLOSE, payload[:2])
+                    except (ConnectionError, WebSocketError):
+                        pass
+                return None
+            if opcode in (OP_TEXT, OP_BINARY):
+                if assembling:
+                    raise WebSocketError("new message inside a fragment")
+                buffer = payload
+                assembling = not fin
+            elif opcode == OP_CONT:
+                if not assembling:
+                    raise WebSocketError("continuation without a start frame")
+                buffer += payload
+                assembling = not fin
+            else:
+                raise WebSocketError(f"unsupported opcode {opcode:#x}")
+            if not assembling:
+                try:
+                    return buffer.decode("utf-8")
+                except UnicodeDecodeError as err:
+                    raise WebSocketError(f"invalid UTF-8 payload: {err}") from None
+
+    async def close(self, code: int = 1000) -> None:
+        """Send a close frame (idempotent) and close the transport."""
+        if not self.closed:
+            self.closed = True
+            try:
+                await self._send(OP_CLOSE, struct.pack(">H", code))
+            except (ConnectionError, WebSocketError):
+                pass
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -95,7 +95,39 @@ class TestRunSuite:
     def test_available_suites_cover_issue_floor(self):
         suites = bench.available_suites()
         assert {"layout", "aggregation", "render"} <= set(suites)
-        assert {"signals", "sim"} <= set(suites)
+        assert {"signals", "sim", "server"} <= set(suites)
+
+    def test_case_requires_exactly_one_of_make_or_runner(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            bench.BenchCase("both", make=lambda: (lambda: None),
+                            runner=lambda quick: {})
+        with pytest.raises(ValueError, match="exactly one"):
+            bench.BenchCase("neither")
+
+    def test_runner_cases_bypass_measure(self, monkeypatch):
+        """A runner case's stats dict lands in the payload verbatim;
+        measure() is never consulted for it."""
+        seen: list[bool] = []
+
+        def fake_runner(quick):
+            seen.append(quick)
+            return {
+                "median_s": 0.25, "iqr_s": 0.01, "mad_s": 0.005,
+                "mean_s": 0.26, "min_s": 0.2, "max_s": 0.3,
+                "repeats": 4, "inner_loops": 1, "warmup": 0,
+                "samples_s": [0.2, 0.25, 0.26, 0.3],
+            }
+
+        def fake_suite(quick):
+            return [bench.BenchCase("rt", runner=fake_runner,
+                                    params={"sessions": 2})]
+
+        monkeypatch.setitem(bench._SUITES, "fake", fake_suite)
+        payload = bench.run_suite("fake", quick=True)
+        assert seen == [True]
+        stats = payload["cases"]["rt"]
+        assert stats["median_s"] == 0.25
+        assert stats["params"] == {"sessions": 2}
 
     def test_quick_payload_shape_is_deterministic(self):
         """Two quick runs: same schema, same case names, same params —

@@ -394,3 +394,77 @@ class TestConvert:
             twin = mirror.entity(entity.name)
             for metric, signal in entity.metrics.items():
                 assert twin.metrics[metric] == signal
+
+
+class TestServe:
+    def test_selfcheck_passes(self, grid_file, capsys):
+        """--selfcheck runs a concurrent load + differential and exits 0."""
+        code = main(
+            ["serve", str(grid_file), "--selfcheck", "--settle-steps", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "differential        OK" in out
+        assert "selfcheck: OK" in out
+
+    def test_selfcheck_from_store(self, grid_file, tmp_path, capsys):
+        """serve sniffs .rtrace input like every other subcommand."""
+        store = tmp_path / "grid.rtrace"
+        assert main(["convert", str(grid_file), str(store)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["serve", str(store), "--selfcheck", "--settle-steps", "1"]
+        ) == 0
+        assert "selfcheck: OK" in capsys.readouterr().out
+
+    def test_missing_trace_is_an_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "no.trace"), "--selfcheck"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "t.trace"])
+        assert args.port == 8722
+        assert args.max_sessions == 64
+        assert not args.selfcheck
+
+
+class TestLoadtest:
+    def test_in_process_load_with_report(self, grid_file, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "load.json"
+        code = main(
+            ["loadtest", str(grid_file), "--sessions", "2", "--moves", "6",
+             "--settle-steps", "1", "--differential",
+             "--report", str(report_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency p95" in out
+        assert "differential        OK" in out
+        report = json.loads(report_path.read_text())
+        assert report["sessions"] == 2
+        assert report["differential"]["ok"] is True
+        assert report["cache"]["cross_hits"] > 0
+        assert report["latency"]["p50_s"] <= report["latency"]["p95_s"]
+
+    def test_differential_failure_exits_4(self, grid_file, monkeypatch, capsys):
+        """A diverging payload must fail loudly, not average out."""
+        import repro.cli as cli_module
+        import repro.server as server_module
+
+        real_run_load = server_module.run_load
+
+        def poisoned_run_load(*args_, **kwargs):
+            report = real_run_load(*args_, **kwargs)
+            report["differential"] = {"checked": 1, "mismatches": 1,
+                                      "ok": False}
+            return report
+
+        monkeypatch.setattr(server_module, "run_load", poisoned_run_load)
+        code = main(
+            ["loadtest", str(grid_file), "--sessions", "1", "--moves", "3",
+             "--settle-steps", "1", "--differential"]
+        )
+        assert code == 4
+        assert "FAILED" in capsys.readouterr().err

@@ -1,0 +1,147 @@
+"""Concurrent sessions are byte-identical to isolated ones (ISSUE 7).
+
+The center-of-gravity differential: N concurrent WebSocket sessions
+each replay the same deterministic 100-move scrub storm (group/ungroup
+toggles included) against one shared server, and every reply payload is
+compared — as canonical JSON **bytes** — against a fresh, fully
+isolated :class:`~repro.core.session.AnalysisSession` replaying the
+same storm.  Sharing (one ``SharedTraceData``, one result cache) must
+be a pure optimization: same bytes, fewer computations.
+
+The cross-session proof rides along: the run must record cache hits
+from sessions other than the one that populated the entry
+(``cross_hits > 0``), or the "shared" cache never actually shared.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.server.app import ReproServer
+from repro.server.client import WsClient
+from repro.server.load import (
+    default_group_paths,
+    make_storm,
+    replay_storm_local,
+    run_load,
+)
+from repro.server.protocol import canonical_json
+from repro.server.state import ServerConfig
+from repro.trace.synthetic import random_hierarchical_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return random_hierarchical_trace(
+        n_sites=3, clusters_per_site=2, hosts_per_cluster=4, seed=29
+    )
+
+
+class TestConcurrentDifferential:
+    def test_eight_sessions_hundred_moves_byte_identical(self, trace):
+        """The acceptance criterion: 8 simultaneous sessions, a
+        100-move storm each, zero byte mismatches, and cross-session
+        cache traffic > 0."""
+        report = run_load(
+            trace=trace,
+            sessions=8,
+            moves=100,
+            seed=7,
+            settle_steps=1,
+            differential=True,
+        )
+        diff = report["differential"]
+        assert diff["checked"] == 8 * 100
+        assert diff["mismatches"] == 0
+        assert diff["ok"] is True
+        # Work crossed session boundaries: hits attributed to sessions
+        # that did not populate the entry.
+        assert report["cache"]["cross_hits"] > 0
+        assert report["cache"]["hits"] + report["cache"]["misses"] == (
+            report["cache"]["lookups"]
+        )
+        assert report["server"]["errors"] == 0
+
+    def test_interleaved_clients_match_oracle(self, trace):
+        """Two clients strictly alternating single moves — the finest
+        interleaving the single-loop server allows — still match the
+        oracle move for move: each request applies atomically to its
+        own session."""
+        storm = make_storm(
+            trace.span(),
+            moves=24,
+            seed=5,
+            group_paths=default_group_paths(trace),
+        )
+        oracle = replay_storm_local(trace, storm, seed=0, settle_steps=1)
+
+        async def alternate() -> list[list[str]]:
+            config = ServerConfig(port=0, settle_steps=1)
+            async with ReproServer(trace, config) as server:
+                clients = [
+                    await WsClient.connect(config.host, server.port)
+                    for _ in range(2)
+                ]
+                payloads: list[list[str]] = [[], []]
+                try:
+                    for client in clients:
+                        await client.request("hello")
+                    for move in storm:
+                        for i, client in enumerate(clients):
+                            reply = await client.request(**move)
+                            assert reply["ok"], reply
+                            payloads[i].append(
+                                canonical_json(reply["result"])
+                            )
+                finally:
+                    for client in clients:
+                        await client.close()
+                return payloads
+
+        for session_payloads in asyncio.run(alternate()):
+            assert session_payloads == oracle
+
+    def test_sessions_agree_with_each_other(self, trace):
+        """All concurrent sessions see the same bytes, not just the
+        oracle: per-session p95 lists confirm every session completed
+        the full storm."""
+        report = run_load(
+            trace=trace, sessions=4, moves=30, settle_steps=1,
+            differential=True,
+        )
+        assert report["differential"]["ok"]
+        assert len(report["per_session_p95_s"]) == 4
+        assert report["requests"] == 4 * 30
+
+
+class TestStormDeterminism:
+    def test_same_seed_same_storm(self, trace):
+        span = trace.span()
+        paths = default_group_paths(trace)
+        a = make_storm(span, moves=50, seed=7, group_paths=paths)
+        b = make_storm(span, moves=50, seed=7, group_paths=paths)
+        assert a == b
+
+    def test_different_seed_different_storm(self, trace):
+        span = trace.span()
+        a = make_storm(span, moves=50, seed=7)
+        b = make_storm(span, moves=50, seed=8)
+        assert a != b
+
+    def test_storm_mixes_scrubs_and_grouping_ops(self, trace):
+        storm = make_storm(
+            trace.span(),
+            moves=100,
+            seed=7,
+            group_paths=default_group_paths(trace),
+        )
+        ops = {move["op"] for move in storm}
+        assert "scrub" in ops
+        assert ops & {"group", "ungroup", "depth"}
+        assert len(storm) == 100
+
+    def test_oracle_replay_is_deterministic(self, trace):
+        storm = make_storm(trace.span(), moves=20, seed=3)
+        first = replay_storm_local(trace, storm, settle_steps=1)
+        second = replay_storm_local(trace, storm, settle_steps=1)
+        assert first == second

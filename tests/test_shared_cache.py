@@ -1,0 +1,222 @@
+"""Property tests of the shared result cache (ISSUE 7 satellite 2).
+
+The :class:`~repro.server.cache.SharedResultCache` is the one mutable
+structure every concurrent session touches, so its contract is pinned
+four ways:
+
+* **key distinctness** — distinct ``(slice, state_key, metric)``
+  triples occupy distinct slots and never shadow each other;
+* **eviction is invisible** — a bounded LRU returns, on every hit,
+  exactly the value an unbounded model dict holds; capacity only turns
+  hits into misses (recomputes), never into wrong answers;
+* **poisoning is unaddressable** — after a grouping-revision bump the
+  new ``state_key`` changes every future key, so a tampered entry under
+  the old key can never be served again (structural invalidation);
+* **accounting balances under interleaving** — ``hits + misses ==
+  lookups`` and ``puts + updates == put calls`` hold even with many
+  threads hammering one instance, because each counter pair moves under
+  the same lock.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggengine import SharedTraceData
+from repro.core.session import AnalysisSession
+from repro.server.cache import SharedResultCache
+from repro.trace.synthetic import random_hierarchical_trace
+
+# ----------------------------------------------------------------------
+# Key strategies: the real key shape, (slice tuple, state_key, metric)
+# ----------------------------------------------------------------------
+_slices = st.tuples(
+    st.floats(0.0, 100.0, allow_nan=False), st.floats(0.0, 100.0, allow_nan=False)
+)
+_paths = st.tuples(st.sampled_from(["a", "b", "c"]), st.sampled_from(["x", "y"]))
+_state_keys = st.frozensets(_paths, max_size=3).map(lambda s: tuple(sorted(s)))
+_metrics = st.sampled_from(["usage", "power", "bandwidth"])
+_keys = st.tuples(_slices, _state_keys, _metrics)
+
+
+class TestKeyDistinctness:
+    @given(st.lists(_keys, min_size=1, max_size=30, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_triples_occupy_distinct_slots(self, keys):
+        cache = SharedResultCache(max_entries=1000)
+        for i, key in enumerate(keys):
+            cache.put(key, {"value": i}, owner=f"s{i}")
+        assert len(cache) == len(keys)
+        for i, key in enumerate(keys):
+            assert cache.get(key, requester="probe") == {"value": i}
+
+    def test_metric_alone_distinguishes(self):
+        cache = SharedResultCache()
+        base = ((0.0, 1.0), ())
+        cache.put((*base, "usage"), "u")
+        cache.put((*base, "power"), "p")
+        assert cache.get((*base, "usage")) == "u"
+        assert cache.get((*base, "power")) == "p"
+
+    def test_state_key_alone_distinguishes(self):
+        cache = SharedResultCache()
+        collapsed = (("root", "site0"),)
+        cache.put(((0.0, 1.0), (), "usage"), "flat")
+        cache.put(((0.0, 1.0), collapsed, "usage"), "grouped")
+        assert cache.get(((0.0, 1.0), (), "usage")) == "flat"
+        assert cache.get(((0.0, 1.0), collapsed, "usage")) == "grouped"
+
+
+# ----------------------------------------------------------------------
+# Eviction: capacity costs recomputes, never correctness
+# ----------------------------------------------------------------------
+_ops = st.lists(
+    st.tuples(st.sampled_from(["put", "get"]), st.integers(0, 11)),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestEvictionNeverChangesResults:
+    @given(ops=_ops, capacity=st.integers(1, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_hits_agree_with_unbounded_model(self, ops, capacity):
+        """Replay one op sequence against a tiny LRU and a plain dict:
+        every value the LRU serves must equal the model's."""
+        cache = SharedResultCache(max_entries=capacity)
+        model: dict = {}
+        for op, key_index in ops:
+            key = ((float(key_index), 1.0), (), "usage")
+            if op == "put":
+                value = {"k": key_index}
+                cache.put(key, value, owner="writer")
+                model.setdefault(key, value)  # first owner wins
+            else:
+                got = cache.get(key, requester="reader")
+                if got is not None:
+                    assert got == model[key]
+        assert len(cache) <= capacity
+        stats = cache.stats
+        assert stats["hits"] + stats["misses"] == stats["lookups"]
+
+    def test_eviction_is_lru_ordered(self):
+        cache = SharedResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b, the least recently used
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats["evictions"] == 1
+
+
+# ----------------------------------------------------------------------
+# First-owner-wins and cross-session attribution
+# ----------------------------------------------------------------------
+class TestOwnership:
+    def test_first_owner_wins_on_racing_puts(self):
+        cache = SharedResultCache()
+        cache.put("k", "first", owner="s1")
+        cache.put("k", "second", owner="s2")  # raced recompute
+        assert cache.get("k", requester="s3") == "first"
+        assert cache.stats["puts"] == 1
+        assert cache.stats["updates"] == 1
+
+    def test_cross_hits_count_only_foreign_requesters(self):
+        cache = SharedResultCache()
+        cache.put("k", "v", owner="s1")
+        cache.get("k", requester="s1")  # own hit
+        assert cache.stats["cross_hits"] == 0
+        cache.get("k", requester="s2")  # foreign hit
+        assert cache.stats["cross_hits"] == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            SharedResultCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# Poisoning: structural invalidation via the grouping revision
+# ----------------------------------------------------------------------
+class TestPoisonedEntries:
+    def test_poisoned_entry_never_served_after_revision_bump(self):
+        """Tamper every cached entry, then change the grouping: the new
+        ``state_key`` re-keys every lookup, so the poison is
+        unaddressable and fresh results match an isolated session."""
+        trace = random_hierarchical_trace(
+            n_sites=2, clusters_per_site=2, hosts_per_cluster=3, seed=11
+        )
+        shared = SharedTraceData(trace)
+        cache = SharedResultCache()
+        session = AnalysisSession(
+            trace, shared=shared, result_cache=cache, session_id="victim"
+        )
+        start, end = trace.span()
+        session.set_time_slice(start, (start + end) / 2)
+        session.view(settle_steps=0)
+        assert len(cache) > 0
+        poison = {"__poison__": 1e18}
+        with cache._lock:
+            for key in list(cache._entries):
+                cache._entries[key] = (poison, "attacker")
+        # Revision bump: collapse to depth 1 -> new state_key.
+        session.aggregate_depth(1)
+        view = session.view(settle_steps=0)
+        # The oracle replays the same op sequence (the differential
+        # contract): combine paths depend on history, and a different
+        # path can differ in the last float ulp.
+        oracle = AnalysisSession(trace)
+        oracle.set_time_slice(start, (start + end) / 2)
+        oracle.view(settle_steps=0)
+        oracle.aggregate_depth(1)
+        expected = oracle.view(settle_steps=0)
+        for key, unit in view.aggregated.units.items():
+            assert "__poison__" not in unit.values
+            assert unit.values == expected.aggregated.units[key].values
+
+    def test_invalidate_drops_matching_entries(self):
+        cache = SharedResultCache()
+        cache.put(("a", 1), "x")
+        cache.put(("b", 2), "y")
+        dropped = cache.invalidate(lambda key: key[0] == "a")
+        assert dropped == 1
+        assert ("a", 1) not in cache
+        assert cache.get(("b", 2)) == "y"
+        assert cache.invalidate() == 1  # flush the rest
+        assert len(cache) == 0
+        assert cache.stats["invalidations"] == 2
+
+
+# ----------------------------------------------------------------------
+# Threaded interleaving: the books always balance
+# ----------------------------------------------------------------------
+class TestInterleaving:
+    def test_accounting_balances_under_threads(self):
+        cache = SharedResultCache(max_entries=16)
+        threads = 8
+        rounds = 300
+        barrier = threading.Barrier(threads)
+
+        def worker(worker_id: int) -> None:
+            barrier.wait()
+            for i in range(rounds):
+                key = ((float(i % 24), 1.0), (), "usage")
+                if cache.get(key, requester=f"s{worker_id}") is None:
+                    cache.put(key, {"v": i % 24}, owner=f"s{worker_id}")
+
+        pool = [
+            threading.Thread(target=worker, args=(n,)) for n in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        stats = cache.snapshot()
+        assert stats["lookups"] == threads * rounds
+        assert stats["hits"] + stats["misses"] == stats["lookups"]
+        assert stats["puts"] + stats["updates"] == stats["misses"]
+        assert stats["size"] <= 16
+        assert stats["hits"] > 0 and stats["misses"] > 0

@@ -38,6 +38,9 @@ AGG_KEYS = {
     "combine_partial",
     "units_reused",
     "units_recombined",
+    # Multi-session sharing (PR 7): cross-session result-cache traffic.
+    "shared_hits",
+    "shared_puts",
     "temporal_ns",
     "combine_ns",
     "view_ns",
