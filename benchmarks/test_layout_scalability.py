@@ -33,26 +33,33 @@ from repro.obs import bench
 QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 
 
-def clustered_graph(layout, n, seed=0):
+def clustered_graph(layout, n, seed=0, settle=5):
     """n nodes in sqrt(n) star clusters chained by bridges."""
-    rng = random.Random(seed)
     n_clusters = max(1, int(math.sqrt(n)))
     hubs = []
+    names = []
+    edges = []
     count = 0
     for c in range(n_clusters):
         hub = f"hub{c}"
-        layout.add_node(hub)
+        names.append(hub)
         hubs.append(hub)
         count += 1
         while count < (c + 1) * n // n_clusters:
             name = f"n{count}"
-            layout.add_node(name)
-            layout.add_edge(hub, name)
+            names.append(name)
+            edges.append((hub, name))
             count += 1
+    # Bulk insertion: O(n) instead of add_node's quadratic copies, with
+    # placement identical to per-node calls in the same order — it has
+    # to stay linear for the 100k-body sharded case below.
+    layout.add_nodes(names)
+    for a, b in edges:
+        layout.add_edge(a, b)
     for a, b in zip(hubs, hubs[1:]):
         layout.add_edge(a, b)
     # Shake once so positions are not the initial disc.
-    layout.run(max_steps=5, tolerance=0.0)
+    layout.run(max_steps=settle, tolerance=0.0)
     return layout
 
 
@@ -174,3 +181,80 @@ def test_vectorized_kernel_speedup(report):
         ],
     )
     assert speedup >= SPEEDUP_FLOOR
+
+
+#: The sharded-kernel acceptance bar: >= 2x per-step speedup over the
+#: single-process array kernel at 100k bodies on 4 workers.  Quick mode
+#: shrinks the graph (and the floor — superstep overhead is a larger
+#: fraction of a small step) for CI smoke runs; on boxes with fewer
+#: cores than workers the numbers are recorded but not gated.
+SHARDED_N = 4096 if QUICK else 100_000
+SHARDED_WORKERS = 4
+SHARDED_FLOOR = 1.3 if QUICK else 2.0
+
+
+def test_sharded_kernel_speedup(report):
+    """Sharded kernel vs the single-process array kernel, same graph.
+
+    Both layouts are built identically and timed over whole relaxation
+    steps; the sharded layout runs one throwaway step first so the
+    worker fork and the replica tree builds happen outside the timing
+    (they are one-off costs, not per-step ones).  Results land in
+    ``results/layout_sharded_speedup.json`` for the scaling story in
+    ``docs/ARCHITECTURE.md``.
+    """
+    measured = {}
+    for kernel, workers in (("array", None), ("sharded", SHARDED_WORKERS)):
+        layout = make_layout(
+            "barneshut", LayoutParams(), seed=2, kernel=kernel, workers=workers
+        )
+        clustered_graph(layout, SHARDED_N, settle=2)
+        layout.step()  # warm: fork the pool, build tree replicas
+        timing = bench.measure(
+            layout.step,
+            quick=QUICK,
+            warmup=1,
+            repeats=3 if QUICK else 5,
+            min_sample_s=0.0,
+        )
+        measured[kernel] = {
+            "step_s": timing["median_s"],
+            "reps": timing["repeats"],
+            "timing": {k: timing[k] for k in
+                       ("median_s", "iqr_s", "mad_s", "mean_s",
+                        "min_s", "max_s")},
+        }
+        layout.close()
+    speedup = measured["array"]["step_s"] / measured["sharded"]["step_s"]
+    gated = (os.cpu_count() or 1) >= SHARDED_WORKERS
+    payload = {
+        "schema": bench.SCHEMA,
+        "machine": bench.machine_fingerprint(),
+        "n": SHARDED_N,
+        "workers": SHARDED_WORKERS,
+        "quick": QUICK,
+        "speedup": speedup,
+        "floor": SHARDED_FLOOR,
+        "gated": gated,
+        "kernels": measured,
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "layout_sharded_speedup.json").write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    report(
+        "layout_sharded_speedup",
+        [
+            f"n={SHARDED_N}  workers={SHARDED_WORKERS}  "
+            f"cpus={os.cpu_count()}",
+            *(
+                f"{kernel:<8} {data['step_s'] * 1000:8.2f} ms/step"
+                for kernel, data in measured.items()
+            ),
+            f"speedup: {speedup:.2f}x (floor {SHARDED_FLOOR}x, "
+            f"{'gated' if gated else 'record-only: fewer cores than workers'})",
+        ],
+    )
+    if gated:
+        assert speedup >= SHARDED_FLOOR

@@ -60,6 +60,8 @@ from pathlib import Path
 
 from repro.analysis import scan_anomalies
 from repro.core import (
+    LAYOUT_KERNELS,
+    SEEDING_MODES,
     AnalysisSession,
     TimeSlice,
     Timeline,
@@ -74,6 +76,22 @@ from repro.trace import read_trace, write_trace
 from repro.trace.paje import read_paje
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_layout_flags(p: argparse.ArgumentParser) -> None:
+    """The layout-scaling flags shared by view-producing subcommands."""
+    p.add_argument(
+        "--layout-kernel", choices=LAYOUT_KERNELS, default="array",
+        help="Barnes-Hut execution strategy (default: array; 'sharded' "
+             "splits repulsion across worker processes)")
+    p.add_argument(
+        "--layout-workers", type=int, default=None, metavar="N",
+        help="worker processes for --layout-kernel sharded "
+             "(power of two, default 2)")
+    p.add_argument(
+        "--seeding", choices=SEEDING_MODES, default="radial",
+        help="first-position strategy for new nodes (default: radial; "
+             "'multilevel' coarsens over the resource hierarchy)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,6 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--seed", type=int, default=0)
     render.add_argument("--steps", type=int, default=300,
                         help="max layout settle steps")
+    _add_layout_flags(render)
 
     animate = sub.add_parser("animate", help="render sliding-slice frames")
     animate.add_argument("trace", type=Path)
@@ -118,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     animate.add_argument("--depth", type=int, default=0)
     animate.add_argument("--heat", action="store_true")
     animate.add_argument("--seed", type=int, default=0)
+    _add_layout_flags(animate)
 
     timeline = sub.add_parser(
         "timeline", help="behavioral Gantt view (needs state events)"
@@ -162,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream spans to a JSONL file as they complete")
     profile.add_argument("--snapshot", type=Path, default=None, metavar="OUT.txt",
                          help="dump the flat metrics snapshot after the run")
+    _add_layout_flags(profile)
 
     bench = sub.add_parser(
         "bench",
@@ -248,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a small in-process concurrent load with "
                        "the differential check, print the report and exit "
                        "instead of serving")
+    _add_layout_flags(serve)
 
     loadtest = sub.add_parser(
         "loadtest",
@@ -285,7 +307,13 @@ def _read(args):
 
 
 def _session(args) -> AnalysisSession:
-    session = AnalysisSession(_read(args), seed=getattr(args, "seed", 0))
+    session = AnalysisSession(
+        _read(args),
+        seed=getattr(args, "seed", 0),
+        layout_kernel=getattr(args, "layout_kernel", "array"),
+        layout_workers=getattr(args, "layout_workers", None),
+        seeding=getattr(args, "seeding", "radial"),
+    )
     if getattr(args, "depth", 0):
         session.aggregate_depth(args.depth)
     return session
@@ -316,6 +344,7 @@ def _cmd_render(args) -> int:
         print(f"wrote {args.out} ({len(view)} nodes)")
     else:
         print(render_ascii(view))
+    session.close()
     return 0
 
 
@@ -335,12 +364,14 @@ def _cmd_animate(args) -> int:
             frames, args.html, renderer=SvgRenderer(heat_fill=args.heat)
         )
         print(f"wrote {args.html} ({len(frames)} frames)")
+        session.close()
         return 0
     args.out_dir.mkdir(parents=True, exist_ok=True)
     for index, frame in enumerate(session.animate(width=width)):
         path = args.out_dir / f"frame_{index:03d}.svg"
         render_svg(frame, path, title=str(frame.tslice), heat_fill=args.heat)
         print(f"wrote {path}")
+    session.close()
     return 0
 
 
@@ -386,7 +417,13 @@ def _cmd_profile(args) -> int:
         if sink is not None:
             sink.t0 = profiler.t0  # one clock for every export format
         trace = _read(args)
-        session = AnalysisSession(trace, seed=args.seed)
+        session = AnalysisSession(
+            trace,
+            seed=args.seed,
+            layout_kernel=args.layout_kernel,
+            layout_workers=args.layout_workers,
+            seeding=args.seeding,
+        )
         if args.depth:
             session.aggregate_depth(args.depth)
         start, end = trace.span()
@@ -403,6 +440,7 @@ def _cmd_profile(args) -> int:
         markup = SvgRenderer().render(view, title=str(session.time_slice))
         if args.svg:
             args.svg.write_text(markup, encoding="utf-8")
+        session.close()
     if sink is not None:
         sink.close()
         print(f"wrote {args.jsonl} ({sink.count} spans, streamed)")
@@ -551,6 +589,9 @@ def _cmd_serve(args) -> int:
         settle_steps=args.settle_steps,
         seed=args.seed,
         cache_entries=args.cache_entries,
+        layout_kernel=args.layout_kernel,
+        layout_workers=args.layout_workers,
+        seeding=args.seeding,
     )
     if args.selfcheck:
         report = run_load(

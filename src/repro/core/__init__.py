@@ -19,6 +19,7 @@ from repro.core.aggregation import (
 )
 from repro.core.hierarchy import GroupingState, Hierarchy
 from repro.core.layout import (
+    LAYOUT_KERNELS,
     ArrayQuadTree,
     BarnesHutLayout,
     DynamicLayout,
@@ -26,7 +27,9 @@ from repro.core.layout import (
     LayoutParams,
     NaiveLayout,
     QuadTree,
+    ShardedBarnesHutLayout,
     make_layout,
+    multilevel_seeds,
 )
 from repro.core.matrix import CommMatrix
 from repro.core.mapping import SHAPES, NodeStyle, ShapeRule, VisualMapping
@@ -38,7 +41,7 @@ from repro.core.render import (
     render_svg,
 )
 from repro.core.scaling import ScaleSet
-from repro.core.session import AnalysisSession
+from repro.core.session import SEEDING_MODES, AnalysisSession
 from repro.core.timeline import CommArrow, StateSpan, Timeline
 from repro.core.timeslice import TimeSlice, animation_frames
 from repro.core.treemap import Treemap, TreemapCell, squarify
@@ -46,6 +49,7 @@ from repro.core.view import TopologyView
 from repro.core.visgraph import VisEdge, VisGraph, VisNode, build_visgraph
 
 __all__ = [
+    "SEEDING_MODES",
     "SHAPES",
     "AggregatedEdge",
     "AggregatedUnit",
@@ -85,7 +89,10 @@ __all__ = [
     "build_visgraph",
     "export_animation_html",
     "make_aggregator",
+    "LAYOUT_KERNELS",
+    "ShardedBarnesHutLayout",
     "make_layout",
+    "multilevel_seeds",
     "render_ascii",
     "render_svg",
     "squarify",

@@ -363,12 +363,23 @@ class SharedTraceData:
         self.stats["structure_builds"] += 1
         return structure
 
-    def radial_seeds(
-        self, grouping_key: tuple, graph, spring_length: float
+    def layout_seeds(
+        self,
+        grouping_key: tuple,
+        graph,
+        spring_length: float,
+        mode: str = "radial",
+        params=None,
+        seed: int = 0,
     ) -> dict[str, tuple[float, float]]:
-        """Shared hierarchical seed positions for one grouping's graph.
+        """Shared seed positions for one grouping's graph.
 
-        Memoized per ``(grouping token, spring length)``; the stored
+        ``mode`` selects the seeding strategy: ``"radial"`` (the
+        hierarchical arcs of Section 3.3) or ``"multilevel"`` (the
+        coarsen→relax→interpolate pipeline of
+        :func:`~repro.core.layout.multilevel.multilevel_seeds`, which
+        needs the full *params* and the layout *seed*).  Memoized per
+        ``(grouping token, spring length, mode, seed)``; the stored
         node-key set is checked so a different visual mapping (a
         different node subset) recomputes instead of serving stale
         seeds.  Returns a fresh dict — callers own their copy.
@@ -376,19 +387,33 @@ class SharedTraceData:
         from repro.core.layout.seeding import radial_seeds
 
         node_keys = frozenset(node.key for node in graph)
-        memo_key = (grouping_key, float(spring_length))
+        memo_key = (grouping_key, float(spring_length), mode, int(seed))
         with self._lock:
             entry = self._seeds.get(memo_key)
         if entry is not None and entry[0] == node_keys:
             self.stats["seed_shared_hits"] += 1
             return dict(entry[1])
-        seeds = radial_seeds(
-            self.hierarchy, graph, spring_length=spring_length
-        )
+        if mode == "multilevel":
+            from repro.core.layout.multilevel import multilevel_seeds
+
+            seeds, _levels = multilevel_seeds(
+                self.hierarchy, graph, params=params, seed=seed
+            )
+        else:
+            seeds = radial_seeds(
+                self.hierarchy, graph, spring_length=spring_length
+            )
         with self._lock:
             self._seeds[memo_key] = (node_keys, seeds)
         self.stats["seed_builds"] += 1
         return dict(seeds)
+
+    def radial_seeds(
+        self, grouping_key: tuple, graph, spring_length: float
+    ) -> dict[str, tuple[float, float]]:
+        """Back-compat wrapper: :meth:`layout_seeds` with
+        ``mode="radial"``."""
+        return self.layout_seeds(grouping_key, graph, spring_length)
 
 
 class AggregationEngine:

@@ -2,11 +2,18 @@
 
 from repro.core.layout.barneshut import KERNELS, BarnesHutLayout
 from repro.core.layout.base import ForceLayout
-from repro.core.layout.engine import ALGORITHMS, DynamicLayout, make_layout
+from repro.core.layout.engine import (
+    ALGORITHMS,
+    LAYOUT_KERNELS,
+    DynamicLayout,
+    make_layout,
+)
 from repro.core.layout.forces import LayoutParams
+from repro.core.layout.multilevel import multilevel_seeds
 from repro.core.layout.naive import NaiveLayout
 from repro.core.layout.quadtree import ArrayQuadTree, QuadTree
 from repro.core.layout.seeding import radial_seeds
+from repro.core.layout.sharded import ShardedBarnesHutLayout, validate_workers
 
 __all__ = [
     "ALGORITHMS",
@@ -15,9 +22,13 @@ __all__ = [
     "DynamicLayout",
     "ForceLayout",
     "KERNELS",
+    "LAYOUT_KERNELS",
     "LayoutParams",
     "NaiveLayout",
     "QuadTree",
+    "ShardedBarnesHutLayout",
     "make_layout",
+    "multilevel_seeds",
     "radial_seeds",
+    "validate_workers",
 ]

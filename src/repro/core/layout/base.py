@@ -107,6 +107,71 @@ class ForceLayout(ABC):
         self._edge_index = None
         self._on_bodies_changed()
 
+    def add_nodes(
+        self,
+        names: "Iterable[str]",
+        weights: "Iterable[float] | None" = None,
+        positions: "np.ndarray | Iterable[tuple[float, float]] | None" = None,
+    ) -> None:
+        """Insert many nodes in one O(n) batch.
+
+        The large-graph construction path: :meth:`add_node` copies the
+        whole SoA per insertion (quadratic for bulk loads), this
+        appends once.  Placement matches :meth:`add_node`: explicit
+        *positions* are used verbatim, otherwise each node lands at the
+        same deterministic random-disc spot the per-node path would
+        have picked.
+        """
+        names = list(names)
+        if not names:
+            return
+        k = len(names)
+        seen = set(self._index)
+        for name in names:
+            if name in seen:
+                raise LayoutError(f"duplicate layout node {name!r}")
+            seen.add(name)
+        if weights is None:
+            w = np.ones(k, dtype=float)
+        else:
+            w = np.asarray(list(weights), dtype=float)
+            if w.shape != (k,):
+                raise LayoutError(f"{k} names but {w.size} weights")
+            if (w <= 0).any():
+                bad = float(w[w <= 0][0])
+                raise LayoutError(f"node weight must be > 0, got {bad}")
+        if positions is None:
+            pos = np.empty((k, 2), dtype=float)
+            base = len(self._names)
+            for i in range(k):
+                radius = self.params.spring_length * max(
+                    1.0, math.sqrt(base + i + 1)
+                )
+                angle = self._rng.uniform(0.0, 2.0 * math.pi)
+                r = radius * math.sqrt(self._rng.random())
+                pos[i, 0] = r * math.cos(angle)
+                pos[i, 1] = r * math.sin(angle)
+        else:
+            pos = np.asarray(
+                positions if isinstance(positions, np.ndarray)
+                else list(positions),
+                dtype=float,
+            )
+            if pos.shape != (k, 2):
+                raise LayoutError(
+                    f"{k} names but positions shape is {pos.shape}"
+                )
+        base = len(self._names)
+        for i, name in enumerate(names):
+            self._index[name] = base + i
+        self._names.extend(names)
+        self._pos = np.vstack([self._pos, pos])
+        self._vel = np.vstack([self._vel, np.zeros((k, 2))])
+        self._weight = np.concatenate([self._weight, w])
+        self._pinned = np.concatenate([self._pinned, np.zeros(k, dtype=bool)])
+        self._edge_index = None
+        self._on_bodies_changed()
+
     def remove_node(self, name: str) -> None:
         """Remove a node and every edge touching it."""
         idx = self._require(name)
@@ -277,6 +342,13 @@ class ForceLayout(ABC):
             if self.step() < tolerance:
                 return done
         return max_steps
+
+    def close(self) -> None:
+        """Release any resources held by the layout.
+
+        The in-process layouts hold none; the sharded kernel overrides
+        this to shut its worker pool down.  Safe to call repeatedly.
+        """
 
     # ------------------------------------------------------------------
     # Quality measures (used by benches and tests)

@@ -24,12 +24,16 @@ from repro.core.layout.barneshut import BarnesHutLayout
 from repro.core.layout.base import ForceLayout
 from repro.core.layout.forces import LayoutParams
 from repro.core.layout.naive import NaiveLayout
+from repro.core.layout.sharded import ShardedBarnesHutLayout, validate_workers
 from repro.core.visgraph import VisGraph
 from repro.errors import LayoutError
 
-__all__ = ["DynamicLayout", "make_layout", "ALGORITHMS"]
+__all__ = ["DynamicLayout", "make_layout", "ALGORITHMS", "LAYOUT_KERNELS"]
 
 ALGORITHMS = ("barneshut", "naive")
+
+#: Every Barnes-Hut execution strategy ``make_layout`` accepts.
+LAYOUT_KERNELS = ("array", "scalar", "sharded")
 
 
 def make_layout(
@@ -37,12 +41,17 @@ def make_layout(
     params: LayoutParams | None = None,
     seed: int = 0,
     kernel: str = "array",
+    workers: int | None = None,
 ) -> ForceLayout:
     """Instantiate a force layout by name.
 
     ``kernel`` selects the Barnes-Hut implementation: ``"array"`` (the
-    vectorized production path) or ``"scalar"`` (the legacy walk kept
-    as differential-testing oracle); it is ignored by ``"naive"``.
+    vectorized production path), ``"scalar"`` (the legacy walk kept as
+    differential-testing oracle) or ``"sharded"`` (the array kernel's
+    repulsion partitioned across ``workers`` processes); it is ignored
+    by ``"naive"``.  ``workers`` is only meaningful with
+    ``kernel="sharded"`` (default 2) and must be a power of two —
+    any other value raises a typed :class:`~repro.errors.LayoutError`.
     """
     if params is not None:
         # LayoutParams validates at construction, but a tampered or
@@ -54,7 +63,22 @@ def make_layout(
                 raise LayoutError(
                     f"LayoutParams.{name} must be finite, got {value!r}"
                 )
+    if kernel not in LAYOUT_KERNELS:
+        raise LayoutError(
+            f"unknown layout kernel {kernel!r}; pick one of {LAYOUT_KERNELS}"
+        )
+    if workers is not None:
+        validate_workers(workers)
+        if kernel != "sharded" and workers != 1:
+            raise LayoutError(
+                f"workers={workers} requires kernel='sharded' "
+                f"(got kernel={kernel!r})"
+            )
     if algorithm == "barneshut":
+        if kernel == "sharded":
+            return ShardedBarnesHutLayout(
+                params, seed, workers=2 if workers is None else workers
+            )
         return BarnesHutLayout(params, seed, kernel=kernel)
     if algorithm == "naive":
         return NaiveLayout(params, seed)
@@ -74,8 +98,11 @@ class DynamicLayout:
         max_steps: int = 300,
         tolerance: float = 0.5,
         kernel: str = "array",
+        workers: int | None = None,
     ) -> None:
-        self.layout = make_layout(algorithm, params, seed, kernel=kernel)
+        self.layout = make_layout(
+            algorithm, params, seed, kernel=kernel, workers=workers
+        )
         self.algorithm = algorithm
         self.max_steps = max_steps
         self.tolerance = tolerance
@@ -194,3 +221,7 @@ class DynamicLayout:
         seconds, quadtree cells, exact pairs) — see
         :attr:`ForceLayout.stats`."""
         return self.layout.stats
+
+    def close(self) -> None:
+        """Release kernel resources (the sharded worker pool)."""
+        self.layout.close()

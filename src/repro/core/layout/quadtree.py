@@ -243,6 +243,7 @@ class ArrayQuadTree:
         masses: np.ndarray,
         charge: float,
         theta: float,
+        bodies: "np.ndarray | None" = None,
     ) -> tuple[np.ndarray, int]:
         """Coulomb repulsion on every body at once.
 
@@ -255,6 +256,14 @@ class ArrayQuadTree:
         approximations see stale centers of mass.  With ``theta == 0``
         no cell is ever accepted, so the result is exact pairwise
         regardless of tree staleness.
+
+        ``bodies`` restricts the evaluation to a subset of body indices
+        — the primitive behind the sharded kernel, where each worker
+        traverses the shared tree for its own shard only.  The returned
+        array is still ``(n, 2)``; rows outside the subset are zero.
+        A body's accumulation order is identical whether it is
+        evaluated alone, within a shard, or within the full set, so
+        shard results are bitwise equal to the full evaluation's rows.
         """
         n = self.n_bodies
         forces = np.zeros((n, 2), dtype=float)
@@ -280,9 +289,23 @@ class ArrayQuadTree:
         leaf_cell: list[np.ndarray] = []
         com_x, com_y = self.com_x, self.com_y
         size2, cell_mass, is_leaf = self._size2, self.mass, self.is_leaf
-        # Frontier of (body, cell) pairs, all bodies vs the root.
-        b = np.arange(n, dtype=np.int64)
-        c = np.zeros(n, dtype=np.int64)
+        # Frontier of (body, cell) pairs: the selected bodies vs root.
+        if bodies is None:
+            b = np.arange(n, dtype=np.int64)
+        else:
+            b = np.asarray(bodies, dtype=np.int64)
+            if b.ndim != 1:
+                raise LayoutError(
+                    f"bodies must be a 1-D index array, got shape {b.shape}"
+                )
+            if b.size and (b.min() < 0 or b.max() >= n):
+                raise LayoutError(
+                    f"body indices must be in [0, {n}), got "
+                    f"[{b.min()}, {b.max()}]"
+                )
+            if not b.size:
+                return forces, 0
+        c = np.zeros(b.size, dtype=np.int64)
         while b.size:
             dx = x[b] - com_x[c]
             dy = y[b] - com_y[c]

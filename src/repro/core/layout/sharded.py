@@ -1,0 +1,370 @@
+"""Sharded Barnes-Hut kernel: repulsion partitioned across processes.
+
+The single-process array kernel evaluates forces for *all* bodies in
+one frontier traversal; past ~10^5 bodies that traversal dominates the
+step and pins one core.  Following the pregel-style recipe of
+*A Distributed Force-Directed Algorithm on Giraph* (PAPERS.md), this
+kernel partitions the body array into ``workers`` contiguous shards and
+runs one **superstep** per repulsion evaluation:
+
+1. **halo broadcast** — the coordinator publishes the full position
+   (and, on rebuild, weight) arrays into shared-memory buffers; every
+   worker sees every body, its *halo* being the bodies outside its own
+   shard;
+2. **local compute** — each worker (re)builds its replica of the
+   quadtree from the shared positions when the coordinator's drift
+   check demands it, then traverses the tree *for its shard only*
+   (:meth:`ArrayQuadTree.forces` with ``bodies=``) and writes the
+   resulting force rows into its disjoint slice of the shared force
+   buffer;
+3. **boundary exchange / barrier** — workers report their per-superstep
+   counters back over their pipes; the coordinator blocks until all
+   shards arrive, then reads the combined force array.
+
+Because a body's force accumulation order inside the array kernel is
+independent of which other bodies are evaluated alongside it, the
+sharded result is **bitwise equal** to the single-process array
+kernel's (enforced to roundoff by ``tests/test_layout_differential.py``
+and exactly by the worker-count determinism test).  Spring forces and
+integration stay in the coordinator — they are O(E + n) vectorized and
+not worth a superstep.
+
+Workers are forked lazily on the first evaluation after a structural
+change, so graph construction (thousands of ``add_node`` calls) costs
+nothing extra.  On platforms without ``fork`` (or for tiny graphs,
+where a superstep costs more than it saves) the kernel transparently
+evaluates in-process with the same math.
+
+Every superstep records into the ``layout.shard`` stats namespace:
+``supersteps``, ``rebuilds``, ``inproc_evals``, ``halo_bytes`` (pos
+broadcast), ``force_bytes`` (gathered shard rows), and the slowest
+worker's last build/traverse seconds.
+"""
+
+from __future__ import annotations
+
+import mmap
+import multiprocessing
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.layout.base import ForceLayout
+from repro.core.layout.forces import LayoutParams
+from repro.core.layout.quadtree import ArrayQuadTree
+from repro.errors import LayoutError
+from repro.obs.registry import registry
+from repro.obs.spans import span
+
+__all__ = ["ShardedBarnesHutLayout", "validate_workers", "MIN_SHARD_BODIES"]
+
+#: Below this body count a superstep costs more than it saves; the
+#: kernel evaluates in-process (identical math, same tree).
+MIN_SHARD_BODIES = 256
+
+
+def validate_workers(workers: int) -> int:
+    """Check a shard count: an ``int >= 1`` that is a power of two.
+
+    Power-of-two counts keep the contiguous body partition halving
+    evenly, so shard boundaries are stable when the worker count is
+    doubled — which is what makes the worker-count determinism test
+    meaningful (2 and 4 workers cover the same index ranges, split
+    differently).  Raises :class:`~repro.errors.LayoutError` otherwise.
+    """
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise LayoutError(
+            f"workers must be an int, got {type(workers).__name__}"
+        )
+    if workers < 1:
+        raise LayoutError(f"workers must be >= 1, got {workers}")
+    if workers & (workers - 1):
+        raise LayoutError(
+            f"workers must be a power of two, got {workers}"
+        )
+    return workers
+
+
+def _shard_bounds(n: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` index ranges, one per worker."""
+    bounds = []
+    for w in range(workers):
+        lo = n * w // workers
+        hi = n * (w + 1) // workers
+        bounds.append((lo, hi))
+    return bounds
+
+
+def _worker_main(conn, pos_mm, weight_mm, force_mm, n, lo, hi) -> None:
+    """One shard worker: superstep loop over the shared buffers.
+
+    Runs in a forked child.  ``pos_mm``/``weight_mm`` are read-only
+    inputs refreshed by the coordinator before each superstep;
+    ``force_mm`` receives this worker's force rows (disjoint slice, no
+    locking needed).  Messages: ``("step", rebuild, charge, theta)`` →
+    ``("ok", build_s, traverse_s, cells, p2p)``; ``("stop",)`` exits.
+    """
+    pos = np.frombuffer(pos_mm, dtype=float, count=n * 2).reshape(n, 2)
+    weight = np.frombuffer(weight_mm, dtype=float, count=n)
+    force = np.frombuffer(force_mm, dtype=float, count=n * 2).reshape(n, 2)
+    bodies = np.arange(lo, hi, dtype=np.int64)
+    tree = None
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] != "step":
+                break
+            _, rebuild, charge, theta = msg
+            build_s = 0.0
+            if rebuild or tree is None:
+                start = perf_counter()
+                # Each worker builds its own replica from the same
+                # shared positions — deterministic, so all replicas
+                # are identical and no tree has to cross a pipe.
+                tree = ArrayQuadTree(pos, weight)
+                build_s = perf_counter() - start
+            start = perf_counter()
+            forces, p2p = tree.forces(pos, weight, charge, theta, bodies=bodies)
+            traverse_s = perf_counter() - start
+            force[lo:hi] = forces[lo:hi]
+            conn.send(("ok", build_s, traverse_s, tree.n_cells, p2p))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class _ShardPool:
+    """The forked worker set plus its shared-memory buffers for one n."""
+
+    def __init__(self, n: int, workers: int) -> None:
+        ctx = multiprocessing.get_context("fork")
+        self.n = n
+        self.workers = workers
+        # Anonymous shared mappings: created before fork, inherited by
+        # every child — zero-copy, zero-pickle halo exchange.
+        self._pos_mm = mmap.mmap(-1, max(n * 2 * 8, 1))
+        self._weight_mm = mmap.mmap(-1, max(n * 8, 1))
+        self._force_mm = mmap.mmap(-1, max(n * 2 * 8, 1))
+        self.pos = np.frombuffer(
+            self._pos_mm, dtype=float, count=n * 2
+        ).reshape(n, 2)
+        self.weight = np.frombuffer(self._weight_mm, dtype=float, count=n)
+        self.force = np.frombuffer(
+            self._force_mm, dtype=float, count=n * 2
+        ).reshape(n, 2)
+        self.bounds = _shard_bounds(n, workers)
+        self._conns = []
+        self._procs = []
+        for w, (lo, hi) in enumerate(self.bounds):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, self._pos_mm, self._weight_mm, self._force_mm,
+                      n, lo, hi),
+                name=f"repro-layout-shard-{w}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def superstep(
+        self, rebuild: bool, charge: float, theta: float
+    ) -> tuple[float, float, int, int]:
+        """Run one superstep; returns (build_s, traverse_s, cells, p2p).
+
+        ``build_s``/``traverse_s`` are the slowest shard's (the
+        wall-clock critical path), ``p2p`` the sum over shards, and
+        ``cells`` the (identical) replica tree size.
+        """
+        for conn in self._conns:
+            conn.send(("step", rebuild, charge, theta))
+        build_s = traverse_s = 0.0
+        cells = p2p = 0
+        for conn in self._conns:
+            reply = conn.recv()
+            if reply[0] != "ok":  # pragma: no cover - defensive
+                raise LayoutError(f"shard worker failed: {reply!r}")
+            build_s = max(build_s, reply[1])
+            traverse_s = max(traverse_s, reply[2])
+            cells = reply[3]
+            p2p += reply[4]
+        return build_s, traverse_s, cells, p2p
+
+    def close(self) -> None:
+        """Stop the workers and release the shared mappings."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []
+        # Views must go before the mappings can close.
+        self.pos = self.weight = self.force = None
+        for buf in (self._pos_mm, self._weight_mm, self._force_mm):
+            try:
+                buf.close()
+            except BufferError:  # pragma: no cover - lingering view
+                pass
+
+
+class ShardedBarnesHutLayout(ForceLayout):
+    """Barnes-Hut layout whose repulsion runs on a worker-process pool.
+
+    Selected via ``make_layout(..., kernel="sharded", workers=N)``.
+    ``workers`` must be a power of two (see :func:`validate_workers`).
+    Agrees with ``kernel="array"`` to roundoff — same tree, same
+    per-body accumulation order — which the differential net enforces.
+    """
+
+    def __init__(
+        self,
+        params: LayoutParams | None = None,
+        seed: int = 0,
+        workers: int = 2,
+        min_shard_bodies: int = MIN_SHARD_BODIES,
+    ) -> None:
+        self.workers = validate_workers(workers)
+        self.min_shard_bodies = min_shard_bodies
+        self._pool: _ShardPool | None = None
+        self._force_rebuild = True
+        self._tree: ArrayQuadTree | None = None  # in-process fallback
+        self._tree_pos: np.ndarray | None = None
+        self._root_half = 0.0
+        super().__init__(params, seed)
+        #: per-superstep counters, folded into ``registry.snapshot()``
+        #: under ``layout.shard.*``
+        self.shard_stats: dict[str, float | int] = registry.group(
+            "layout.shard",
+            {
+                "workers": self.workers,
+                "supersteps": 0,
+                "rebuilds": 0,
+                "inproc_evals": 0,
+                "halo_bytes": 0,
+                "force_bytes": 0,
+                "worker_build_s": 0.0,
+                "worker_traverse_s": 0.0,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _on_bodies_changed(self) -> None:
+        self._force_rebuild = True
+        self._tree = None
+        self._tree_pos = None
+
+    def _use_pool(self, n: int) -> bool:
+        if self.workers < 2 or n < self.min_shard_bodies:
+            return False
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _needs_rebuild(self) -> bool:
+        if self._force_rebuild or self._tree_pos is None:
+            return True
+        if len(self._tree_pos) != len(self._names):
+            return True
+        limit = self.params.rebuild_drift * self._root_half
+        if limit <= 0.0:
+            return True
+        return bool(np.abs(self._pos - self._tree_pos).max() > limit)
+
+    def _mark_built(self) -> None:
+        """Record the build-time positions for the drift check.
+
+        Mirrors :meth:`BarnesHutLayout._needs_rebuild`'s use of the
+        root half-size, computed here directly from the positions (the
+        same formula the tree constructor applies), so the coordinator
+        never needs its own tree replica.
+        """
+        self._tree_pos = self._pos.copy()
+        lo = self._pos.min(axis=0)
+        hi = self._pos.max(axis=0)
+        self._root_half = float(max(hi[0] - lo[0], hi[1] - lo[1])) / 2.0 + 1e-9
+        self._force_rebuild = False
+
+    def _repulsion_forces(self) -> np.ndarray:
+        n = len(self._names)
+        if n < 2:
+            self._record_stats(
+                build_s=0.0, traverse_s=0.0, cells=0, p2p_pairs=0
+            )
+            return np.zeros((n, 2), dtype=float)
+        if not self._use_pool(n):
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            return self._inprocess_forces(n)
+        if self._pool is not None and self._pool.n != n:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            self._pool = _ShardPool(n, self.workers)
+            self._force_rebuild = True
+        pool = self._pool
+        rebuild = self._needs_rebuild()
+        pool.pos[:] = self._pos  # the halo broadcast
+        if rebuild:
+            pool.weight[:] = self._weight
+            self._mark_built()
+        with span("layout.superstep", workers=self.workers, n=n):
+            build_s, traverse_s, cells, p2p = pool.superstep(
+                rebuild, self.params.charge, self.params.theta
+            )
+        stats = self.shard_stats
+        stats["supersteps"] += 1
+        stats["rebuilds"] += int(rebuild)
+        stats["halo_bytes"] += n * 2 * 8
+        stats["force_bytes"] += n * 2 * 8
+        stats["worker_build_s"] = build_s
+        stats["worker_traverse_s"] = traverse_s
+        self._record_stats(
+            build_s=build_s, traverse_s=traverse_s,
+            cells=cells, p2p_pairs=p2p,
+        )
+        return pool.force.copy()
+
+    def _inprocess_forces(self, n: int) -> np.ndarray:
+        """Small-n / no-fork path: same math, no pool."""
+        build_s = 0.0
+        if self._tree is None or self._needs_rebuild():
+            with span("layout.build"):
+                start = perf_counter()
+                self._tree = ArrayQuadTree(self._pos, self._weight)
+                self._mark_built()
+                build_s = perf_counter() - start
+        with span("layout.traverse"):
+            start = perf_counter()
+            forces, p2p = self._tree.forces(
+                self._pos, self._weight, self.params.charge, self.params.theta
+            )
+        self.shard_stats["inproc_evals"] += 1
+        self._record_stats(
+            build_s=build_s,
+            traverse_s=perf_counter() - start,
+            cells=self._tree.n_cells,
+            p2p_pairs=p2p,
+        )
+        return forces
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass

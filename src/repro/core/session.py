@@ -31,16 +31,20 @@ from repro.core.aggregation import aggregate_view
 from repro.core.hierarchy import GroupingState, Hierarchy, Path
 from repro.core.layout.engine import DynamicLayout
 from repro.core.layout.forces import LayoutParams
+from repro.core.layout.multilevel import multilevel_seeds
 from repro.core.layout.seeding import radial_seeds
 from repro.core.mapping import VisualMapping
 from repro.core.scaling import ScaleSet
 from repro.core.timeslice import TimeSlice, animation_frames
 from repro.core.view import TopologyView
 from repro.core.visgraph import build_visgraph
-from repro.errors import AggregationError
+from repro.errors import AggregationError, LayoutError
 from repro.trace.trace import Trace
 
-__all__ = ["AnalysisSession"]
+__all__ = ["AnalysisSession", "SEEDING_MODES"]
+
+#: Every first-position strategy :class:`AnalysisSession` accepts.
+SEEDING_MODES = ("radial", "multilevel")
 
 
 class AnalysisSession:
@@ -57,6 +61,20 @@ class AnalysisSession:
         ``"barneshut"`` (default, scalable) or ``"naive"`` (exact).
     layout_params:
         Initial charge/spring/damping values.
+    layout_kernel:
+        Barnes-Hut execution strategy: ``"array"`` (default),
+        ``"scalar"`` (the differential oracle) or ``"sharded"``
+        (repulsion partitioned across worker processes — see
+        :class:`~repro.core.layout.ShardedBarnesHutLayout`).
+    layout_workers:
+        Worker-process count for ``layout_kernel="sharded"``; must be
+        a power of two.  ``None`` keeps the kernel's default.
+    seeding:
+        How brand-new nodes get their first position: ``"radial"``
+        (default, the hierarchical arcs of Section 3.3) or
+        ``"multilevel"`` (coarsen→relax→interpolate over the resource
+        hierarchy, :func:`~repro.core.layout.multilevel_seeds` —
+        recommended for very large expanded topologies).
     space_op:
         Spatial combination of member values (default: sum).
     seed:
@@ -97,7 +115,15 @@ class AnalysisSession:
         shared: SharedTraceData | None = None,
         result_cache=None,
         session_id: str | None = None,
+        layout_kernel: str = "array",
+        layout_workers: int | None = None,
+        seeding: str = "radial",
     ) -> None:
+        if seeding not in SEEDING_MODES:
+            raise LayoutError(
+                f"unknown seeding mode {seeding!r}; "
+                f"pick one of {SEEDING_MODES}"
+            )
         if shared is not None and shared.trace is not trace:
             raise AggregationError(
                 "shared trace data was built for a different trace"
@@ -122,7 +148,15 @@ class AnalysisSession:
             result_cache=result_cache,
             cache_owner=session_id,
         )
-        self.dynamic = DynamicLayout(layout_algorithm, layout_params, seed)
+        self.dynamic = DynamicLayout(
+            layout_algorithm,
+            layout_params,
+            seed,
+            kernel=layout_kernel,
+            workers=layout_workers,
+        )
+        self.seeding = seeding
+        self._seed = seed
         start, end = trace.span()
         self._tslice = TimeSlice(start, end)
 
@@ -310,10 +344,20 @@ class AnalysisSession:
             raise AggregationError("the trace has no entities to display")
         graph = build_visgraph(aggregated, self.mapping, self.scales)
         if self._shared is not None:
-            seeds = self._shared.radial_seeds(
+            seeds = self._shared.layout_seeds(
                 self.grouping.state_key,
                 graph,
                 self.dynamic.params.spring_length,
+                mode=self.seeding,
+                params=self.dynamic.params,
+                seed=self._seed,
+            )
+        elif self.seeding == "multilevel":
+            seeds, _levels = multilevel_seeds(
+                self.hierarchy,
+                graph,
+                params=self.dynamic.params,
+                seed=self._seed,
             )
         else:
             seeds = radial_seeds(
@@ -330,3 +374,18 @@ class AnalysisSession:
             tslice=self._tslice,
             aggregated=aggregated,
         )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release layout kernel resources (the sharded worker pool).
+
+        Idempotent; only the ``layout_kernel="sharded"`` path holds
+        anything worth releasing, so plain sessions need not bother.
+        """
+        self.dynamic.close()
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

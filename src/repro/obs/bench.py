@@ -250,28 +250,43 @@ def available_suites() -> list[str]:
     return list(_SUITES)
 
 
-def _clustered_layout(n: int, seed: int = 2):
+def _clustered_layout(
+    n: int,
+    seed: int = 2,
+    kernel: str = "array",
+    workers: int | None = None,
+    settle_steps: int = 5,
+):
     """A settled Barnes-Hut layout over the benches' clustered topology
     (sqrt(n) star clusters chained by bridges)."""
     from repro.core import LayoutParams, make_layout
 
-    layout = make_layout("barneshut", LayoutParams(), seed=seed)
+    layout = make_layout(
+        "barneshut", LayoutParams(), seed=seed, kernel=kernel, workers=workers
+    )
     n_clusters = max(1, int(math.sqrt(n)))
     hubs = []
+    names: list[str] = []
+    edges: list[tuple[str, str]] = []
     count = 0
     for c in range(n_clusters):
         hub = f"hub{c}"
-        layout.add_node(hub)
+        names.append(hub)
         hubs.append(hub)
         count += 1
         while count < (c + 1) * n // n_clusters:
             name = f"n{count}"
-            layout.add_node(name)
-            layout.add_edge(hub, name)
+            names.append(name)
+            edges.append((hub, name))
             count += 1
+    # Bulk insertion (O(n), identical placement to per-node add_node
+    # calls in the same order) keeps million-node construction linear.
+    layout.add_nodes(names)
+    for a, b in edges:
+        layout.add_edge(a, b)
     for a, b in zip(hubs, hubs[1:]):
         layout.add_edge(a, b)
-    layout.run(max_steps=5, tolerance=0.0)
+    layout.run(max_steps=settle_steps, tolerance=0.0)
     return layout
 
 
@@ -289,10 +304,32 @@ def _layout_suite(quick: bool) -> list[BenchCase]:
 
         return make
 
-    return [
+    cases = [
         BenchCase(f"step_n{n}", stepper(n), {"n": n, "kernel": "array"})
         for n in sizes
     ]
+
+    # The sharded kernel's flagship case: 100k bodies split across 4
+    # worker processes (quick mode shrinks to 1024 bodies / 2 workers
+    # so CI smoke runs stay seconds, as the other suites do).
+    shard_n = 1024 if quick else 100_000
+    shard_workers = 2 if quick else 4
+
+    def sharded_stepper():
+        layout = _clustered_layout(
+            shard_n, kernel="sharded", workers=shard_workers, settle_steps=2
+        )
+        layout.step()  # fork the pool + build replicas outside timing
+        return layout.step
+
+    cases.append(
+        BenchCase(
+            "step_sharded_100k",
+            sharded_stepper,
+            {"n": shard_n, "kernel": "sharded", "workers": shard_workers},
+        )
+    )
+    return cases
 
 
 def _aggregation_trace(quick: bool):

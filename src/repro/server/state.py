@@ -62,6 +62,14 @@ class ServerConfig:
     seed: int = 0
     #: Capacity of the shared result cache.
     cache_entries: int = 4096
+    #: Barnes-Hut kernel every session runs (``"array"``, ``"scalar"``
+    #: or ``"sharded"`` — see :func:`repro.core.layout.make_layout`).
+    layout_kernel: str = "array"
+    #: Worker processes per session for ``layout_kernel="sharded"``;
+    #: ``None`` keeps the kernel default.  Power of two.
+    layout_workers: int | None = None
+    #: First-position strategy (``"radial"`` or ``"multilevel"``).
+    seeding: str = "radial"
 
 
 class SessionState:
@@ -286,6 +294,9 @@ class SharedServerState:
                 shared=self.shared,
                 result_cache=self.cache,
                 session_id=session_id,
+                layout_kernel=self.config.layout_kernel,
+                layout_workers=self.config.layout_workers,
+                seeding=self.config.seeding,
             ),
             settle_steps=self.config.settle_steps,
         )
@@ -295,7 +306,9 @@ class SharedServerState:
 
     def close_session(self, session_id: str) -> None:
         """Drop a session from the registry (idempotent)."""
-        if self.sessions.pop(session_id, None) is not None:
+        state = self.sessions.pop(session_id, None)
+        if state is not None:
+            state.session.close()
             self.stats["sessions_closed"] += 1
 
     def dispatch(self, state: SessionState, msg: dict) -> dict:

@@ -10,7 +10,13 @@ bodies):
   walk (``kernel="scalar"``) — same tree, same opening criterion,
   different execution strategy;
 * rerunning the identical scenario must be *byte-identical*, so layout
-  results are reproducible across runs.
+  results are reproducible across runs;
+* the **sharded** kernel (repulsion partitioned across worker
+  processes) must be *bitwise* equal to the single-process array
+  kernel, for any power-of-two worker count — each worker evaluates
+  its contiguous body range against an identical tree replica, and
+  per-body accumulation order does not depend on which other bodies
+  are co-evaluated.
 
 Plus the structural quadtree invariants the force computation relies
 on (mass conservation, center-of-mass consistency, MAX_DEPTH leaves).
@@ -21,8 +27,16 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.layout import ArrayQuadTree, LayoutParams, QuadTree, make_layout
+from repro.core.layout import (
+    ArrayQuadTree,
+    LayoutParams,
+    QuadTree,
+    ShardedBarnesHutLayout,
+    make_layout,
+    validate_workers,
+)
 from repro.core.layout.quadtree import MAX_DEPTH
+from repro.errors import LayoutError
 
 # (n, seed, co-located pairs): 20 scenarios spanning tiny graphs,
 # mid-size graphs, and degenerate co-location-heavy ones.
@@ -292,3 +306,176 @@ class TestTreeReuse:
             bh.step()
             naive.step()
         np.testing.assert_allclose(bh._pos, naive._pos, rtol=1e-9, atol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Sharded kernel: bitwise agreement with the single-process array path
+# ----------------------------------------------------------------------
+
+SHARD_CASES = [(64, 19, 0), (150, 15, 10), (300, 17, 0)]
+SHARD_IDS = [f"n{n}-s{s}-c{c}" for n, s, c in SHARD_CASES]
+
+
+def sharded_layout(case, theta=0.7, workers=2, edges=False):
+    """A ShardedBarnesHutLayout over one scenario, pool forced on."""
+    n, seed, _ = case
+    pts, masses = random_bodies(case)
+    layout = ShardedBarnesHutLayout(
+        LayoutParams(theta=theta),
+        seed=seed,
+        workers=workers,
+        min_shard_bodies=8,  # force the pool even for test-sized graphs
+    )
+    layout.add_nodes(
+        [f"n{i}" for i in range(n)],
+        weights=masses,
+        positions=pts,
+    )
+    if edges:
+        for i in range(n - 1):
+            layout.add_edge(f"n{i}", f"n{i + 1}")
+    return layout
+
+
+class TestQuadTreeSubsetForces:
+    """forces(bodies=...) — the shard primitive — equals full rows."""
+
+    @pytest.mark.parametrize("case", CASES[8:14], ids=CASE_IDS[8:14])
+    def test_subset_rows_bitwise_equal_full_rows(self, case):
+        pts, masses = random_bodies(case)
+        n = len(pts)
+        tree = ArrayQuadTree(pts, masses)
+        full, full_pairs = tree.forces(pts, masses, 100.0, 0.7)
+        mid = n // 2
+        lo_f, lo_p = tree.forces(
+            pts, masses, 100.0, 0.7, bodies=np.arange(0, mid)
+        )
+        hi_f, hi_p = tree.forces(
+            pts, masses, 100.0, 0.7, bodies=np.arange(mid, n)
+        )
+        assert np.array_equal(lo_f[:mid], full[:mid])
+        assert np.array_equal(hi_f[mid:], full[mid:])
+        # Rows outside the subset stay exactly zero.
+        assert not lo_f[mid:].any() and not hi_f[:mid].any()
+        assert lo_p + hi_p == full_pairs
+
+    def test_bad_subsets_rejected(self):
+        pts, masses = random_bodies((8, 4, 2))
+        tree = ArrayQuadTree(pts, masses)
+        for bad in ([8], [-1], [[0, 1]]):
+            with pytest.raises(Exception):
+                tree.forces(pts, masses, 100.0, 0.7, bodies=np.array(bad))
+
+
+class TestShardedKernel:
+    @pytest.mark.parametrize("case", SHARD_CASES, ids=SHARD_IDS)
+    def test_repulsion_bitwise_equals_array_kernel(self, case):
+        arr = seeded_layout("barneshut", case, theta=0.7)
+        sharded = sharded_layout(case)
+        try:
+            assert np.array_equal(
+                sharded._repulsion_forces(), arr._repulsion_forces()
+            )
+            assert sharded._pool is not None  # it really went multiprocess
+            assert sharded.stats["p2p_pairs"] == arr.stats["p2p_pairs"]
+            assert sharded.stats["cells"] == arr.stats["cells"]
+        finally:
+            sharded.close()
+
+    @pytest.mark.parametrize("case", SHARD_CASES[:2], ids=SHARD_IDS[:2])
+    def test_trajectories_bitwise_equal_array_kernel(self, case):
+        arr = seeded_layout("barneshut", case, theta=0.7, edges=True)
+        sharded = sharded_layout(case, edges=True)
+        try:
+            for _ in range(8):
+                arr.step()
+                sharded.step()
+            assert arr._pos.tobytes() == sharded._pos.tobytes()
+        finally:
+            sharded.close()
+
+    def test_worker_count_does_not_change_results(self):
+        case = SHARD_CASES[0]
+        runs = []
+        for workers in (1, 2, 4):
+            layout = sharded_layout(case, workers=workers, edges=True)
+            try:
+                for _ in range(6):
+                    layout.step()
+                runs.append(layout._pos.tobytes())
+            finally:
+                layout.close()
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_small_graphs_fall_back_to_in_process(self):
+        layout = ShardedBarnesHutLayout(LayoutParams(), seed=1, workers=2)
+        for i in range(16):  # far below min_shard_bodies
+            layout.add_node(f"n{i}")
+        try:
+            layout.step()
+            assert layout._pool is None
+            assert layout.shard_stats["inproc_evals"] >= 1
+        finally:
+            layout.close()
+
+    def test_close_is_idempotent_and_releases_workers(self):
+        layout = sharded_layout(SHARD_CASES[0])
+        layout.step()
+        pool = layout._pool
+        assert pool is not None
+        procs = list(pool._procs)
+        assert procs and all(p.is_alive() for p in procs)
+        layout.close()
+        layout.close()
+        assert layout._pool is None
+        assert all(not p.is_alive() for p in procs)
+
+
+class TestWorkerValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 3, 6, 2.0, "2", True, None])
+    def test_validate_workers_rejects_non_power_of_two(self, bad):
+        with pytest.raises(LayoutError):
+            validate_workers(bad)
+
+    @pytest.mark.parametrize("good", [1, 2, 4, 8, 64])
+    def test_validate_workers_accepts_powers_of_two(self, good):
+        validate_workers(good)
+
+    def test_make_layout_rejects_workers_without_sharded_kernel(self):
+        with pytest.raises(LayoutError):
+            make_layout("barneshut", kernel="array", workers=2)
+
+    def test_make_layout_sharded_wires_worker_count(self):
+        layout = make_layout("barneshut", kernel="sharded", workers=4)
+        try:
+            assert isinstance(layout, ShardedBarnesHutLayout)
+            assert layout.workers == 4
+        finally:
+            layout.close()
+
+
+class TestBulkInsert:
+    def test_add_nodes_matches_per_node_random_placement(self):
+        bulk = make_layout("barneshut", seed=9)
+        slow = make_layout("barneshut", seed=9)
+        names = [f"n{i}" for i in range(40)]
+        bulk.add_nodes(names)
+        for name in names:
+            slow.add_node(name)
+        assert bulk._pos.tobytes() == slow._pos.tobytes()
+
+    def test_add_nodes_rejects_bad_batches(self):
+        layout = make_layout("barneshut", seed=9)
+        layout.add_node("dup")
+        with pytest.raises(LayoutError):
+            layout.add_nodes(["a", "dup"])
+        with pytest.raises(LayoutError):
+            layout.add_nodes(["a", "a"])
+        with pytest.raises(LayoutError):
+            layout.add_nodes(["a", "b"], weights=[1.0])
+        with pytest.raises(LayoutError):
+            layout.add_nodes(["a", "b"], weights=[1.0, -1.0])
+        with pytest.raises(LayoutError):
+            layout.add_nodes(["a"], positions=[(0.0, 0.0), (1.0, 1.0)])
+        # Nothing was partially inserted by the failed batches.
+        assert layout.names() == ["dup"]
