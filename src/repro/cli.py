@@ -36,15 +36,25 @@ Usage (``python -m repro <command> ...``):
 * ``serve <trace>`` — the multi-session analysis server
   (:mod:`repro.server`): load the trace once, serve many concurrent
   WebSocket sessions (slice scrubs, group/ungroup, SVG tiles) plus the
-  ``/healthz`` / ``/info`` / ``/stats`` / ``/render`` HTTP endpoints;
-  ``--selfcheck`` runs a small in-process concurrent load with the
-  differential byte-comparison instead of serving;
+  ``/healthz`` / ``/info`` / ``/stats`` / ``/metrics`` / ``/render``
+  HTTP endpoints.  ``--access-log`` appends one JSON line per request,
+  ``--no-metrics`` disables the Prometheus exposition, ``--self-trace``
+  writes the server's own request activity as a repro trace on
+  shutdown (render it with ``repro render``), and ``--selfcheck`` runs
+  a small in-process concurrent load with the differential
+  byte-comparison plus a live probe of ``/metrics`` and the
+  ``stats_stream`` push op instead of serving (exit 4 on failure);
 * ``loadtest <trace>`` — drive a server (in-process by default, or a
   running one via ``--url``) with N concurrent scrub-storm sessions;
-  prints p50/p95/p99 latency and the shared-cache counters,
+  prints p50/p95/p99 latency, the shared-cache counters and the
+  per-op server-side latency breakdown from the request histograms,
   ``--differential`` byte-compares every concurrent payload against
   fresh isolated sessions (exit 4 on mismatch), ``--report`` writes
-  the JSON report.
+  the JSON report;
+* ``top <url>`` — live per-op latency table for a running server:
+  polls ``GET /metrics``, reassembles the request histograms from the
+  exposition and prints count / request rate / p50 / p95 / p99 per op
+  every ``--interval`` seconds (``--iterations`` bounds the loop).
 
 Traces are files in the ``repro`` text format (see
 :mod:`repro.trace.writer`), in the binary columnar store format
@@ -267,8 +277,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared result-cache capacity")
     serve.add_argument("--selfcheck", action="store_true",
                        help="run a small in-process concurrent load with "
-                       "the differential check, print the report and exit "
-                       "instead of serving")
+                       "the differential check, then exercise /metrics and "
+                       "the stats_stream push op against a live instance; "
+                       "print the report and exit 4 on any failure instead "
+                       "of serving")
+    serve.add_argument("--access-log", type=Path, default=None,
+                       metavar="OUT.jsonl",
+                       help="append one JSON line per served request here")
+    serve.add_argument("--metrics", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="expose GET /metrics in Prometheus text format "
+                       "(default: on; --no-metrics returns 404)")
+    serve.add_argument("--self-trace", type=Path, default=None,
+                       metavar="OUT.trace",
+                       help="on shutdown, write the server's own request "
+                       "activity as a repro trace (sessions and cache "
+                       "tiers as entities) that `repro render` can draw")
     _add_layout_flags(serve)
 
     loadtest = sub.add_parser(
@@ -295,6 +319,18 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--report", type=Path, default=None,
                           metavar="OUT.json",
                           help="write the full JSON report here")
+
+    top = sub.add_parser(
+        "top",
+        help="live per-op latency table for a running server "
+        "(polls GET /metrics)",
+    )
+    top.add_argument("url", metavar="http://HOST:PORT",
+                     help="base URL of a running `repro serve` instance")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between /metrics polls (default 1)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N polls (default: until Ctrl-C)")
     return parser
 
 
@@ -576,8 +612,76 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+async def _selfcheck_observability(trace, config) -> list[str]:
+    """Exercise the observability plane against a live server.
+
+    Starts one in-process instance on a free port, drives a couple of
+    requests, then asserts that ``GET /metrics`` parses as Prometheus
+    text with non-zero per-op request buckets and that ``stats_stream``
+    delivers its promised push frames.  Returns failure descriptions
+    (empty list = pass) so ``repro serve --selfcheck`` can exit 4.
+    """
+    import dataclasses
+
+    from repro.obs.expo import histogram_series, parse_exposition, prom_name
+    from repro.server import ReproServer, WsClient, http_get
+    from repro.server.telemetry import REQUEST_HISTOGRAM
+
+    failures: list[str] = []
+    live = dataclasses.replace(config, port=0, metrics=True)
+    server = ReproServer(trace, live)
+    await server.start()
+    try:
+        client = await WsClient.connect(live.host, server.port)
+        try:
+            start, end = trace.span()
+            await client.request("hello")
+            await client.request("scrub", start=start, end=end)
+            pushes = await client.stream_stats(interval=0.01, count=2)
+            if len(pushes) != 2:
+                failures.append(
+                    f"stats_stream: expected 2 push frames, "
+                    f"got {len(pushes)}"
+                )
+            elif not all(
+                frame.get("push") == "stats" and "data" in frame
+                for frame in pushes
+            ):
+                failures.append(
+                    "stats_stream: malformed push frames "
+                    f"{[sorted(f) for f in pushes]}"
+                )
+            await client.request("bye")
+        finally:
+            await client.close()
+        status, body = await http_get(live.host, server.port, "/metrics")
+        if status != 200:
+            failures.append(f"GET /metrics: HTTP {status}")
+        else:
+            try:
+                samples = parse_exposition(body.decode("utf-8"))
+            except ValueError as err:
+                failures.append(f"GET /metrics: {err}")
+            else:
+                series = histogram_series(
+                    samples, prom_name(REQUEST_HISTOGRAM), by="op"
+                )
+                for op in ("hello", "scrub", "stats_stream"):
+                    _, counts = series.get(op, ([], []))
+                    if sum(counts) < 1:
+                        failures.append(
+                            f"GET /metrics: no {op!r} request observations "
+                            f"(ops seen: {sorted(series)})"
+                        )
+    finally:
+        await server.aclose()
+    return failures
+
+
 def _cmd_serve(args) -> int:
     import asyncio
+    import contextlib
+    import signal
 
     from repro.server import ReproServer, ServerConfig, format_report, run_load
 
@@ -592,6 +696,8 @@ def _cmd_serve(args) -> int:
         layout_kernel=args.layout_kernel,
         layout_workers=args.layout_workers,
         seeding=args.seeding,
+        access_log=str(args.access_log) if args.access_log else None,
+        metrics=args.metrics,
     )
     if args.selfcheck:
         report = run_load(
@@ -605,21 +711,57 @@ def _cmd_serve(args) -> int:
         )
         print(format_report(report))
         ok = report["differential"]["ok"]
+        failures = asyncio.run(_selfcheck_observability(trace, config))
+        for failure in failures:
+            print(f"observability selfcheck: {failure}")
+        obs_ok = not failures
+        print(
+            "observability selfcheck (/metrics + stats_stream): "
+            f"{'OK' if obs_ok else 'FAILED'}"
+        )
+        ok = ok and obs_ok
         print(f"selfcheck: {'OK' if ok else 'FAILED'}")
         return 0 if ok else 4
 
+    holder: dict = {}
+
     async def _serve() -> None:
         server = ReproServer(trace, config)
+        holder["server"] = server
         await server.start()
         print(f"serving {args.trace} on {server.url} "
               f"(WebSocket at {server.url}/ws; Ctrl-C to stop)")
         sys.stdout.flush()
-        await server.serve_forever()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+        forever = asyncio.ensure_future(server.serve_forever())
+        stopper = asyncio.ensure_future(stop.wait())
+        try:
+            await asyncio.wait(
+                {forever, stopper}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            forever.cancel()
+            stopper.cancel()
+            await server.aclose()
 
     try:
         asyncio.run(_serve())
+        print("stopped")
     except KeyboardInterrupt:
         print("stopped")
+    finally:
+        server = holder.get("server")
+        if server is not None:
+            server.state.telemetry.close()
+            if args.self_trace is not None:
+                write_trace(
+                    server.state.telemetry.recorder.build_trace(),
+                    args.self_trace,
+                )
+                print(f"wrote self-trace {args.self_trace}")
     return 0
 
 
@@ -651,6 +793,69 @@ def _cmd_loadtest(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    import asyncio
+    import time
+    from urllib.parse import urlsplit
+
+    from repro.obs.expo import histogram_series, parse_exposition, prom_name
+    from repro.obs.registry import bucket_quantile
+    from repro.server import http_get
+    from repro.server.telemetry import REQUEST_HISTOGRAM
+
+    url = args.url if "//" in args.url else f"//{args.url}"
+    parts = urlsplit(url)
+    host = parts.hostname or "127.0.0.1"
+    port = parts.port or 8722
+    family = prom_name(REQUEST_HISTOGRAM)
+
+    async def _poll() -> list:
+        status, body = await http_get(host, port, "/metrics")
+        if status != 200:
+            raise ReproError(
+                f"GET /metrics on {host}:{port} returned HTTP {status} "
+                "(is the server running with metrics enabled?)"
+            )
+        return parse_exposition(body.decode("utf-8"))
+
+    previous: dict[str, float] = {}
+    iteration = 0
+    try:
+        while True:
+            series = histogram_series(asyncio.run(_poll()), family, by="op")
+            iteration += 1
+            print(f"--- poll {iteration}  {host}:{port}  "
+                  f"({len(series)} ops)")
+            print(f"  {'op':<16} {'count':>8} {'req/s':>8} "
+                  f"{'p50_ms':>9} {'p95_ms':>9} {'p99_ms':>9}")
+            totals = {
+                op: sum(counts) for op, (_, counts) in series.items()
+            }
+            for op in sorted(
+                series, key=lambda o: totals[o], reverse=True
+            ):
+                bounds, counts = series[op]
+                delta = totals[op] - previous.get(op, 0.0)
+                rate = (
+                    f"{delta / args.interval:8.1f}" if op in previous
+                    else f"{'-':>8}"
+                )
+                row = [
+                    bucket_quantile(bounds, counts, q) * 1e3
+                    for q in (0.5, 0.95, 0.99)
+                ]
+                print(f"  {op:<16} {int(totals[op]):>8} {rate} "
+                      f"{row[0]:>9.2f} {row[1]:>9.2f} {row[2]:>9.2f}")
+            sys.stdout.flush()
+            previous = totals
+            if args.iterations and iteration >= args.iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "render": _cmd_render,
@@ -664,6 +869,7 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "top": _cmd_top,
 }
 
 

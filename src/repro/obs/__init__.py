@@ -36,9 +36,12 @@ the reproduction itself.  Three layers:
 from repro.obs.registry import (
     Counter,
     Gauge,
+    Histogram,
     MetricsRegistry,
     StatGroup,
     Timer,
+    bucket_quantile,
+    log_buckets,
     registry,
 )
 from repro.obs.spans import (
@@ -54,19 +57,28 @@ from repro.obs.spans import (
 from repro.obs.profiler import PIPELINE_STAGES, Profiler, StageStat
 from repro.obs.export import (
     JsonlSpanSink,
+    JsonlWriter,
     chrome_trace_events,
     format_snapshot,
     read_jsonl_spans,
     write_chrome_trace,
     write_snapshot,
 )
+from repro.obs.expo import (
+    PROM_CONTENT_TYPE,
+    parse_exposition,
+    render_prometheus,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "JsonlSpanSink",
+    "JsonlWriter",
     "MetricsRegistry",
     "PIPELINE_STAGES",
+    "PROM_CONTENT_TYPE",
     "Profiler",
     "Span",
     "StageStat",
@@ -74,14 +86,18 @@ __all__ = [
     "Timer",
     "attach_profiler",
     "attached_profiler",
+    "bucket_quantile",
     "chrome_trace_events",
     "detach_profiler",
     "disable",
     "enable",
     "enabled",
     "format_snapshot",
+    "log_buckets",
+    "parse_exposition",
     "read_jsonl_spans",
     "registry",
+    "render_prometheus",
     "span",
     "write_chrome_trace",
     "write_snapshot",

@@ -39,6 +39,7 @@ __all__ = [
     "write_chrome_trace",
     "causal_chrome_events",
     "write_causal_chrome_trace",
+    "JsonlWriter",
     "JsonlSpanSink",
     "read_jsonl_spans",
     "format_snapshot",
@@ -268,7 +269,56 @@ def write_causal_chrome_trace(causal, path: str | Path) -> Path:
     return path
 
 
-class JsonlSpanSink:
+class JsonlWriter:
+    """One-JSON-object-per-line streaming writer, flushed per record.
+
+    The shared discipline behind every live log the library writes:
+    sorted keys, one object per line, ``flush()`` after each write so
+    the file is tailable while the process runs and survives a crash up
+    to the last completed record.  :class:`JsonlSpanSink` (span
+    exports) and the server's access log
+    (:class:`repro.server.telemetry.ServerTelemetry`) are both built on
+    it, so "JSONL" means exactly one thing across the codebase.
+
+    *target* may be a path (the writer opens and owns the file) or an
+    open text stream (borrowed, left open on :meth:`close`).
+    """
+
+    __slots__ = ("path", "_file", "_owns", "count")
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        self.count = 0
+        if hasattr(target, "write"):
+            self.path = None
+            self._file = target
+            self._owns = False
+        else:
+            self.path = Path(target)
+            self._file = self.path.open("w", encoding="utf-8")
+            self._owns = True
+
+    def write(self, obj: Mapping) -> None:
+        """Append *obj* as one sorted-keys JSON line and flush."""
+        self._file.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._file.flush()
+        self.count += 1
+
+    def close(self) -> None:
+        """Close the underlying file if this writer opened it."""
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        """Context-manager entry: returns self."""
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        """Context-manager exit: closes the file, never swallows."""
+        self.close()
+        return False
+
+
+class JsonlSpanSink(JsonlWriter):
     """A streaming span sink: one JSON object per line, flushed live.
 
     Implements the same ``record(name, began, ended, attrs)`` interface
@@ -288,50 +338,24 @@ class JsonlSpanSink:
     clock).  Use as a context manager to close the file deterministically.
     """
 
-    __slots__ = ("t0", "path", "_file", "_owns", "count")
+    __slots__ = ("t0",)
 
     def __init__(self, target: str | Path | IO[str], t0: float | None = None) -> None:
+        super().__init__(target)
         self.t0 = perf_counter() if t0 is None else t0
-        self.count = 0
-        if hasattr(target, "write"):
-            self.path = None
-            self._file = target
-            self._owns = False
-        else:
-            self.path = Path(target)
-            self._file = self.path.open("w", encoding="utf-8")
-            self._owns = True
 
     def record(
         self, name: str, began: float, ended: float, attrs: dict | None = None
     ) -> None:
         """Append one completed span as a JSON line and flush."""
-        line = json.dumps(
+        self.write(
             {
                 "name": name,
                 "ts_s": max(began - self.t0, 0.0),
                 "dur_s": max(ended - began, 0.0),
                 "attrs": jsonable_attrs(attrs or {}),
-            },
-            sort_keys=True,
+            }
         )
-        self._file.write(line + "\n")
-        self._file.flush()
-        self.count += 1
-
-    def close(self) -> None:
-        """Close the underlying file if this sink opened it."""
-        if self._owns:
-            self._file.close()
-
-    def __enter__(self) -> "JsonlSpanSink":
-        """Context-manager entry: returns self."""
-        return self
-
-    def __exit__(self, *exc_info) -> bool:
-        """Context-manager exit: closes the file, never swallows."""
-        self.close()
-        return False
 
 
 def read_jsonl_spans(source: str | Path | Iterable[str]) -> list[dict]:

@@ -18,7 +18,11 @@ Layers (one module each):
 * :mod:`repro.server.state` — shared-vs-per-session state split and
   the op dispatch (:class:`~repro.server.state.SessionState.apply`);
 * :mod:`repro.server.ws` — stdlib RFC 6455 WebSocket codec;
-* :mod:`repro.server.app` — the asyncio HTTP/WS server;
+* :mod:`repro.server.telemetry` — per-request accounting: latency
+  histograms, the JSONL access log, and the
+  :class:`~repro.server.telemetry.ServerRecorder` self-trace;
+* :mod:`repro.server.app` — the asyncio HTTP/WS server (including
+  ``GET /metrics`` Prometheus exposition and ``stats_stream`` pushes);
 * :mod:`repro.server.client` — a minimal WebSocket client;
 * :mod:`repro.server.load` — deterministic scrub storms, the
   concurrent load harness and the differential oracle replay.
@@ -37,15 +41,24 @@ from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     canonical_json,
+    push_envelope,
     view_payload,
 )
 from repro.server.state import ServerConfig, SessionState, SharedServerState
+from repro.server.telemetry import (
+    RequestRecord,
+    ServerRecorder,
+    ServerTelemetry,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
     "ReproServer",
+    "RequestRecord",
     "ServerConfig",
+    "ServerRecorder",
+    "ServerTelemetry",
     "SessionState",
     "SharedResultCache",
     "SharedServerState",
@@ -54,6 +67,7 @@ __all__ = [
     "format_report",
     "http_get",
     "make_storm",
+    "push_envelope",
     "replay_storm_local",
     "run_load",
     "view_payload",

@@ -3,13 +3,23 @@
 :class:`ReproServer` binds one TCP socket and speaks a tiny HTTP/1.1
 subset on it:
 
-* ``GET /healthz`` — liveness probe, ``{"ok": true}``;
+* ``GET /healthz`` — liveness + readiness probe (sessions, cache
+  occupancy, uptime);
 * ``GET /info`` — trace vitals (entities, kinds, metrics, span);
 * ``GET /stats`` — server / shared-cache / shared-structure counters;
+* ``GET /metrics`` — the whole metrics registry in Prometheus text
+  exposition format (:mod:`repro.obs.expo`); disable with
+  ``ServerConfig(metrics=False)``;
 * ``GET /render?start=..&end=..[&depth=..]`` — a one-shot SVG tile of
   the requested slice, rendered by an ephemeral session;
 * ``GET /ws`` with an ``Upgrade: websocket`` header — the interactive
-  session protocol of :mod:`repro.server.protocol`.
+  session protocol of :mod:`repro.server.protocol`, including the
+  server-initiated ``stats_stream`` push frames.
+
+Every request — HTTP and WebSocket alike — is accounted end-to-end
+through :class:`~repro.server.telemetry.ServerTelemetry`: per-op
+latency histograms, byte totals, the JSONL access log, and the
+:class:`~repro.server.telemetry.ServerRecorder` self-trace.
 
 Everything runs on one event loop; the per-request work (aggregation,
 layout, render) is synchronous CPU-bound Python, so requests from
@@ -22,22 +32,38 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import urllib.parse
 
 from repro.core.render.svg import SvgRenderer
 from repro.errors import ReproError
+from repro.obs.expo import PROM_CONTENT_TYPE, render_prometheus
+from repro.obs.registry import registry
+from repro.obs.spans import span
 from repro.server.protocol import (
     ProtocolError,
     canonical_json,
-    decode_request,
     error_envelope,
+    push_envelope,
 )
 from repro.server.state import ServerConfig, SessionState, SharedServerState
+from repro.server.telemetry import RequestRecord
 from repro.server.ws import WebSocketConnection, WebSocketError, accept_token
 
 __all__ = ["ReproServer"]
 
 _MAX_HEAD = 64 * 1024
+
+#: Telemetry op names of the HTTP routes (unknown paths collapse to
+#: ``http.other`` so client-chosen strings never inflate label
+#: cardinality).
+_HTTP_OPS = {
+    "/healthz": "http.healthz",
+    "/info": "http.info",
+    "/stats": "http.stats",
+    "/metrics": "http.metrics",
+    "/render": "http.render",
+}
 
 
 class ReproServer:
@@ -86,11 +112,12 @@ class ReproServer:
             await self._server.serve_forever()
 
     async def aclose(self) -> None:
-        """Stop accepting and close the listening socket."""
+        """Stop accepting, close the socket, flush the access log."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        self.state.telemetry.close()
 
     async def __aenter__(self) -> "ReproServer":
         await self.start()
@@ -125,7 +152,7 @@ class ReproServer:
             await self._handle_ws(reader, writer, headers)
             return
         try:
-            await self._handle_http(writer, method, target)
+            await self._handle_http(writer, method, target, len(head))
         finally:
             writer.close()
             try:
@@ -133,26 +160,74 @@ class ReproServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _handle_http(self, writer, method: str, target: str) -> None:
+    async def _handle_http(
+        self, writer, method: str, target: str, bytes_in: int = 0
+    ) -> None:
+        telemetry = self.state.telemetry
+        began = telemetry.now()
         self.state.stats["http_requests"] += 1
         parts = urllib.parse.urlsplit(target)
         query = dict(urllib.parse.parse_qsl(parts.query))
-        if method != "GET":
-            await _respond(writer, 405, {"error": "only GET is supported"})
-            return
-        if parts.path == "/healthz":
-            await _respond(writer, 200, {"ok": True})
-        elif parts.path == "/info":
-            await _respond(writer, 200, self.state.info())
-        elif parts.path == "/stats":
-            await _respond(writer, 200, self.state.stats_payload())
-        elif parts.path == "/render":
-            await self._handle_render(writer, query)
-        else:
-            await _respond(writer, 404, {"error": f"no route {parts.path!r}"})
+        op = _HTTP_OPS.get(parts.path, "http.other")
+        ok, code = True, ""
+        with span("server.request", op=op):
+            if method != "GET":
+                ok, code = False, "bad_request"
+                self.state.record_error(code)
+                bytes_out = await _respond(
+                    writer, 405, {"error": "only GET is supported"}
+                )
+            elif parts.path == "/healthz":
+                bytes_out = await _respond(
+                    writer, 200, self.state.health_payload()
+                )
+            elif parts.path == "/info":
+                bytes_out = await _respond(writer, 200, self.state.info())
+            elif parts.path == "/stats":
+                bytes_out = await _respond(
+                    writer, 200, self.state.stats_payload()
+                )
+            elif parts.path == "/metrics" and self.config.metrics:
+                bytes_out = await _respond_raw(
+                    writer,
+                    200,
+                    PROM_CONTENT_TYPE,
+                    render_prometheus().encode("utf-8"),
+                )
+            elif parts.path == "/metrics":
+                ok, code = False, "bad_request"
+                self.state.record_error(code)
+                bytes_out = await _respond(
+                    writer, 404, {"error": "metrics exposition is disabled"}
+                )
+            elif parts.path == "/render":
+                bytes_out, ok, code = await self._handle_render(writer, query)
+            else:
+                ok, code = False, "bad_request"
+                self.state.record_error(code)
+                bytes_out = await _respond(
+                    writer, 404, {"error": f"no route {parts.path!r}"}
+                )
+        telemetry.observe(
+            RequestRecord(
+                session="http",
+                op=op,
+                began_s=began,
+                wall_s=telemetry.now() - began,
+                bytes_in=bytes_in,
+                bytes_out=bytes_out,
+                tier="none",
+                ok=ok,
+                code=code,
+            )
+        )
 
-    async def _handle_render(self, writer, query: dict) -> None:
-        """One-shot SVG tile: an ephemeral session, never registered."""
+    async def _handle_render(self, writer, query: dict) -> tuple[int, bool, str]:
+        """One-shot SVG tile: an ephemeral session, never registered.
+
+        Returns ``(bytes_out, ok, error_code)`` for the caller's
+        request accounting.
+        """
         try:
             msg = {"op": "scrub"}
             for field in ("start", "end"):
@@ -183,17 +258,22 @@ class ReproServer:
             view = session.session.view(settle_steps=self.config.settle_steps)
             markup = SvgRenderer().render(view)
         except ProtocolError as err:
-            await _respond(
+            self.state.record_error(err.code)
+            bytes_out = await _respond(
                 writer, 400, {"error": {"code": err.code, "message": err.message}}
             )
-            return
+            return bytes_out, False, err.code
         except ReproError as err:
-            await _respond(
+            self.state.record_error("server_error")
+            bytes_out = await _respond(
                 writer, 500,
                 {"error": {"code": "server_error", "message": str(err)}},
             )
-            return
-        await _respond_raw(writer, 200, "image/svg+xml", markup.encode("utf-8"))
+            return bytes_out, False, "server_error"
+        bytes_out = await _respond_raw(
+            writer, 200, "image/svg+xml", markup.encode("utf-8")
+        )
+        return bytes_out, True, ""
 
     async def _handle_ws(self, reader, writer, headers: dict) -> None:
         key = headers.get("sec-websocket-key")
@@ -218,6 +298,7 @@ class ReproServer:
         )
         await writer.drain()
         ws = WebSocketConnection(reader, writer, is_server=True)
+        telemetry = self.state.telemetry
         try:
             while True:
                 try:
@@ -226,44 +307,92 @@ class ReproServer:
                     break
                 if text is None:
                     break
-                reply, done = self._serve_frame(session, text)
+                began = telemetry.now()
+                with span("server.request", session=session.session_id):
+                    reply, done, meta = self._serve_frame(session, text)
                 await ws.send_text(reply)
+                telemetry.observe(
+                    RequestRecord(
+                        session=session.session_id,
+                        op=meta["op"],
+                        began_s=began,
+                        wall_s=telemetry.now() - began,
+                        bytes_in=len(text.encode("utf-8")),
+                        bytes_out=len(reply.encode("utf-8")),
+                        tier=meta["tier"],
+                        ok=meta["ok"],
+                        code=meta["code"],
+                    )
+                )
+                if "stream" in meta:
+                    await self._stream_stats(ws, meta["stream"])
                 if done:
                     break
         finally:
             self.state.close_session(session.session_id)
             await ws.close()
 
+    async def _stream_stats(self, ws: WebSocketConnection, params: dict) -> None:
+        """Send the push frames an accepted ``stats_stream`` subscribed to.
+
+        *params* is the validated subscription the op handler returned
+        (``interval_s`` / ``count`` / ``prefix``).  Each push is a
+        :func:`~repro.server.protocol.push_envelope` of kind
+        ``"stats"`` carrying the registry snapshot (non-finite values
+        filtered — canonical JSON rejects NaN) and the server uptime.
+        A vanished client simply ends the stream.
+        """
+        for seq in range(params["count"]):
+            await asyncio.sleep(params["interval_s"])
+            snapshot = {
+                key: value
+                for key, value in registry.snapshot(params["prefix"]).items()
+                if math.isfinite(value)
+            }
+            frame = push_envelope(
+                "stats",
+                seq,
+                {
+                    "uptime_s": round(self.state.telemetry.now(), 6),
+                    "stats": snapshot,
+                },
+            )
+            try:
+                await ws.send_text(canonical_json(frame))
+            except (ConnectionError, WebSocketError, OSError):
+                break
+
     def _serve_frame(
         self, session: SessionState, text: str
-    ) -> tuple[str, bool]:
+    ) -> tuple[str, bool, dict]:
         """One request frame in, one canonical reply frame out.
 
-        Returns ``(reply_text, session_is_done)``.  Never raises for
-        request-level failures — malformed frames become typed error
-        envelopes and the session stays usable.
+        Returns ``(reply_text, session_is_done, meta)`` — *meta* is the
+        accounting dict of
+        :meth:`~repro.server.state.SharedServerState.handle_frame`,
+        extended with a ``"stream"`` key holding the subscription
+        parameters when the frame was an accepted ``stats_stream``.
+        Never raises for request-level failures — malformed frames
+        become typed error envelopes and the session stays usable.
         """
-        try:
-            msg = decode_request(text)
-        except ProtocolError as err:
-            self.state.stats["requests"] += 1
-            self.state.stats["errors"] += 1
-            envelope = error_envelope(None, err.code, err.message)
-            return canonical_json(envelope), False
-        envelope = self.state.dispatch(session, msg)
-        done = bool(envelope.get("ok")) and msg.get("op") == "bye"
+        envelope, meta = self.state.handle_frame(session, text)
+        done = meta["ok"] and meta["op"] == "bye"
         try:
             reply = canonical_json(envelope)
         except ValueError as err:
             # A non-finite float escaped into a payload: report instead
             # of shipping NaN bytes.
+            self.state.record_error("server_error")
+            meta = dict(meta, ok=False, code="server_error")
             reply = canonical_json(
                 error_envelope(
-                    msg.get("id"), "server_error",
+                    envelope.get("id"), "server_error",
                     f"unserializable payload: {err}",
                 )
             )
-        return reply, done
+        if meta["ok"] and meta["op"] == "stats_stream":
+            meta = dict(meta, stream=envelope["result"])
+        return reply, done, meta
 
 
 def _ephemeral_session(state: SharedServerState):
@@ -299,10 +428,10 @@ def _parse_head(head: bytes) -> tuple[str, str, dict]:
     return method, target, headers
 
 
-async def _respond(writer, status: int, payload: dict) -> None:
-    """Send one JSON HTTP response."""
+async def _respond(writer, status: int, payload: dict) -> int:
+    """Send one JSON HTTP response; returns the body size in bytes."""
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
-    await _respond_raw(writer, status, "application/json", body)
+    return await _respond_raw(writer, status, "application/json", body)
 
 
 _REASONS = {
@@ -314,8 +443,8 @@ _REASONS = {
 
 async def _respond_raw(
     writer, status: int, content_type: str, body: bytes
-) -> None:
-    """Send one complete HTTP/1.1 response and flush it."""
+) -> int:
+    """Send one complete HTTP/1.1 response; returns the body size."""
     reason = _REASONS.get(status, "Unknown")
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
@@ -328,3 +457,4 @@ async def _respond_raw(
         await writer.drain()
     except (ConnectionError, OSError):
         pass
+    return len(body)

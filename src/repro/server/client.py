@@ -82,6 +82,38 @@ class WsClient:
             raise WebSocketError("server closed before replying")
         return json.loads(reply)
 
+    async def recv_json(self) -> dict | None:
+        """The next frame as a dict — replies *and* server-initiated
+        push frames (``{"push": ...}``) — or ``None`` once closed."""
+        text = await self.ws.recv_text()
+        return None if text is None else json.loads(text)
+
+    async def stream_stats(
+        self, interval: float = 0.05, count: int = 1, prefix: str = ""
+    ) -> list[dict]:
+        """Subscribe via ``stats_stream`` and collect its push frames.
+
+        Sends the subscription, checks the acceptance envelope, then
+        awaits exactly the promised number of pushes (fewer if the
+        server goes away).  Raises :class:`WebSocketError` when the
+        subscription is refused — callers exercising the exposition
+        path (``repro serve --selfcheck``) want that loud.
+        """
+        envelope = await self.request(
+            "stats_stream", interval=interval, count=count, prefix=prefix
+        )
+        if not envelope.get("ok"):
+            raise WebSocketError(
+                f"stats_stream refused: {envelope.get('error')}"
+            )
+        pushes: list[dict] = []
+        for _ in range(envelope["result"]["count"]):
+            frame = await self.recv_json()
+            if frame is None:
+                break
+            pushes.append(frame)
+        return pushes
+
     async def close(self) -> None:
         """Close the WebSocket and the transport."""
         await self.ws.close()

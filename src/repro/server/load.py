@@ -29,10 +29,13 @@ import time
 import urllib.parse
 
 from repro.errors import ReproError
+from repro.obs.expo import histogram_series, parse_exposition, prom_name
+from repro.obs.registry import bucket_quantile
 from repro.server.app import ReproServer
 from repro.server.client import WsClient, http_get
 from repro.server.protocol import canonical_json
 from repro.server.state import ServerConfig, SessionState
+from repro.server.telemetry import REQUEST_HISTOGRAM, format_breakdown
 
 __all__ = [
     "default_group_paths",
@@ -42,7 +45,61 @@ __all__ = [
     "replay_storm_local",
     "run_load",
     "run_load_async",
+    "scrape_breakdown",
 ]
+
+#: Exposition family name of the per-op request histograms.
+_REQUEST_FAMILY = prom_name(REQUEST_HISTOGRAM)
+
+
+async def scrape_breakdown(host: str, port: int) -> dict | None:
+    """Per-op histogram state scraped from a remote ``/metrics``.
+
+    Returns ``{op: (bounds, bucket_counts, count, sum)}`` — the same
+    shape :meth:`~repro.server.telemetry.ServerTelemetry.breakdown`
+    derives in-process — or ``None`` when the endpoint is unavailable
+    (older server, ``--no-metrics``).  Two scrapes bracketing a load
+    run subtract into the run's own per-op latency distribution.
+    """
+    status, body = await http_get(host, port, "/metrics")
+    if status != 200:
+        return None
+    samples = parse_exposition(body.decode("utf-8"))
+    series = histogram_series(samples, _REQUEST_FAMILY, by="op")
+    counts: dict[str, float] = {}
+    sums: dict[str, float] = {}
+    for sample in samples:
+        if sample.name == f"{_REQUEST_FAMILY}_count":
+            counts[sample.label("op")] = sample.value
+        elif sample.name == f"{_REQUEST_FAMILY}_sum":
+            sums[sample.label("op")] = sample.value
+    return {
+        op: (bounds, buckets, counts.get(op, 0.0), sums.get(op, 0.0))
+        for op, (bounds, buckets) in series.items()
+    }
+
+
+def _breakdown_between(before: dict | None, after: dict) -> dict:
+    """The per-op latency summary of the interval between two scrapes."""
+    out: dict[str, dict[str, float]] = {}
+    for op in sorted(after):
+        bounds, buckets, count, total = after[op]
+        base = (before or {}).get(op)
+        base_buckets = base[1] if base else [0.0] * len(buckets)
+        base_count = base[2] if base else 0.0
+        base_sum = base[3] if base else 0.0
+        delta = [now - then for now, then in zip(buckets, base_buckets)]
+        n = count - base_count
+        if n <= 0:
+            continue
+        out[op] = {
+            "count": float(n),
+            "mean_s": (total - base_sum) / n,
+            "p50_s": bucket_quantile(bounds, delta, 0.5),
+            "p95_s": bucket_quantile(bounds, delta, 0.95),
+            "p99_s": bucket_quantile(bounds, delta, 0.99),
+        }
+    return out
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -216,6 +273,9 @@ async def run_load_async(
         storm = make_storm(
             span, moves=moves, seed=seed, group_paths=group_paths
         )
+        scrape_before = (
+            await scrape_breakdown(host, port) if own_server is None else None
+        )
         began = time.perf_counter()
         results = await asyncio.gather(
             *(_client_storm(host, port, storm) for _ in range(sessions))
@@ -259,6 +319,7 @@ async def run_load_async(
         if own_server is not None:
             report["cache"] = own_server.state.cache.snapshot()
             report["server"] = dict(own_server.state.stats)
+            report["server_ops"] = own_server.state.telemetry.breakdown()
         else:
             import json as _json
 
@@ -267,6 +328,11 @@ async def run_load_async(
                 stats = _json.loads(body)
                 report["cache"] = stats.get("cache", {})
                 report["server"] = stats.get("server", {})
+            scrape_after = await scrape_breakdown(host, port)
+            if scrape_after is not None:
+                report["server_ops"] = _breakdown_between(
+                    scrape_before, scrape_after
+                )
         return report
     finally:
         if own_server is not None:
@@ -339,4 +405,8 @@ def format_report(report: dict) -> str:
         lines.append(
             f"differential        {verdict} over {diff['checked']} payloads"
         )
+    ops = report.get("server_ops")
+    if ops:
+        lines.append("per-op server latency (from request histograms)")
+        lines.append(format_breakdown(ops))
     return "\n".join(lines)

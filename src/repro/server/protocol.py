@@ -8,6 +8,13 @@ Requests name an operation (``{"id": 7, "op": "scrub", "start": 10.0,
 * failure — ``{"id": 7, "ok": false, "error": {"code": "bad_slice",
   "message": "..."}}`` with a typed code from :data:`ERROR_CODES`.
 
+One message class flows the *other* way: after an accepted
+``stats_stream`` request the server sends **push frames**
+(:func:`push_envelope`) — ``{"push": "stats", "seq": 0, "data":
+{...}}`` — which carry no ``id`` and no ``ok`` key, so a client can
+always tell an unsolicited push from a reply by the presence of
+``push``.
+
 All server output is serialized with :func:`canonical_json` — sorted
 keys, no whitespace, ``NaN`` rejected — so a payload has exactly one
 byte representation.  That is what makes the cross-session differential
@@ -38,6 +45,7 @@ __all__ = [
     "decode_request",
     "error_envelope",
     "ok_envelope",
+    "push_envelope",
     "require_finite",
     "require_int",
     "require_path",
@@ -111,6 +119,17 @@ def decode_request(text: str) -> dict:
 def ok_envelope(request_id: Any, op: str, result: dict) -> dict:
     """The success reply envelope for request *request_id*."""
     return {"id": request_id, "ok": True, "op": op, "result": result}
+
+
+def push_envelope(kind: str, seq: int, data: dict) -> dict:
+    """A server-initiated push frame (``stats_stream`` and friends).
+
+    Pushes carry a *kind* discriminator, a monotonically increasing
+    per-stream *seq*, and the payload under ``data`` — but no ``id``
+    and no ``ok``, so request/reply correlation logic never mistakes
+    one for a reply.
+    """
+    return {"push": kind, "seq": seq, "data": data}
 
 
 def error_envelope(request_id: Any, code: str, message: str) -> dict:

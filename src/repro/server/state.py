@@ -30,8 +30,10 @@ from repro.errors import HierarchyError, ReproError
 from repro.obs.registry import registry
 from repro.server.cache import SharedResultCache
 from repro.server.protocol import (
+    ERROR_CODES,
     PROTOCOL_VERSION,
     ProtocolError,
+    decode_request,
     error_envelope,
     ok_envelope,
     require_finite,
@@ -39,6 +41,7 @@ from repro.server.protocol import (
     require_path,
     view_payload,
 )
+from repro.server.telemetry import CACHE_TIERS, ServerTelemetry
 
 __all__ = ["ServerConfig", "SessionState", "SharedServerState"]
 
@@ -70,6 +73,12 @@ class ServerConfig:
     layout_workers: int | None = None
     #: First-position strategy (``"radial"`` or ``"multilevel"``).
     seeding: str = "radial"
+    #: Path of the JSONL access log (one object per request); ``None``
+    #: disables it.  CLI flag ``--access-log``.
+    access_log: str | None = None
+    #: Serve ``GET /metrics`` (Prometheus text exposition).  CLI flag
+    #: ``--metrics/--no-metrics``.
+    metrics: bool = True
 
 
 class SessionState:
@@ -231,6 +240,47 @@ class SessionState:
             "agg": dict(self.session.aggregation_stats),
         }
 
+    def _op_stats_stream(self, msg: dict) -> dict:
+        """Subscribe to server-initiated registry-snapshot pushes.
+
+        Validates and echoes the subscription (``interval`` seconds
+        between pushes, ``count`` pushes, optional snapshot name
+        ``prefix``); the transport layer
+        (:meth:`repro.server.app.ReproServer._stream_stats`) sends the
+        actual push frames after this reply.  The op is deliberately
+        side-effect-free on session state so the differential oracle
+        replays it byte-identically.
+        """
+        interval = (
+            require_finite(msg, "interval") if "interval" in msg else 1.0
+        )
+        if interval < 0:
+            raise ProtocolError(
+                "bad_request", "field 'interval' must be >= 0"
+            )
+        if interval > 3600:
+            raise ProtocolError(
+                "bad_request", "field 'interval' must be <= 3600 seconds"
+            )
+        count = (
+            require_int(msg, "count", minimum=1) if "count" in msg else 1
+        )
+        if count > 10000:
+            raise ProtocolError(
+                "bad_request", "field 'count' must be <= 10000"
+            )
+        prefix = msg.get("prefix", "")
+        if not isinstance(prefix, str):
+            raise ProtocolError(
+                "bad_request", "field 'prefix' must be a string"
+            )
+        return {
+            "streaming": True,
+            "interval_s": interval,
+            "count": count,
+            "prefix": prefix,
+        }
+
     def _op_bye(self, msg: dict) -> dict:
         """Orderly goodbye; the server closes the socket after replying."""
         return {"closed": True}
@@ -245,6 +295,7 @@ class SessionState:
         "view": _op_view,
         "svg": _op_svg,
         "stats": _op_stats,
+        "stats_stream": _op_stats_stream,
         "bye": _op_bye,
     }
 
@@ -260,15 +311,28 @@ class SharedServerState:
         self.sessions: dict[str, SessionState] = {}
         self._ids = itertools.count(1)
         #: lifecycle counters, a :class:`repro.obs.StatGroup`
-        #: registered under the ``server`` namespace
-        self.stats: dict[str, int] = registry.group("server", {
+        #: registered under the ``server`` namespace.  Every typed
+        #: protocol error code is pre-seeded at zero so the
+        #: ``errors.<code>`` key set always equals ``ERROR_CODES``
+        #: (parity pinned by ``tests/test_server_telemetry.py``).
+        initial: dict[str, int] = {
             "sessions_opened": 0,
             "sessions_closed": 0,
             "sessions_rejected": 0,
             "requests": 0,
             "errors": 0,
             "http_requests": 0,
-        })
+            "bytes_in": 0,
+            "bytes_out": 0,
+        }
+        for code in ERROR_CODES:
+            initial[f"errors.{code}"] = 0
+        self.stats: dict[str, int] = registry.group("server", initial)
+        #: The per-request accounting funnel (histograms, access log,
+        #: self-trace recorder) — see :mod:`repro.server.telemetry`.
+        self.telemetry = ServerTelemetry(
+            self.stats, access_log=self.config.access_log
+        )
         # Pay the hierarchy build at startup, not on first connect.
         self.shared.hierarchy
 
@@ -280,6 +344,7 @@ class SharedServerState:
         """
         if len(self.sessions) >= self.config.max_sessions:
             self.stats["sessions_rejected"] += 1
+            self.record_error("session_limit")
             raise ProtocolError(
                 "session_limit",
                 f"server is at its limit of "
@@ -311,6 +376,20 @@ class SharedServerState:
             state.session.close()
             self.stats["sessions_closed"] += 1
 
+    def record_error(self, code: str) -> None:
+        """Count one produced error envelope, total and per typed code.
+
+        The *single* error-accounting site: every path that builds an
+        error envelope — frame decode, op dispatch, session admission,
+        HTTP endpoints — funnels through here, so the total ``errors``
+        counter and the per-code ``errors.<code>`` breakdown cannot
+        drift apart.
+        """
+        if code not in ERROR_CODES:
+            code = "server_error"
+        self.stats["errors"] += 1
+        self.stats[f"errors.{code}"] += 1
+
     def dispatch(self, state: SessionState, msg: dict) -> dict:
         """Apply *msg* to *state*, producing a reply envelope dict.
 
@@ -324,12 +403,50 @@ class SharedServerState:
         try:
             result = state.apply(msg)
         except ProtocolError as err:
-            self.stats["errors"] += 1
+            self.record_error(err.code)
             return error_envelope(request_id, err.code, err.message)
         except ReproError as err:
-            self.stats["errors"] += 1
+            self.record_error("server_error")
             return error_envelope(request_id, "server_error", str(err))
         return ok_envelope(request_id, op, result)
+
+    def handle_frame(self, state: SessionState, text: str) -> tuple[dict, dict]:
+        """Decode and dispatch one raw frame: envelope plus metadata.
+
+        Returns ``(envelope, meta)`` where *meta* carries what the
+        telemetry layer needs to account the request without re-parsing
+        the reply: ``op`` (``"invalid"`` for undecodable frames),
+        ``ok``, the error ``code`` (or ``""``), and the cache ``tier``
+        that served it — one of
+        :data:`~repro.server.telemetry.CACHE_TIERS`, attributed by
+        diffing the session's aggregation-engine counters around the
+        dispatch.  Never raises for request-level failures.
+        """
+        meta = {"op": "invalid", "ok": False, "code": "", "tier": "none"}
+        try:
+            msg = decode_request(text)
+        except ProtocolError as err:
+            self.stats["requests"] += 1
+            self.record_error(err.code)
+            meta["code"] = err.code
+            return error_envelope(None, err.code, err.message), meta
+        op = msg.get("op")
+        if isinstance(op, str) and op in SessionState._OPS:
+            meta["op"] = op
+        before = state.session.aggregation_stats  # a point-in-time copy
+        envelope = self.dispatch(state, msg)
+        after = state.session.aggregation_stats
+        meta["ok"] = bool(envelope.get("ok"))
+        if not meta["ok"]:
+            meta["code"] = envelope.get("error", {}).get("code", "")
+        if after.get("views", 0) > before.get("views", 0):
+            if after.get("shared_hits", 0) > before.get("shared_hits", 0):
+                meta["tier"] = CACHE_TIERS[0]  # shared
+            elif after.get("combine_hits", 0) > before.get("combine_hits", 0):
+                meta["tier"] = CACHE_TIERS[1]  # local
+            else:
+                meta["tier"] = CACHE_TIERS[2]  # fresh
+        return envelope, meta
 
     def info(self) -> dict:
         """The ``/info`` endpoint payload: trace and server vitals."""
@@ -353,4 +470,21 @@ class SharedServerState:
             "server": dict(self.stats),
             "cache": self.cache.snapshot(),
             "shared": dict(self.shared.stats),
+        }
+
+    def health_payload(self) -> dict:
+        """The ``/healthz`` readiness payload.
+
+        Besides the liveness bit, reports what a load balancer or
+        operator needs to judge readiness: live session count against
+        the ceiling, shared-cache occupancy, uptime and requests
+        served.
+        """
+        return {
+            "ok": True,
+            "sessions": len(self.sessions),
+            "max_sessions": self.config.max_sessions,
+            "cache_entries": self.cache.snapshot().get("size", 0),
+            "uptime_s": round(self.telemetry.now(), 3),
+            "requests": self.stats["requests"],
         }

@@ -159,12 +159,22 @@ class WebSocketConnection:
         self.writer = writer
         self.is_server = is_server
         self.closed = False
+        #: Payload bytes and frames moved in each direction, maintained
+        #: by :meth:`_send` / :meth:`recv_text` so the server's
+        #: per-request accounting (:mod:`repro.server.telemetry`) can
+        #: attribute connection traffic without re-encoding frames.
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
 
     async def send_text(self, text: str) -> None:
         """Send one text message."""
         await self._send(OP_TEXT, text.encode("utf-8"))
 
     async def _send(self, opcode: int, payload: bytes) -> None:
+        self.bytes_sent += len(payload)
+        self.frames_sent += 1
         self.writer.write(
             encode_frame(opcode, payload, mask=not self.is_server)
         )
@@ -180,6 +190,8 @@ class WebSocketConnection:
         assembling = False
         while True:
             opcode, fin, payload = await read_frame(self.reader)
+            self.bytes_received += len(payload)
+            self.frames_received += 1
             if opcode == OP_PING:
                 await self._send(OP_PONG, payload)
                 continue

@@ -1,9 +1,11 @@
 """Tests for the command-line interface (python -m repro ...)."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
-from repro.trace import write_trace
+from repro.trace import read_trace, write_trace
 from repro.trace.synthetic import figure1_trace, random_hierarchical_trace
 
 
@@ -426,6 +428,140 @@ class TestServe:
         assert args.port == 8722
         assert args.max_sessions == 64
         assert not args.selfcheck
+        assert args.access_log is None
+        assert args.metrics is True
+        assert args.self_trace is None
+
+    def test_parser_observability_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "t.trace", "--access-log", "a.jsonl",
+             "--no-metrics", "--self-trace", "self.trace"]
+        )
+        assert str(args.access_log) == "a.jsonl"
+        assert args.metrics is False
+        assert str(args.self_trace) == "self.trace"
+
+    def test_selfcheck_exercises_observability(self, grid_file, capsys):
+        """--selfcheck probes /metrics and stats_stream on a live
+        instance, and the report carries the per-op breakdown."""
+        code = main(
+            ["serve", str(grid_file), "--selfcheck", "--settle-steps", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "observability selfcheck (/metrics + stats_stream): OK" in out
+        assert "per-op server latency" in out
+        assert "scrub" in out
+
+    def test_daemon_writes_access_log_and_self_trace(
+        self, grid_file, tmp_path
+    ):
+        """A real daemon, terminated with SIGTERM, leaves behind the
+        JSONL access log and a renderable self-trace."""
+        import asyncio
+        import json
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        from repro.server.client import http_get
+
+        access = tmp_path / "access.jsonl"
+        self_trace = tmp_path / "self.trace"
+        src = Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(grid_file),
+             "--port", "0", "--settle-steps", "0",
+             "--access-log", str(access), "--self-trace", str(self_trace)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "serving" in line, line
+            match = re.search(r"http://[\d.]+:(\d+)", line)
+            assert match is not None, line
+            port = int(match.group(1))
+            status, _ = asyncio.run(http_get("127.0.0.1", port, "/healthz"))
+            assert status == 200
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=30) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        lines = [json.loads(l) for l in access.read_text().splitlines()]
+        assert lines and lines[0]["op"] == "http.healthz"
+        trace = read_trace(self_trace)
+        assert trace.meta["generator"] == "repro.server.telemetry"
+        assert any(e.kind == "session" for e in trace)
+
+
+class TestTop:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["top", "http://127.0.0.1:8722"])
+        assert args.interval == 1.0
+        assert args.iterations == 0
+
+    def test_unreachable_server_is_an_error(self, capsys):
+        assert main(["top", "http://127.0.0.1:9", "--iterations", "1"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_polls_metrics_into_a_per_op_table(self, grid_file, capsys):
+        import asyncio
+        import threading
+
+        from repro.server import ReproServer, ServerConfig, WsClient
+
+        trace = read_trace(grid_file)
+        config = ServerConfig(settle_steps=0)
+        started = threading.Event()
+        box = {}
+
+        def run_server():
+            async def serve():
+                server = ReproServer(trace, config)
+                await server.start()
+                box["port"] = server.port
+                box["stop"] = asyncio.Event()
+                box["loop"] = asyncio.get_running_loop()
+                started.set()
+                await box["stop"].wait()
+                await server.aclose()
+
+            asyncio.run(serve())
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert started.wait(timeout=10)
+
+        async def drive():
+            client = await WsClient.connect(config.host, box["port"])
+            try:
+                await client.request("hello")
+                await client.request("scrub", start=0.0, end=1.0)
+                await client.request("bye")
+            finally:
+                await client.close()
+
+        asyncio.run(drive())
+        try:
+            code = main(
+                ["top", f"http://127.0.0.1:{box['port']}",
+                 "--interval", "0.05", "--iterations", "2"]
+            )
+        finally:
+            box["loop"].call_soon_threadsafe(box["stop"].set)
+            thread.join(timeout=10)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "poll 1" in out and "poll 2" in out
+        assert "p95_ms" in out
+        assert "scrub" in out and "hello" in out
 
 
 class TestLoadtest:
