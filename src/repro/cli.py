@@ -29,6 +29,17 @@ Usage (``python -m repro <command> ...``):
   ``--chrome`` exports Chrome/Perfetto flow events (message causality
   as arrows), ``--out`` writes the span DAG as an ordinary repro trace
   that ``render``/``timeline`` can visualize;
+* ``latency <app>`` — run the same built-in applications and print the
+  latency-propagation analysis (:mod:`repro.obs.latency`): per-process
+  and per-link latency/queueing-slack attribution with its
+  conservation report, plus the top-k propagation paths through the
+  causal DAG.  ``--svg`` renders the topology colored by *caused
+  latency* (the derived metrics flow through Equation 1, so ``--depth``
+  aggregates them like any other metric), ``--bands`` renders the
+  band-mode timeline (aggregated communication bands instead of
+  per-message arrows), ``--out`` writes the attribution as a repro
+  trace whose ``caused_latency`` / ``queue_slack`` / ``msg_count``
+  signals every other subcommand (and the server) can aggregate;
 * ``convert <trace> <out.rtrace>`` — convert a text trace to the binary
   columnar store format (:mod:`repro.trace.store`); every other
   subcommand then opens the ``.rtrace`` file through ``numpy.memmap``
@@ -80,12 +91,29 @@ from repro.core import (
     render_ascii,
     render_svg,
 )
+from repro.core.timeline import AUTO_BAND_THRESHOLD
 from repro.errors import ReproError
 from repro.obs import Profiler
 from repro.trace import read_trace, write_trace
 from repro.trace.paje import read_paje
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_app_flags(p: argparse.ArgumentParser) -> None:
+    """The built-in traced-application flags shared by ``causal`` and
+    ``latency``."""
+    p.add_argument("app", choices=("master-worker", "stencil"),
+                   help="which simulated application to trace")
+    p.add_argument("--workers", type=int, default=4,
+                   help="master-worker: number of worker hosts")
+    p.add_argument("--tasks", type=int, default=8,
+                   help="master-worker: bag-of-tasks size")
+    p.add_argument("--grid", nargs=2, type=int, default=(3, 3),
+                   metavar=("NX", "NY"),
+                   help="stencil: logical rank grid (>= 3x3)")
+    p.add_argument("--iterations", type=int, default=4,
+                   help="stencil: number of halo-exchange iterations")
 
 
 def _add_layout_flags(p: argparse.ArgumentParser) -> None:
@@ -157,6 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="SVG output (default: ASCII to stdout)")
     timeline.add_argument("--by-host", action="store_true",
                           help="fold process rows onto their hosts")
+    timeline.add_argument("--mode", choices=("auto", "arrows", "bands"),
+                          default="auto",
+                          help="communication layer: per-message arrows, "
+                          "aggregated bands, or auto (bands above "
+                          f"{AUTO_BAND_THRESHOLD} messages)")
+    timeline.add_argument("--slices", type=int, default=64,
+                          help="time slices for band aggregation")
 
     treemap = sub.add_parser("treemap", help="squarified treemap view")
     treemap.add_argument("trace", type=Path)
@@ -224,17 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         "causal",
         help="causally trace a built-in simulated app; print the span DAG",
     )
-    causal.add_argument("app", choices=("master-worker", "stencil"),
-                        help="which simulated application to trace")
-    causal.add_argument("--workers", type=int, default=4,
-                        help="master-worker: number of worker hosts")
-    causal.add_argument("--tasks", type=int, default=8,
-                        help="master-worker: bag-of-tasks size")
-    causal.add_argument("--grid", nargs=2, type=int, default=(3, 3),
-                        metavar=("NX", "NY"),
-                        help="stencil: logical rank grid (>= 3x3)")
-    causal.add_argument("--iterations", type=int, default=4,
-                        help="stencil: number of halo-exchange iterations")
+    _add_app_flags(causal)
     causal.add_argument("--top", type=int, default=5,
                         help="latency edges to list in the summary")
     causal.add_argument("--chrome", type=Path, default=None,
@@ -245,6 +270,34 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="OUT.trace",
                         help="write the span DAG as a repro-format trace "
                         "(then: repro render/timeline OUT.trace)")
+
+    latency = sub.add_parser(
+        "latency",
+        help="latency attribution + propagation paths for a built-in app",
+    )
+    _add_app_flags(latency)
+    latency.add_argument("--top", type=int, default=5,
+                         help="rows in the process/link attribution tables")
+    latency.add_argument("--paths", type=int, default=3,
+                         help="propagation paths to extract (edge-disjoint)")
+    latency.add_argument("--bins", type=int, default=32,
+                         help="time bins for the derived rate signals")
+    latency.add_argument("--depth", type=int, default=0,
+                         help="aggregation depth for the --svg topology")
+    latency.add_argument("--svg", type=Path, default=None,
+                         metavar="OUT.svg",
+                         help="render the topology colored by caused "
+                         "latency (hosts + links, heat ramp)")
+    latency.add_argument("--bands", type=Path, default=None,
+                         metavar="OUT.svg",
+                         help="render the band-mode timeline (aggregated "
+                         "communication bands, bounded element count)")
+    latency.add_argument("--slices", type=int, default=64,
+                         help="time slices for --bands aggregation")
+    latency.add_argument("--out", type=Path, default=None,
+                         metavar="OUT.trace",
+                         help="write the attribution as a repro-format "
+                         "trace carrying the derived metrics")
 
     convert = sub.add_parser(
         "convert",
@@ -416,8 +469,9 @@ def _cmd_timeline(args) -> int:
         _read(args), row_by="host" if args.by_host else "process"
     )
     if args.out:
-        timeline.render_svg(args.out)
-        print(f"wrote {args.out} ({len(timeline.rows)} rows)")
+        timeline.render_svg(args.out, mode=args.mode, slices=args.slices)
+        print(f"wrote {args.out} ({len(timeline.rows)} rows, "
+              f"{len(timeline.arrows)} messages, mode {args.mode})")
     else:
         print(timeline.render_ascii())
     return 0
@@ -558,9 +612,10 @@ def _cmd_bench(args) -> int:
     return 0
 
 
-def _cmd_causal(args) -> int:
-    from repro.obs.causal import format_summary
-    from repro.obs.export import write_causal_chrome_trace
+def _run_traced_app(args):
+    """Run the chosen built-in app with a causal tracer; return the
+    built :class:`~repro.obs.causal.CausalTrace` (or None after
+    printing a usage error)."""
     from repro.simulation.tracing import CausalTracer
 
     tracer = CausalTracer()
@@ -571,7 +626,7 @@ def _cmd_causal(args) -> int:
 
         if args.workers < 1:
             print("error: --workers must be >= 1", file=sys.stderr)
-            return 2
+            return None
         platform = Platform()
         add_cluster(platform, "c", args.workers + 1)
         hosts = [h.name for h in platform.hosts]
@@ -587,7 +642,16 @@ def _cmd_causal(args) -> int:
         hosts = [h.name for h in platform.hosts]
         run_stencil(platform, hosts, (nx, ny),
                     iterations=args.iterations, tracer=tracer)
-    causal = tracer.build()
+    return tracer.build()
+
+
+def _cmd_causal(args) -> int:
+    from repro.obs.causal import format_summary
+    from repro.obs.export import write_causal_chrome_trace
+
+    causal = _run_traced_app(args)
+    if causal is None:
+        return 2
     print(f"causal trace of {args.app}")
     print(format_summary(causal, top=args.top))
     if args.chrome:
@@ -597,6 +661,50 @@ def _cmd_causal(args) -> int:
     if args.out:
         write_trace(causal.to_trace(), args.out)
         print(f"wrote {args.out} (render it: repro render {args.out})")
+    return 0
+
+
+def _cmd_latency(args) -> int:
+    from repro.core import SvgRenderer
+    from repro.obs.latency import (
+        LatencyAttribution,
+        format_attribution,
+        format_paths,
+        propagation_paths,
+    )
+
+    causal = _run_traced_app(args)
+    if causal is None:
+        return 2
+    attribution = LatencyAttribution(causal)
+    print(f"latency attribution of {args.app}")
+    print(format_attribution(attribution, top=args.top))
+    print(format_paths(propagation_paths(causal, k=args.paths)))
+    derived = None
+    if args.out or args.svg:
+        derived = attribution.to_trace(bins=args.bins)
+    if args.out:
+        write_trace(derived, args.out)
+        print(f"wrote {args.out} (aggregate it: repro render {args.out})")
+    if args.svg:
+        session = AnalysisSession(derived, seed=0)
+        if args.depth:
+            session.aggregate_depth(args.depth)
+        view = session.view(settle_steps=120)
+        markup = SvgRenderer(heat_fill=True, show_labels=True).render(
+            view, title=f"caused latency — {args.app}"
+        )
+        args.svg.write_text(markup, encoding="utf-8")
+        lo, hi = view.metric_range("caused_latency")
+        print(f"wrote {args.svg} ({len(view)} nodes, caused-latency "
+              f"rate range [{lo:.4g}, {hi:.4g}] s/s)")
+        session.close()
+    if args.bands:
+        timeline = Timeline.from_trace(causal.to_trace())
+        bands = timeline.bands(slices=args.slices)
+        timeline.render_svg(args.bands, mode="bands", slices=args.slices)
+        print(f"wrote {args.bands} ({len(bands)} bands over "
+              f"{len(timeline.rows)} rows, {len(timeline.arrows)} messages)")
     return 0
 
 
@@ -866,6 +974,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "bench": _cmd_bench,
     "causal": _cmd_causal,
+    "latency": _cmd_latency,
     "convert": _cmd_convert,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,

@@ -42,7 +42,7 @@ from repro.core.render import (
 )
 from repro.core.scaling import ScaleSet
 from repro.core.session import SEEDING_MODES, AnalysisSession
-from repro.core.timeline import CommArrow, StateSpan, Timeline
+from repro.core.timeline import CommArrow, CommBand, StateSpan, Timeline
 from repro.core.timeslice import TimeSlice, animation_frames
 from repro.core.treemap import Treemap, TreemapCell, squarify
 from repro.core.view import TopologyView
@@ -73,6 +73,7 @@ __all__ = [
     "SliceCache",
     "SvgRenderer",
     "CommArrow",
+    "CommBand",
     "CommMatrix",
     "StateSpan",
     "TimeSlice",

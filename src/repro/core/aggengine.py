@@ -600,8 +600,25 @@ class AggregationEngine:
                 self.stats["combine_partial"] += 1
             else:
                 if self.space_op is sum and keys:
-                    combined = np.add.reduceat(means[rows], offsets[:-1])
-                    values = dict(zip(keys, combined.tolist()))
+                    gathered = means[rows]
+                    if len(rows) == len(keys):
+                        # Fully expanded view: every unit is a single
+                        # entity, its value is its own slice mean.
+                        values = dict(zip(keys, gathered.tolist()))
+                    else:
+                        # np.add.reduce is a strict left-to-right
+                        # reduction, so each unit's sum is bit-identical
+                        # to the scalar oracle's python sum over the
+                        # same member order (np.add.reduceat's blocked
+                        # inner loop is not — last-bit divergence).
+                        values = {
+                            key: float(
+                                np.add.reduce(
+                                    gathered[offsets[i]: offsets[i + 1]]
+                                )
+                            )
+                            for i, key in enumerate(keys)
+                        }
                 else:
                     values = {
                         key: self._combine_segment(

@@ -248,6 +248,19 @@ class AnalysisSession:
         """Freeze a node where it stands."""
         self.dynamic.pin(key, pinned)
 
+    def metric_names(self) -> list[str]:
+        """Every metric this session can aggregate and serve, sorted.
+
+        Exactly the trace's metric set — which, for traces emitted by
+        :meth:`repro.obs.latency.LatencyAttribution.to_trace`, includes
+        the derived ``caused_latency`` / ``queue_slack`` / ``msg_count``
+        signals alongside ``capacity`` / ``usage``.  The server's
+        ``hello`` and ``view`` ops list and validate against this
+        surface, so derived metrics are served with zero protocol
+        change.
+        """
+        return self.trace.metric_names()
+
     @property
     def aggregation_stats(self) -> dict:
         """Counters of the fast aggregation engine (cache hits, delta

@@ -15,6 +15,15 @@ communication arrows.  Having both views in one library makes the
 paper's comparison concrete — the timeline shows event causality, and
 knows nothing about the network topology (see the ``topology_blind``
 property).
+
+Per-message arrows cannot scale (*Scalable Representations of
+Communication in Gantt Charts*, PAPERS.md): a 10k-message trace means
+10k ``<line>`` elements.  :meth:`Timeline.bands` therefore aggregates
+the arrows into per-time-slice **communication bands** per source row
+group and direction — message count as thickness, volume as opacity —
+and :meth:`Timeline.render_svg` switches to them automatically above a
+message-count threshold, bounding the SVG element count by
+``O(groups x slices)`` no matter how many messages the trace holds.
 """
 
 from __future__ import annotations
@@ -26,7 +35,11 @@ from repro.core.render.colors import category_palette
 from repro.errors import RenderError, TraceError
 from repro.trace.trace import Trace
 
-__all__ = ["StateSpan", "CommArrow", "Timeline"]
+__all__ = ["StateSpan", "CommArrow", "CommBand", "Timeline"]
+
+#: ``render_svg(mode="auto")`` switches from per-message arrows to
+#: aggregated bands above this many arrows.
+AUTO_BAND_THRESHOLD = 2000
 
 
 @dataclass(frozen=True)
@@ -55,15 +68,41 @@ class CommArrow:
     size: float
 
 
+@dataclass(frozen=True)
+class CommBand:
+    """One aggregated communication band (*Scalable Representations of
+    Communication in Gantt Charts*): every message sent from rows of
+    *group* during time slice ``[t0, t1)`` toward *direction* (+1 =
+    rows drawn lower, -1 = rows drawn higher), merged into one drawable
+    element.  ``mean_src`` / ``mean_dst`` are the count-weighted mean
+    source and destination row indices the band spans between."""
+
+    group: str
+    direction: int
+    slice_index: int
+    t0: float
+    t1: float
+    count: int
+    volume: float
+    mean_src: float
+    mean_dst: float
+
+
 @dataclass
 class Timeline:
-    """A behavioral view: rows of state spans plus communication arrows."""
+    """A behavioral view: rows of state spans plus communication arrows.
+
+    ``groups`` maps each row to its row-group label (the host when rows
+    are processes; the row itself otherwise) — the grouping
+    :meth:`bands` aggregates communication between.
+    """
 
     rows: list[str]
     spans: dict[str, list[StateSpan]]
     arrows: list[CommArrow] = field(default_factory=list)
     start: float = 0.0
     end: float = 0.0
+    groups: dict[str, str] = field(default_factory=dict)
 
     #: The structural limitation the paper builds on: a timeline carries
     #: no topology information whatsoever.
@@ -133,7 +172,11 @@ class Timeline:
             for m in trace.events_of_kind("message")
         ]
         rows = sorted(spans)
-        return cls(rows=rows, spans=spans, arrows=arrows, start=start, end=end)
+        groups = {row: host_of.get(row, row) for row in rows}
+        return cls(
+            rows=rows, spans=spans, arrows=arrows, start=start, end=end,
+            groups=groups,
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -165,6 +208,79 @@ class Timeline:
         return totals[:n]
 
     # ------------------------------------------------------------------
+    # Communication aggregation
+    # ------------------------------------------------------------------
+    def bands(self, slices: int = 64) -> list[CommBand]:
+        """Aggregate the arrows into per-slice communication bands.
+
+        The time span is cut into *slices* equal slices; within each,
+        every cross-row message is merged into one band per ``(source
+        row group, vertical direction)`` — at most ``2 x groups x
+        slices`` bands in total, however many messages the trace holds.
+        Same-row messages (self-reports) carry no vertical information
+        and are skipped; arrows are assigned to the slice containing
+        their send time, clamped into the timeline span.
+        """
+        if slices < 1:
+            raise RenderError(f"bands needs slices >= 1, got {slices}")
+        span = max(self.end - self.start, 1e-9)
+        width = span / slices
+        index_of = {row: i for i, row in enumerate(self.rows)}
+        acc: dict[tuple[str, int, int], list] = {}
+        for arrow in self.arrows:
+            src = index_of.get(arrow.src)
+            dst = index_of.get(arrow.dst)
+            if src is None or dst is None or src == dst:
+                continue
+            t = min(max(arrow.sent_at, self.start), self.end)
+            i = min(int((t - self.start) / width), slices - 1)
+            group = self.groups.get(arrow.src, arrow.src)
+            direction = 1 if dst > src else -1
+            # count, volume, sum of src rows, sum of dst rows
+            row = acc.setdefault((group, direction, i), [0, 0.0, 0.0, 0.0])
+            row[0] += 1
+            row[1] += arrow.size
+            row[2] += src
+            row[3] += dst
+        return [
+            CommBand(
+                group=group,
+                direction=direction,
+                slice_index=i,
+                t0=self.start + i * width,
+                t1=self.start + (i + 1) * width,
+                count=count,
+                volume=volume,
+                mean_src=src_sum / count,
+                mean_dst=dst_sum / count,
+            )
+            for (group, direction, i), (count, volume, src_sum, dst_sum)
+            in sorted(acc.items())
+        ]
+
+    def _clip_arrow(
+        self, arrow: CommArrow
+    ) -> tuple[tuple[float, float], tuple[float, float]] | None:
+        """Clip one arrow's time endpoints to ``[start, end]``.
+
+        Returns the clipped ``((t, row_fraction_src), (t, ...))``-style
+        endpoint pair as ``((t0, s0), (t1, s1))`` where ``s`` is the
+        interpolation parameter along the original arrow (0 at the
+        send point, 1 at the delivery point), or ``None`` when the
+        arrow lies entirely outside the window.
+        """
+        t0, t1 = arrow.sent_at, arrow.delivered_at
+        if max(t0, t1) < self.start or min(t0, t1) > self.end:
+            return None
+        if t1 == t0:
+            return ((t0, 0.0), (t1, 1.0))
+        s_lo = (self.start - t0) / (t1 - t0)
+        s_hi = (self.end - t0) / (t1 - t0)
+        s0 = min(max(min(s_lo, s_hi), 0.0), 1.0)
+        s1 = min(max(max(s_lo, s_hi), 0.0), 1.0)
+        return ((t0 + s0 * (t1 - t0), s0), (t0 + s1 * (t1 - t0), s1))
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
     def render_svg(
@@ -173,10 +289,29 @@ class Timeline:
         width: int = 900,
         row_height: int = 18,
         show_arrows: bool = True,
+        mode: str = "auto",
+        max_arrows: int = AUTO_BAND_THRESHOLD,
+        slices: int = 64,
     ) -> str:
-        """A Gantt-chart SVG; optionally written to *path*."""
+        """A Gantt-chart SVG; optionally written to *path*.
+
+        Parameters
+        ----------
+        mode:
+            How the communication layer is drawn: ``"arrows"`` (one
+            ``<line>`` per message, clipped to the rendered window),
+            ``"bands"`` (the aggregated :meth:`bands` — bounded element
+            count) or ``"auto"`` (default: bands once the trace holds
+            more than *max_arrows* messages).
+        max_arrows:
+            The ``"auto"`` switch-over threshold.
+        slices:
+            Time slices for ``"bands"``.
+        """
         if width <= 0 or row_height <= 0:
             raise RenderError(f"bad timeline geometry {width}x{row_height}")
+        if mode not in ("auto", "arrows", "bands"):
+            raise RenderError(f"unknown timeline render mode {mode!r}")
         span = max(self.end - self.start, 1e-9)
         label_pad = 150
         plot_width = width - label_pad
@@ -209,21 +344,70 @@ class Timeline:
                     f"[{s.start:.3g}, {s.end:.3g}]</title></rect>"
                 )
         if show_arrows:
-            for arrow in self.arrows:
-                if arrow.src not in y_of or arrow.dst not in y_of:
-                    continue
-                parts.append(
-                    f'<line x1="{x_of(arrow.sent_at):.1f}" '
-                    f'y1="{y_of[arrow.src]:.1f}" '
-                    f'x2="{x_of(arrow.delivered_at):.1f}" '
-                    f'y2="{y_of[arrow.dst]:.1f}" '
-                    'stroke="#333333" stroke-width="0.7"/>'
+            use_bands = mode == "bands" or (
+                mode == "auto" and len(self.arrows) > max_arrows
+            )
+            if use_bands:
+                parts.extend(
+                    self._band_elements(
+                        self.bands(slices=slices), x_of, row_height
+                    )
                 )
+            else:
+                for arrow in self.arrows:
+                    if arrow.src not in y_of or arrow.dst not in y_of:
+                        continue
+                    clipped = self._clip_arrow(arrow)
+                    if clipped is None:
+                        continue
+                    (ta, sa), (tb, sb) = clipped
+                    ya = y_of[arrow.src]
+                    yb = y_of[arrow.dst]
+                    parts.append(
+                        f'<line x1="{x_of(ta):.1f}" '
+                        f'y1="{ya + sa * (yb - ya):.1f}" '
+                        f'x2="{x_of(tb):.1f}" '
+                        f'y2="{ya + sb * (yb - ya):.1f}" '
+                        'stroke="#333333" stroke-width="0.7"/>'
+                    )
         parts.append("</svg>")
         markup = "\n".join(parts)
         if path is not None:
             Path(path).write_text(markup, encoding="utf-8")
         return markup
+
+    def _band_elements(
+        self, bands: list[CommBand], x_of, row_height: float
+    ) -> list[str]:
+        """The ``<line>`` markup of the aggregated communication bands.
+
+        One element per band: thickness grows with the log of the
+        message count, opacity with the band's share of the heaviest
+        band's byte volume — count and volume survive aggregation as
+        visual variables, as the scalable-Gantt representation
+        prescribes.
+        """
+        import math
+
+        peak_volume = max((b.volume for b in bands), default=0.0)
+        elements = []
+        for band in bands:
+            y1 = (band.mean_src + 0.5) * row_height
+            y2 = (band.mean_dst + 0.5) * row_height
+            thickness = 1.0 + math.log2(1.0 + band.count)
+            opacity = 0.25 + (
+                0.7 * band.volume / peak_volume if peak_volume > 0 else 0.0
+            )
+            elements.append(
+                f'<line x1="{x_of(band.t0):.1f}" y1="{y1:.1f}" '
+                f'x2="{x_of(band.t1):.1f}" y2="{y2:.1f}" '
+                f'stroke="#335" stroke-width="{thickness:.2f}" '
+                f'stroke-opacity="{opacity:.2f}">'
+                f"<title>{band.group}: {band.count} msgs, "
+                f"{band.volume:.3g} B [{band.t0:.3g}, {band.t1:.3g}]"
+                f"</title></line>"
+            )
+        return elements
 
     def render_ascii(self, columns: int = 80) -> str:
         """A textual Gantt chart: one line per row, one char per bin."""

@@ -91,3 +91,47 @@ class TopologyView:
             for node in self.graph
             if kind is None or node.kind == kind
         )
+
+    def metric_range(
+        self, metric: str, kind: str | None = None
+    ) -> tuple[float, float]:
+        """``(min, max)`` of *metric* over the view's nodes.
+
+        The range a color ramp should span when painting the view by a
+        derived metric (e.g. ``caused_latency``); restricting *kind*
+        keeps hosts and links on separate scales.  Raises
+        :class:`LayoutError` when no node carries the metric.
+        """
+        values = [
+            node.values[metric]
+            for node in self.graph
+            if metric in node.values and (kind is None or node.kind == kind)
+        ]
+        if not values:
+            raise LayoutError(
+                f"no node of kind {kind!r} carries metric {metric!r}"
+                if kind is not None
+                else f"no node carries metric {metric!r}"
+            )
+        return (min(values), max(values))
+
+    def top_nodes(
+        self, metric: str, n: int = 5, kind: str | None = None
+    ) -> list[VisNode]:
+        """The *n* nodes with the largest *metric* value, descending.
+
+        Ties break on the node key so the ranking is deterministic —
+        the view-level analogue of
+        :meth:`repro.obs.latency.LatencyAttribution.top_processes`.
+        """
+        if n < 0:
+            raise LayoutError(f"top_nodes n must be >= 0, got {n}")
+        ranked = sorted(
+            (
+                node
+                for node in self.graph
+                if kind is None or node.kind == kind
+            ),
+            key=lambda node: (-node.values.get(metric, 0.0), node.key),
+        )
+        return ranked[:n]

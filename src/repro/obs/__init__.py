@@ -25,6 +25,12 @@ the reproduction itself.  Three layers:
   measures the hot paths with calibrated robust statistics and gates
   regressions via schema-versioned ``BENCH_<suite>.json`` baselines.
 
+Causal-trace analysis lives next door: :mod:`repro.obs.causal` (span
+DAG queries, the critical path, emission) and :mod:`repro.obs.latency`
+(per-process / per-link latency attribution, propagation paths and the
+derived ``caused_latency`` / ``queue_slack`` / ``msg_count`` metrics
+behind ``repro latency``).
+
 >>> from repro import obs
 >>> with obs.Profiler() as profiler:
 ...     with obs.span("demo.stage"):

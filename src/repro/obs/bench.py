@@ -18,7 +18,9 @@ could diff run *N* against run *N-1*.  This module fixes the substrate:
   ``render`` (SVG generation), ``sim`` (discrete-event engine),
   ``store`` (columnar trace-store convert / cold-open / mmap scrub),
   ``server`` (multi-session scrub-storm round trips, solo vs 8-way
-  concurrent, with p50/p95/p99 percentiles) — each serialized as one
+  concurrent, with p50/p95/p99 percentiles), ``causal`` (latency
+  attribution, propagation-path extraction and communication-band
+  aggregation on a causal DAG) — each serialized as one
   schema-versioned ``BENCH_<suite>.json``;
 * :func:`compare_results` — the noise-aware regression gate: a case
   fails only when its median exceeds the baseline median by more than
@@ -697,6 +699,79 @@ def _server_suite(quick: bool) -> list[BenchCase]:
             "scrub_c8",
             runner=storm_runner(8),
             params={**shape, "sessions": 8},
+        ),
+    ]
+
+
+def _causal_run(quick: bool):
+    """A master-worker run under the causal tracer: the bench workload
+    for the latency-analytics hot paths (full mode produces a >10k
+    causal-edge DAG so the band aggregation is measured at the scale
+    where per-message arrows stop being viable)."""
+    from repro.apps.masterworker import AppSpec, run_master_worker
+    from repro.platform.cluster import add_cluster
+    from repro.platform.topology import Platform
+    from repro.simulation.tracing import CausalTracer
+
+    workers, tasks = (4, 60) if quick else (16, 3400)
+    tracer = CausalTracer()
+    platform = Platform()
+    add_cluster(platform, "c", workers + 1)
+    hosts = [h.name for h in platform.hosts]
+    spec = AppSpec(name="app", master=hosts[0], n_tasks=tasks,
+                   input_bytes=1e6, task_flops=1e8)
+    run_master_worker(platform, [spec], tracer=tracer)
+    return tracer.build()
+
+
+@_suite("causal")
+def _causal_suite(quick: bool) -> list[BenchCase]:
+    """Latency analytics on the causal DAG (``repro latency``).
+
+    Three hot paths over one master-worker causal trace: building the
+    per-process / per-link :class:`~repro.obs.latency.LatencyAttribution`
+    (a single pass over the edge list plus the critical-path walk),
+    extracting the top-k propagation paths (the O(E log E) dynamic
+    program), and aggregating the timeline's per-message arrows into
+    communication bands (the rendering path that keeps the SVG element
+    count bounded at any message count).
+    """
+    from repro.core.timeline import Timeline
+    from repro.obs.latency import LatencyAttribution, propagation_paths
+
+    causal = _causal_run(quick)
+    shape = {
+        "workers": 4 if quick else 16,
+        "tasks": 60 if quick else 3400,
+        "edges": len(causal.edges),
+    }
+    timeline = Timeline.from_trace(causal.to_trace())
+
+    def make_attribution():
+        def build():
+            return LatencyAttribution(causal)
+
+        return build
+
+    def make_paths():
+        def extract():
+            return propagation_paths(causal, k=5)
+
+        return extract
+
+    def make_bands():
+        def aggregate():
+            return timeline.bands(slices=64)
+
+        return aggregate
+
+    return [
+        BenchCase("attribution", make=make_attribution, params=shape),
+        BenchCase("paths", make=make_paths, params={**shape, "k": 5}),
+        BenchCase(
+            "bands",
+            make=make_bands,
+            params={**shape, "slices": 64, "arrows": len(timeline.arrows)},
         ),
     ]
 

@@ -106,6 +106,13 @@ class CausalTrace:
         """Every traced process name, sorted."""
         return sorted(self._roots)
 
+    def host_of(self, process: str) -> str:
+        """The host the traced *process* ran on."""
+        try:
+            return self._roots[process].host
+        except KeyError:
+            raise TraceError(f"unknown traced process {process!r}") from None
+
     def trace_ids(self) -> list[int]:
         """The distinct trace ids present (one per root spawn tree)."""
         return sorted({span.trace_id for span in self.spans})
@@ -192,11 +199,21 @@ class CausalTrace:
         return max(0.0, recv.start - edge.delivered_at)
 
     def top_latency_edges(self, k: int = 5) -> list[CausalEdge]:
-        """The *k* causal edges with the largest end-to-end latency."""
+        """The *k* causal edges with the largest end-to-end latency.
+
+        Ordering is fully deterministic: latency ties break on the
+        stable ``(src_process, dst_process, sent_at, src_span)`` key,
+        so two runs of the same trace always list the same edges in the
+        same order regardless of recording order.
+        """
         if k < 0:
             raise TraceError(f"top_latency_edges k must be >= 0, got {k}")
         return sorted(
-            self.edges, key=lambda e: (-e.latency, e.src_span)
+            self.edges,
+            key=lambda e: (
+                -e.latency, e.src_process, e.dst_process, e.sent_at,
+                e.src_span,
+            ),
         )[:k]
 
     # ------------------------------------------------------------------

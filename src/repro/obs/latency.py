@@ -1,0 +1,617 @@
+"""Latency-propagation analytics over the causal span DAG.
+
+*PCLVis* (PAPERS.md) is the template: once a run is causally traced,
+latency stops being a per-message curiosity and becomes an attributable
+quantity — every message's end-to-end latency (and the queueing slack it
+accumulated in the receiver's mailbox) is charged to the **sender
+process** that caused it and to the **host pair (link)** it crossed.
+:class:`LatencyAttribution` computes that charge from a
+:class:`~repro.obs.causal.CausalTrace` with two conservation
+invariants baked in:
+
+* the per-process charges sum to the total causal-edge latency (and the
+  per-process slack charges to the total slack) — nothing is dropped or
+  double-counted;
+* the critical-path charge (:attr:`LatencyAttribution.critical_comm`)
+  sums to ``CriticalPath.makespan`` minus the path's non-communication
+  (compute/wait) time and the walk's uncovered gap — the communication
+  share of the end-to-end run.
+
+:func:`propagation_paths` extracts the top-k **latency-propagation
+paths**: chains of causal edges where each message is delivered to a
+process before that process sends the next one, ranked by the total
+latency + slack accumulated along the chain — the "congested
+link/queue sequences" view of the propagation analysis.
+
+:meth:`LatencyAttribution.to_trace` then turns the attribution into an
+ordinary repro-format :class:`~repro.trace.trace.Trace`: per-host and
+per-link ``caused_latency`` / ``queue_slack`` / ``msg_count`` rate
+signals that flow through ``SignalBank`` / ``AggregationEngine`` and
+Equation 1 unchanged, so the topology view colors hosts and links by
+*caused latency* at any aggregation depth — exactly like it colors
+them by utilization today.  The ``repro latency <app>`` CLI subcommand
+drives the whole pipeline; :func:`format_attribution` and
+:func:`format_paths` are the tables it prints.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.analysis.critical_path import CriticalPath
+from repro.errors import TraceError
+from repro.obs.causal import CausalTrace
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import CAPACITY, Trace, USAGE
+
+__all__ = [
+    "CAUSED_LATENCY",
+    "DERIVED_METRICS",
+    "MSG_COUNT",
+    "QUEUE_SLACK",
+    "LatencyAttribution",
+    "LinkAttribution",
+    "PathHop",
+    "ProcessAttribution",
+    "PropagationPath",
+    "format_attribution",
+    "format_paths",
+    "link_name",
+    "propagation_paths",
+]
+
+_EPS = 1e-9
+
+#: The derived metric names :meth:`LatencyAttribution.to_trace` emits.
+CAUSED_LATENCY = "caused_latency"
+QUEUE_SLACK = "queue_slack"
+MSG_COUNT = "msg_count"
+DERIVED_METRICS = (CAUSED_LATENCY, QUEUE_SLACK, MSG_COUNT)
+
+
+def link_name(host_a: str, host_b: str) -> str:
+    """The canonical (sorted) entity name for the *host_a*–*host_b* link."""
+    a, b = sorted((host_a, host_b))
+    return f"{a}--{b}"
+
+
+@dataclass(frozen=True)
+class ProcessAttribution:
+    """Everything one sender process is charged with.
+
+    ``caused_latency`` is the summed end-to-end latency of every message
+    the process sent; ``queue_slack`` the summed mailbox wait those
+    messages accumulated at their receivers; ``critical_comm`` the
+    communication time the span-DAG critical path spends entering this
+    process's sends (zero for processes off the path).
+    """
+
+    process: str
+    host: str
+    caused_latency: float = 0.0
+    queue_slack: float = 0.0
+    msg_count: int = 0
+    bytes_sent: float = 0.0
+    critical_comm: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Latency plus slack — the process's full propagation charge."""
+        return self.caused_latency + self.queue_slack
+
+
+@dataclass(frozen=True)
+class LinkAttribution:
+    """Everything one host pair (an undirected link) is charged with."""
+
+    host_a: str
+    host_b: str
+    caused_latency: float = 0.0
+    queue_slack: float = 0.0
+    msg_count: int = 0
+    volume: float = 0.0
+
+    @property
+    def name(self) -> str:
+        """The canonical ``a--b`` link entity name."""
+        return link_name(self.host_a, self.host_b)
+
+    @property
+    def total(self) -> float:
+        """Latency plus slack — the link's full propagation charge."""
+        return self.caused_latency + self.queue_slack
+
+
+class LatencyAttribution:
+    """Per-process / per-link latency attribution of one causal trace.
+
+    Walks every :class:`~repro.simulation.tracing.CausalEdge` once and
+    charges its latency and queueing slack to the sending process and to
+    the undirected host pair it crossed.  Same-host messages (e.g. the
+    master-worker app's zero-byte completion reports) are charged to
+    their sender process and host but create no link attribution — a
+    host is not linked to itself.
+
+    Attributes
+    ----------
+    by_process:
+        Process name → :class:`ProcessAttribution`, one entry for
+        *every* traced process (zero charges for pure receivers).
+    by_link:
+        Canonical ``(host_a, host_b)`` pair → :class:`LinkAttribution`,
+        cross-host pairs only.
+    path:
+        The span-DAG :class:`~repro.analysis.critical_path.CriticalPath`
+        used for the critical-communication charge.
+    """
+
+    def __init__(self, causal: CausalTrace) -> None:
+        if not causal.processes():
+            raise TraceError("causal trace has no processes to attribute")
+        self.causal = causal
+        procs: dict[str, dict] = {
+            p: {
+                "lat": 0.0, "slack": 0.0, "n": 0, "bytes": 0.0, "crit": 0.0,
+            }
+            for p in causal.processes()
+        }
+        links: dict[tuple[str, str], dict] = {}
+        for edge in causal.edges:
+            slack = causal.slack(edge)
+            sender = procs[edge.src_process]
+            sender["lat"] += edge.latency
+            sender["slack"] += slack
+            sender["n"] += 1
+            sender["bytes"] += edge.size
+            src_host = causal.host_of(edge.src_process)
+            dst_host = causal.host_of(edge.dst_process)
+            if src_host != dst_host:
+                pair = tuple(sorted((src_host, dst_host)))
+                link = links.setdefault(
+                    pair, {"lat": 0.0, "slack": 0.0, "n": 0, "bytes": 0.0}
+                )
+                link["lat"] += edge.latency
+                link["slack"] += slack
+                link["n"] += 1
+                link["bytes"] += edge.size
+        #: The span-DAG critical path, for the critical-comm charge.
+        self.path: CriticalPath = causal.critical_path()
+        for segment in self.path.segments:
+            if segment.state == "comm" and segment.process in procs:
+                # A comm segment is charged on the *receiver*'s row of
+                # the walk but caused by the jumped-to sender; the walk
+                # stores the receiving process, whose recv was resolved
+                # by the sender's message — charge the receiver's view
+                # of waiting, keyed by the process the path visited.
+                procs[segment.process]["crit"] += segment.duration
+        self.by_process: dict[str, ProcessAttribution] = {
+            name: ProcessAttribution(
+                process=name,
+                host=causal.host_of(name),
+                caused_latency=acc["lat"],
+                queue_slack=acc["slack"],
+                msg_count=acc["n"],
+                bytes_sent=acc["bytes"],
+                critical_comm=acc["crit"],
+            )
+            for name, acc in procs.items()
+        }
+        self.by_link: dict[tuple[str, str], LinkAttribution] = {
+            pair: LinkAttribution(
+                host_a=pair[0],
+                host_b=pair[1],
+                caused_latency=acc["lat"],
+                queue_slack=acc["slack"],
+                msg_count=acc["n"],
+                volume=acc["bytes"],
+            )
+            for pair, acc in sorted(links.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Totals and conservation
+    # ------------------------------------------------------------------
+    @property
+    def total_latency(self) -> float:
+        """Sum of every causal edge's end-to-end latency."""
+        return sum(e.latency for e in self.causal.edges)
+
+    @property
+    def total_slack(self) -> float:
+        """Sum of every causal edge's queueing slack."""
+        return sum(self.causal.slack(e) for e in self.causal.edges)
+
+    @property
+    def critical_comm(self) -> float:
+        """Communication time on the span-DAG critical path."""
+        return self.path.time_by_state().get("comm", 0.0)
+
+    def conservation(self) -> dict[str, float]:
+        """The invariants that pin the attribution's bookkeeping.
+
+        ``latency_error`` / ``slack_error`` are the absolute gaps
+        between the per-process sums and the edge totals (zero up to
+        float roundoff by construction — every edge is charged exactly
+        once).  ``link_latency`` only covers cross-host edges, so it is
+        compared against ``cross_latency``.  The critical-path identity
+        is ``comm share = makespan - non-comm path time - path_gap``,
+        where ``path_gap`` is the part of ``[0, makespan]`` the
+        backward walk left uncovered (tiny — sender idle at a jump);
+        ``critical_error`` checks that the per-process critical-comm
+        charges reproduce that comm share exactly.
+        """
+        by_state = self.path.time_by_state()
+        non_comm = sum(d for s, d in by_state.items() if s != "comm")
+        path_gap = self.path.makespan - self.path.length
+        attributed_latency = sum(
+            p.caused_latency for p in self.by_process.values()
+        )
+        attributed_slack = sum(p.queue_slack for p in self.by_process.values())
+        attributed_critical = sum(
+            p.critical_comm for p in self.by_process.values()
+        )
+        cross_latency = sum(
+            e.latency
+            for e in self.causal.edges
+            if self.causal.host_of(e.src_process)
+            != self.causal.host_of(e.dst_process)
+        )
+        link_latency = sum(l.caused_latency for l in self.by_link.values())
+        return {
+            "edge_latency": self.total_latency,
+            "attributed_latency": attributed_latency,
+            "latency_error": abs(attributed_latency - self.total_latency),
+            "edge_slack": self.total_slack,
+            "attributed_slack": attributed_slack,
+            "slack_error": abs(attributed_slack - self.total_slack),
+            "cross_latency": cross_latency,
+            "link_latency": link_latency,
+            "link_error": abs(link_latency - cross_latency),
+            "makespan": self.path.makespan,
+            "path_gap": path_gap,
+            "critical_comm": attributed_critical,
+            "critical_error": abs(
+                attributed_critical
+                - (self.path.makespan - non_comm - path_gap)
+            ),
+        }
+
+    def conserved(self, tol: float = 1e-9) -> bool:
+        """Whether every conservation error is within *tol*."""
+        report = self.conservation()
+        return all(
+            report[key] <= tol
+            for key in ("latency_error", "slack_error", "link_error",
+                        "critical_error")
+        )
+
+    # ------------------------------------------------------------------
+    # Rankings
+    # ------------------------------------------------------------------
+    def top_processes(self, n: int = 5) -> list[ProcessAttribution]:
+        """The *n* processes causing the most latency + slack."""
+        if n < 0:
+            raise TraceError(f"top_processes n must be >= 0, got {n}")
+        return sorted(
+            self.by_process.values(), key=lambda p: (-p.total, p.process)
+        )[:n]
+
+    def top_links(self, n: int = 5) -> list[LinkAttribution]:
+        """The *n* links carrying the most latency + slack."""
+        if n < 0:
+            raise TraceError(f"top_links n must be >= 0, got {n}")
+        return sorted(
+            self.by_link.values(), key=lambda l: (-l.total, l.name)
+        )[:n]
+
+    # ------------------------------------------------------------------
+    # Emission as first-class aggregatable metrics
+    # ------------------------------------------------------------------
+    def to_trace(self, bins: int = 32) -> Trace:
+        """Emit the attribution as a repro-format :class:`Trace`.
+
+        One entity of kind ``"host"`` per host (path
+        ``causal/<host>``) and one of kind ``"link"`` per cross-host
+        pair (``causal/<a>--<b>``), connected ``a —(via link)— b`` with
+        ``source="communication"`` edges.  Each carries the
+        :data:`DERIVED_METRICS` as **rate** step signals over *bins*
+        equal time bins (charge per second, charged at each message's
+        send time), so the time integral over any bin recovers the
+        charged amount exactly and spatial sums stay conserved at every
+        aggregation depth — Equation 1 applies to them unchanged.
+
+        ``usage`` mirrors the ``caused_latency`` rate and ``capacity``
+        is the per-kind global peak rate, so the paper's default
+        mapping (fill = usage / capacity) plus ``heat_fill`` colors
+        hosts and links by relative caused latency with no renderer
+        changes.
+        """
+        if bins < 1:
+            raise TraceError(f"to_trace needs bins >= 1, got {bins}")
+        end = self.causal.end_time
+        if end <= 0.0:
+            raise TraceError("causal trace has no time extent to bin over")
+        width = end / bins
+        hosts = sorted({p.host for p in self.by_process.values()})
+        host_rows = {
+            h: {m: [0.0] * bins for m in DERIVED_METRICS} for h in hosts
+        }
+        link_rows = {
+            pair: {m: [0.0] * bins for m in DERIVED_METRICS}
+            for pair in self.by_link
+        }
+
+        def bin_of(t: float) -> int:
+            return min(max(int(t / width), 0), bins - 1)
+
+        for edge in self.causal.edges:
+            slack = self.causal.slack(edge)
+            i = bin_of(edge.sent_at)
+            src_host = self.causal.host_of(edge.src_process)
+            dst_host = self.causal.host_of(edge.dst_process)
+            rows = [host_rows[src_host]]
+            if src_host != dst_host:
+                rows.append(link_rows[tuple(sorted((src_host, dst_host)))])
+            for row in rows:
+                row[CAUSED_LATENCY][i] += edge.latency
+                row[QUEUE_SLACK][i] += slack
+                row[MSG_COUNT][i] += 1.0
+
+        builder = TraceBuilder()
+        builder.set_meta("generator", "repro.obs.latency")
+        builder.set_meta("end_time", end)
+        builder.set_meta("bins", bins)
+        builder.set_meta("n_causal_edges", len(self.causal.edges))
+        builder.declare_metric(CAPACITY, "s/s", "peak caused-latency rate")
+        builder.declare_metric(USAGE, "s/s", "caused-latency rate")
+        builder.declare_metric(
+            CAUSED_LATENCY, "s/s",
+            "end-to-end message latency charged to the sender, per second",
+        )
+        builder.declare_metric(
+            QUEUE_SLACK, "s/s",
+            "mailbox wait charged to the sender, per second",
+        )
+        builder.declare_metric(
+            MSG_COUNT, "msg/s", "messages charged to the sender, per second"
+        )
+        times = [i * width for i in range(bins)] + [end]
+
+        def peak(rows: dict) -> float:
+            return max(
+                (v for row in rows.values() for v in row[CAUSED_LATENCY]),
+                default=0.0,
+            ) / width
+
+        host_peak = max(peak(host_rows), _EPS)
+        link_peak = max(peak(link_rows), _EPS)
+        for host in hosts:
+            builder.declare_entity(host, "host", ("causal", host))
+            builder.set_constant(host, CAPACITY, host_peak)
+            for metric in DERIVED_METRICS:
+                rates = [a / width for a in host_rows[host][metric]] + [0.0]
+                builder.record_series(host, metric, times, rates)
+                if metric == CAUSED_LATENCY:
+                    builder.record_series(host, USAGE, times, rates)
+        for pair, link in self.by_link.items():
+            name = link.name
+            builder.declare_entity(name, "link", ("causal", name))
+            builder.set_constant(name, CAPACITY, link_peak)
+            for metric in DERIVED_METRICS:
+                rates = [a / width for a in link_rows[pair][metric]] + [0.0]
+                builder.record_series(name, metric, times, rates)
+                if metric == CAUSED_LATENCY:
+                    builder.record_series(name, USAGE, times, rates)
+            builder.connect(pair[0], pair[1], via=name, source="communication")
+        return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Propagation paths
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PathHop:
+    """One causal edge on a propagation path, with its charge split."""
+
+    src_process: str
+    dst_process: str
+    sent_at: float
+    delivered_at: float
+    latency: float
+    slack: float
+    size: float
+    category: str
+
+    @property
+    def weight(self) -> float:
+        """The hop's contribution to the path: latency + slack."""
+        return self.latency + self.slack
+
+
+@dataclass(frozen=True)
+class PropagationPath:
+    """A chain of causally-ordered message hops, heaviest chains first."""
+
+    hops: tuple[PathHop, ...]
+
+    @property
+    def weight(self) -> float:
+        """Total latency + slack accumulated along the chain."""
+        return sum(h.weight for h in self.hops)
+
+    @property
+    def total_latency(self) -> float:
+        """Total transfer latency along the chain."""
+        return sum(h.latency for h in self.hops)
+
+    @property
+    def total_slack(self) -> float:
+        """Total mailbox wait along the chain."""
+        return sum(h.slack for h in self.hops)
+
+    def processes(self) -> list[str]:
+        """The process sequence the chain visits (first sender first)."""
+        if not self.hops:
+            return []
+        return [self.hops[0].src_process] + [
+            h.dst_process for h in self.hops
+        ]
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+
+def propagation_paths(causal: CausalTrace, k: int = 3) -> list[PropagationPath]:
+    """The top-*k* latency-propagation paths through the causal DAG.
+
+    A propagation path chains causal edges ``f -> e`` where ``f`` is
+    delivered to ``e``'s sender no later than ``e`` is sent — delay
+    entering a process before it sends propagates into everything
+    downstream of that send.  Paths are ranked by total latency + slack
+    and extracted greedily edge-disjoint (each message belongs to at
+    most one reported path), so the k paths are k *distinct* congestion
+    chains, not one chain reported k times.
+
+    The dynamic program processes edges in delivery order, so each
+    process's arrival list is already time-sorted and the best incoming
+    chain is a bisect + prefix-max lookup: O(E log E) overall,
+    deterministic under ties (earliest arrival wins).
+    """
+    if k < 0:
+        raise TraceError(f"propagation_paths k must be >= 0, got {k}")
+    order = sorted(
+        range(len(causal.edges)),
+        key=lambda i: (
+            causal.edges[i].delivered_at,
+            causal.edges[i].sent_at,
+            causal.edges[i].src_process,
+            causal.edges[i].dst_process,
+            causal.edges[i].src_span,
+        ),
+    )
+    best: dict[int, float] = {}
+    pred: dict[int, int | None] = {}
+    # Per process: delivery times (non-decreasing), edge ids, and the
+    # running argmax of `best` over the prefix — the predecessor query.
+    arrive_t: dict[str, list[float]] = {}
+    arrive_best: dict[str, list[tuple[float, int]]] = {}
+    for index in order:
+        edge = causal.edges[index]
+        weight = edge.latency + causal.slack(edge)
+        best[index] = weight
+        pred[index] = None
+        incoming = arrive_t.get(edge.src_process)
+        if incoming:
+            j = bisect_right(incoming, edge.sent_at + _EPS) - 1
+            if j >= 0:
+                prior_best, prior_index = arrive_best[edge.src_process][j]
+                best[index] = weight + prior_best
+                pred[index] = prior_index
+        times = arrive_t.setdefault(edge.dst_process, [])
+        prefix = arrive_best.setdefault(edge.dst_process, [])
+        entry = (best[index], index)
+        if prefix and prefix[-1][0] >= entry[0]:
+            entry = prefix[-1]  # keep the earlier, heavier chain
+        times.append(edge.delivered_at)
+        prefix.append(entry)
+
+    ranked = sorted(order, key=lambda i: (-best[i], i))
+    used: set[int] = set()
+    paths: list[PropagationPath] = []
+    for end_index in ranked:
+        if len(paths) >= k:
+            break
+        chain: list[int] = []
+        cursor: int | None = end_index
+        while cursor is not None and cursor not in used:
+            chain.append(cursor)
+            cursor = pred[cursor]
+        if not chain:
+            continue
+        used.update(chain)
+        chain.reverse()
+        hops = tuple(
+            PathHop(
+                src_process=causal.edges[i].src_process,
+                dst_process=causal.edges[i].dst_process,
+                sent_at=causal.edges[i].sent_at,
+                delivered_at=causal.edges[i].delivered_at,
+                latency=causal.edges[i].latency,
+                slack=causal.slack(causal.edges[i]),
+                size=causal.edges[i].size,
+                category=causal.edges[i].category,
+            )
+            for i in chain
+        )
+        paths.append(PropagationPath(hops))
+    return paths
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+def format_attribution(attribution: LatencyAttribution, top: int = 5) -> str:
+    """The attribution tables ``repro latency`` prints.
+
+    Totals, the conservation report, and the top-*top* processes and
+    links by caused latency + slack.
+    """
+    report = attribution.conservation()
+    lines = [
+        f"{'messages':<14} {len(attribution.causal.edges)}",
+        f"{'total latency':<14} {report['edge_latency']:.6g} s",
+        f"{'total slack':<14} {report['edge_slack']:.6g} s",
+        f"{'makespan':<14} {report['makespan']:.6g} s "
+        f"(comm share {report['critical_comm']:.6g} s)",
+        f"{'conservation':<14} latency err {report['latency_error']:.3g}, "
+        f"slack err {report['slack_error']:.3g}, "
+        f"link err {report['link_error']:.3g}, "
+        f"critical err {report['critical_error']:.3g}",
+    ]
+    processes = attribution.top_processes(top)
+    if processes:
+        lines.append(f"top {len(processes)} processes by caused latency:")
+        lines.append(
+            f"  {'process':<24} {'latency s':>10} {'slack s':>10} "
+            f"{'msgs':>6} {'crit s':>8}"
+        )
+        for p in processes:
+            lines.append(
+                f"  {p.process:<24} {p.caused_latency:>10.4g} "
+                f"{p.queue_slack:>10.4g} {p.msg_count:>6} "
+                f"{p.critical_comm:>8.4g}"
+            )
+    links = attribution.top_links(top)
+    if links:
+        lines.append(f"top {len(links)} links by caused latency:")
+        lines.append(
+            f"  {'link':<24} {'latency s':>10} {'slack s':>10} "
+            f"{'msgs':>6} {'bytes':>10}"
+        )
+        for l in links:
+            lines.append(
+                f"  {l.name:<24} {l.caused_latency:>10.4g} "
+                f"{l.queue_slack:>10.4g} {l.msg_count:>6} {l.volume:>10.4g}"
+            )
+    return "\n".join(lines)
+
+
+def format_paths(paths: list[PropagationPath]) -> str:
+    """The per-hop propagation-path breakdown ``repro latency`` prints."""
+    if not paths:
+        return "no propagation paths (the trace has no causal edges)"
+    lines = []
+    for rank, path in enumerate(paths, start=1):
+        lines.append(
+            f"path {rank}: {len(path)} hops, weight {path.weight:.6g} s "
+            f"(latency {path.total_latency:.6g}, "
+            f"slack {path.total_slack:.6g})"
+        )
+        for hop in path.hops:
+            lines.append(
+                f"  {hop.src_process} -> {hop.dst_process:<24} "
+                f"sent {hop.sent_at:<10.4g} latency {hop.latency:<10.4g} "
+                f"slack {hop.slack:.4g}"
+            )
+    return "\n".join(lines)

@@ -160,7 +160,7 @@ class SessionState:
             "session": self.session_id,
             "protocol": PROTOCOL_VERSION,
             "entities": len(self.session.hierarchy),
-            "metrics": sorted(self.session.trace.metric_names()),
+            "metrics": sorted(self.session.metric_names()),
             "span": [start, end],
             "max_depth": self.session.hierarchy.max_depth(),
         }
@@ -218,7 +218,7 @@ class SessionState:
                 raise ProtocolError(
                     "bad_request", "field 'metrics' must be a list of strings"
                 )
-            known = set(self.session.trace.metric_names())
+            known = set(self.session.metric_names())
             for metric in metrics:
                 if metric not in known:
                     raise ProtocolError(

@@ -76,6 +76,36 @@ class TraceBuilder:
             builder = self._signals[key] = SignalBuilder()
         builder.set(time, value)
 
+    def record_series(
+        self,
+        entity: str,
+        metric: str,
+        times: Iterable[float],
+        values: Iterable[float],
+    ) -> None:
+        """Bulk-record a step series: *metric* takes ``values[i]`` from
+        ``times[i]`` on.
+
+        Equivalent to one :meth:`record` call per pair; the derived
+        metric emitters (e.g.
+        :meth:`repro.obs.latency.LatencyAttribution.to_trace`) use it
+        to push whole binned rate curves at once.
+        """
+        times = list(times)
+        values = list(values)
+        if len(times) != len(values):
+            raise TraceError(
+                f"record_series times ({len(times)}) and values "
+                f"({len(values)}) differ in length"
+            )
+        self._require(entity)
+        key = (entity, metric)
+        builder = self._signals.get(key)
+        if builder is None:
+            builder = self._signals[key] = SignalBuilder()
+        for time, value in zip(times, values):
+            builder.set(time, value)
+
     def record_event(self, event: VariableEvent) -> None:
         """Record a :class:`VariableEvent` (same as :meth:`record`)."""
         self.record(event.entity, event.metric, event.time, event.value)

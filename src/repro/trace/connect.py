@@ -16,7 +16,12 @@ from collections import defaultdict
 from repro.errors import TraceError
 from repro.trace.trace import Trace, TraceEdge
 
-__all__ = ["communication_matrix", "edges_from_messages", "with_communication_edges"]
+__all__ = [
+    "communication_matrix",
+    "edges_from_messages",
+    "latency_matrix",
+    "with_communication_edges",
+]
 
 
 def communication_matrix(trace: Trace) -> dict[tuple[str, str], float]:
@@ -36,6 +41,43 @@ def communication_matrix(trace: Trace) -> dict[tuple[str, str], float]:
         )
         totals[pair] += float(event.payload.get("size", 0.0))
     return dict(totals)
+
+
+def latency_matrix(
+    trace: Trace,
+) -> dict[tuple[str, str], dict[str, float]]:
+    """Per-pair communication *latency* statistics from message events.
+
+    The latency-weighted companion of :func:`communication_matrix`:
+    each undirected, canonically-ordered pair maps to its message
+    ``count``, total ``volume`` (bytes), summed end-to-end ``latency``
+    and summed queueing ``slack``, read from the payloads causally
+    traced runs attach to their message events
+    (:meth:`repro.obs.causal.CausalTrace.to_trace`).  Events without a
+    ``latency`` payload fall back to ``delivered - sent_at``; missing
+    ``slack`` counts as zero, so the function also works on plain
+    monitor traces.
+    """
+    totals: dict[tuple[str, str], dict[str, float]] = {}
+    for event in trace.events_of_kind("message"):
+        if not event.target or event.source == event.target:
+            continue
+        pair = (
+            (event.source, event.target)
+            if event.source <= event.target
+            else (event.target, event.source)
+        )
+        row = totals.setdefault(
+            pair, {"count": 0.0, "volume": 0.0, "latency": 0.0, "slack": 0.0}
+        )
+        sent_at = float(event.payload.get("sent_at", event.time))
+        row["count"] += 1.0
+        row["volume"] += float(event.payload.get("size", 0.0))
+        row["latency"] += float(
+            event.payload.get("latency", event.time - sent_at)
+        )
+        row["slack"] += float(event.payload.get("slack", 0.0))
+    return totals
 
 
 def edges_from_messages(

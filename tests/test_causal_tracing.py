@@ -260,6 +260,32 @@ class TestCausalTraceQueries:
         with pytest.raises(TraceError):
             causal.top_latency_edges(-1)
 
+    def test_top_latency_edges_tie_break_is_deterministic(self):
+        """Equal-latency edges order on (src, dst, sent_at, src_span) —
+        pinned so two runs of the same trace always agree."""
+        _, _, causal = traced_stencil(iterations=2)
+        k = len(causal.edges)
+        ranking = causal.top_latency_edges(k)
+        keys = [
+            (-e.latency, e.src_process, e.dst_process, e.sent_at, e.src_span)
+            for e in ranking
+        ]
+        assert keys == sorted(keys)
+        # The stencil's symmetric exchanges guarantee latency ties exist,
+        # so the secondary key is actually exercised.
+        latencies = [e.latency for e in ranking]
+        assert len(set(latencies)) < len(latencies)
+        assert ranking == causal.top_latency_edges(k)
+
+    def test_host_of(self):
+        _, _, causal = traced_master_worker()
+        for process in causal.processes():
+            root = [s for s in causal.spans
+                    if s.kind == "process" and s.process == process]
+            assert causal.host_of(process) == root[0].host
+        with pytest.raises(TraceError):
+            causal.host_of("nobody")
+
     def test_counts_by_kind_covers_every_span(self):
         _, _, causal = traced_master_worker()
         counts = causal.counts_by_kind()

@@ -334,6 +334,57 @@ class TestCausal:
         assert "process : 9" in info.replace("  ", " ")
         assert main(["timeline", str(out)]) == 0
 
+
+class TestLatency:
+    def test_master_worker_tables(self, capsys):
+        assert main(["latency", "master-worker", "--workers", "2",
+                     "--tasks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "latency attribution of master-worker" in out
+        assert "conservation" in out
+        assert "processes by caused latency:" in out
+        assert "links by caused latency:" in out
+        assert "path 1:" in out
+
+    def test_stencil_tables(self, capsys):
+        assert main(["latency", "stencil", "--grid", "3", "3",
+                     "--iterations", "2", "--top", "3", "--paths", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "latency attribution of stencil" in out
+        assert "top 3 processes by caused latency:" in out
+
+    def test_svg_topology_colored_by_attribution(self, tmp_path, capsys):
+        svg = tmp_path / "latency.svg"
+        assert main(["latency", "master-worker", "--workers", "2",
+                     "--tasks", "2", "--svg", str(svg)]) == 0
+        out = capsys.readouterr().out
+        assert str(svg) in out and "caused-latency rate range" in out
+        markup = svg.read_text()
+        assert markup.startswith("<svg")
+        assert "caused latency" in markup  # the title
+
+    def test_bands_timeline(self, tmp_path, capsys):
+        svg = tmp_path / "bands.svg"
+        assert main(["latency", "master-worker", "--workers", "2",
+                     "--tasks", "4", "--bands", str(svg),
+                     "--slices", "16"]) == 0
+        assert "bands over" in capsys.readouterr().out
+        assert "<line" in svg.read_text()
+
+    def test_derived_trace_export_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "attribution.trace"
+        assert main(["latency", "master-worker", "--workers", "2",
+                     "--tasks", "2", "--out", str(out),
+                     "--bins", "8"]) == 0
+        capsys.readouterr()
+        trace = read_trace(out)
+        assert trace.entities("host") and trace.entities("link")
+        assert "caused_latency" in trace.metric_names()
+
+    def test_bad_workers_is_usage_error(self, capsys):
+        assert main(["latency", "master-worker", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
     def test_invalid_workers_is_an_error(self, capsys):
         assert main(["causal", "master-worker", "--workers", "0"]) == 2
         assert "workers" in capsys.readouterr().err

@@ -1,0 +1,420 @@
+"""Tests for latency-propagation analytics on the causal DAG.
+
+Four layers under test: the :class:`LatencyAttribution` bookkeeping
+(per-process and per-link charges with their conservation invariants,
+randomized across workloads by hypothesis), the top-k propagation-path
+extraction (causal chaining, edge-disjointness, determinism), the
+derived ``caused_latency`` / ``queue_slack`` / ``msg_count`` trace
+(time-integral conservation, and the headline differential: the fast
+aggregation engine must reproduce the scalar oracle **byte-for-byte**
+on the derived metrics at every depth), and the golden ``format_*``
+tables behind ``repro latency``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.masterworker import AppSpec, run_master_worker
+from repro.apps.stencil import run_stencil
+from repro.core import AggregationEngine, AnalysisSession, TimeSlice, Timeline
+from repro.core.aggregation import aggregate_view
+from repro.core.hierarchy import GroupingState, Hierarchy
+from repro.errors import LayoutError, TraceError
+from repro.obs.latency import (
+    CAUSED_LATENCY,
+    DERIVED_METRICS,
+    MSG_COUNT,
+    QUEUE_SLACK,
+    LatencyAttribution,
+    format_attribution,
+    format_paths,
+    link_name,
+    propagation_paths,
+)
+from repro.platform import Host, Link, Platform
+from repro.platform.cluster import add_cluster
+from repro.platform.regular import torus_platform
+from repro.simulation import CausalTracer, Simulator
+from repro.trace import USAGE
+from repro.trace.builder import TraceBuilder
+from repro.trace.connect import latency_matrix
+
+TOL = 1e-9
+
+
+def traced_master_worker(n_hosts=5, n_tasks=8):
+    platform = Platform()
+    add_cluster(platform, "c", n_hosts)
+    hosts = [h.name for h in platform.hosts]
+    app = AppSpec(name="mw", master=hosts[0], n_tasks=n_tasks,
+                  input_bytes=1e6, task_flops=1e8)
+    tracer = CausalTracer()
+    run_master_worker(platform, [app], tracer=tracer)
+    return tracer.build()
+
+
+def traced_stencil(grid=(3, 3), iterations=3):
+    platform = torus_platform(grid)
+    hosts = [h.name for h in platform.hosts]
+    tracer = CausalTracer()
+    run_stencil(platform, hosts, grid, iterations=iterations, tracer=tracer)
+    return tracer.build()
+
+
+def two_host_platform():
+    p = Platform()
+    p.add_host(Host("a", 1e9))
+    p.add_host(Host("b", 1e9))
+    p.add_link(Link("l", 1e8, latency=1e-4), "a", "b")
+    return p
+
+
+def relay_trace():
+    """Deterministic three-process chain: tx -> relay -> rx, with the
+    relay sleeping before each recv so both edges carry known slack."""
+    p = Platform()
+    for name in ("a", "b", "c"):
+        p.add_host(Host(name, 1e9))
+    p.add_link(Link("ab", 1e8, latency=1e-4), "a", "b")
+    p.add_link(Link("bc", 1e8, latency=1e-4), "b", "c")
+    sim = Simulator(p, tracer=CausalTracer())
+
+    def tx(ctx):
+        yield ctx.send("b", 1e5, "in")
+
+    def relay(ctx):
+        yield ctx.sleep(0.2)
+        yield ctx.recv("in")
+        yield ctx.send("c", 1e5, "out")
+
+    def rx(ctx):
+        yield ctx.sleep(0.5)
+        yield ctx.recv("out")
+
+    sim.spawn(tx, "a", "tx")
+    sim.spawn(relay, "b", "relay")
+    sim.spawn(rx, "c", "rx")
+    sim.run()
+    return sim.tracer.build()
+
+
+# ----------------------------------------------------------------------
+# Attribution + conservation
+# ----------------------------------------------------------------------
+class TestConservation:
+    @pytest.mark.parametrize("build", [traced_master_worker, traced_stencil])
+    def test_both_apps_conserve(self, build):
+        attribution = LatencyAttribution(build())
+        report = attribution.conservation()
+        assert attribution.conserved(tol=TOL)
+        for key in ("latency_error", "slack_error", "link_error",
+                    "critical_error"):
+            assert report[key] <= TOL
+        assert report["edge_latency"] > 0.0
+        assert report["makespan"] > 0.0
+
+    def test_every_process_has_a_row(self):
+        causal = traced_master_worker()
+        attribution = LatencyAttribution(causal)
+        assert set(attribution.by_process) == set(causal.processes())
+        counts = sum(p.msg_count for p in attribution.by_process.values())
+        assert counts == len(causal.edges)
+
+    def test_same_host_messages_skip_links(self):
+        causal = traced_master_worker()
+        attribution = LatencyAttribution(causal)
+        link_msgs = sum(l.msg_count for l in attribution.by_link.values())
+        cross = sum(
+            1 for e in causal.edges
+            if causal.host_of(e.src_process) != causal.host_of(e.dst_process)
+        )
+        assert link_msgs == cross < len(causal.edges)
+        for pair in attribution.by_link:
+            assert pair == tuple(sorted(pair))
+
+    def test_relay_charges_match_hand_computation(self):
+        causal = relay_trace()
+        attribution = LatencyAttribution(causal)
+        first, second = sorted(causal.edges, key=lambda e: e.sent_at)
+        tx = attribution.by_process["tx"]
+        assert tx.caused_latency == pytest.approx(first.latency, abs=TOL)
+        # tx's message arrived while the relay slept until t=0.2.
+        assert tx.queue_slack == pytest.approx(
+            0.2 - first.delivered_at, abs=TOL
+        )
+        relay = attribution.by_process["relay"]
+        assert relay.caused_latency == pytest.approx(second.latency, abs=TOL)
+        assert relay.queue_slack == pytest.approx(
+            0.5 - second.delivered_at, abs=TOL
+        )
+        assert attribution.by_process["rx"].total == 0.0
+        assert set(attribution.by_link) == {("a", "b"), ("b", "c")}
+
+    def test_empty_trace_rejected(self):
+        from repro.obs.causal import CausalTrace
+
+        with pytest.raises(TraceError):
+            LatencyAttribution(CausalTrace([], [], 0.0))
+
+    def test_rankings_deterministic_and_validated(self):
+        attribution = LatencyAttribution(traced_master_worker())
+        top = attribution.top_processes(3)
+        assert len(top) == 3
+        totals = [p.total for p in top]
+        assert totals == sorted(totals, reverse=True)
+        assert attribution.top_processes(0) == []
+        assert attribution.top_links(0) == []
+        with pytest.raises(TraceError):
+            attribution.top_processes(-1)
+        with pytest.raises(TraceError):
+            attribution.top_links(-2)
+
+    def test_link_name_canonical(self):
+        assert link_name("b", "a") == link_name("a", "b") == "a--b"
+
+
+@given(
+    n_hosts=st.integers(min_value=2, max_value=6),
+    n_tasks=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=12, deadline=None)
+def test_master_worker_attribution_conserves(n_hosts, n_tasks):
+    """Per-process charges sum to the edge totals on randomized runs."""
+    causal = traced_master_worker(n_hosts=n_hosts, n_tasks=n_tasks)
+    attribution = LatencyAttribution(causal)
+    attributed = sum(p.caused_latency for p in attribution.by_process.values())
+    assert attributed == pytest.approx(
+        sum(e.latency for e in causal.edges), abs=TOL
+    )
+    assert attribution.conserved(tol=TOL)
+
+
+@given(
+    nx=st.integers(min_value=3, max_value=5),
+    ny=st.integers(min_value=3, max_value=4),
+    iterations=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=10, deadline=None)
+def test_stencil_attribution_conserves(nx, ny, iterations):
+    causal = traced_stencil(grid=(nx, ny), iterations=iterations)
+    attribution = LatencyAttribution(causal)
+    assert attribution.conserved(tol=TOL)
+    report = attribution.conservation()
+    assert report["latency_error"] <= TOL
+    assert report["slack_error"] <= TOL
+
+
+# ----------------------------------------------------------------------
+# Propagation paths
+# ----------------------------------------------------------------------
+class TestPropagationPaths:
+    def test_hops_chain_causally(self):
+        causal = traced_master_worker()
+        for path in propagation_paths(causal, k=5):
+            assert len(path) >= 1
+            for before, after in zip(path.hops, path.hops[1:]):
+                assert before.dst_process == after.src_process
+                assert before.delivered_at <= after.sent_at + 1e-9
+            assert path.weight == pytest.approx(
+                path.total_latency + path.total_slack, abs=TOL
+            )
+            assert len(path.processes()) == len(path) + 1
+
+    def test_paths_edge_disjoint_and_ranked(self):
+        causal = traced_master_worker(n_tasks=12)
+        paths = propagation_paths(causal, k=4)
+        seen = set()
+        for path in paths:
+            for hop in path.hops:
+                key = (hop.src_process, hop.dst_process, hop.sent_at)
+                assert key not in seen
+                seen.add(key)
+        weights = [p.weight for p in paths]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_deterministic_across_calls(self):
+        causal = traced_stencil()
+        first = propagation_paths(causal, k=3)
+        second = propagation_paths(causal, k=3)
+        assert first == second
+
+    def test_relay_chain_found(self):
+        paths = propagation_paths(relay_trace(), k=1)
+        (path,) = paths
+        assert path.processes() == ["tx", "relay", "rx"]
+        assert len(path) == 2
+
+    def test_k_validation(self):
+        causal = relay_trace()
+        assert propagation_paths(causal, k=0) == []
+        with pytest.raises(TraceError):
+            propagation_paths(causal, k=-1)
+
+
+# ----------------------------------------------------------------------
+# Derived trace: conservation + byte-identical aggregation
+# ----------------------------------------------------------------------
+class TestDerivedTrace:
+    def test_integrals_recover_charges(self):
+        causal = traced_master_worker()
+        attribution = LatencyAttribution(causal)
+        derived = attribution.to_trace(bins=16)
+        end = causal.end_time
+        by_host_lat = {}
+        by_host_msgs = {}
+        for p in attribution.by_process.values():
+            by_host_lat[p.host] = by_host_lat.get(p.host, 0.0) \
+                + p.caused_latency
+            by_host_msgs[p.host] = by_host_msgs.get(p.host, 0) + p.msg_count
+        for host, want in by_host_lat.items():
+            entity = derived.entity(host)
+            got = entity.signal(CAUSED_LATENCY).integrate(0.0, end)
+            assert got == pytest.approx(want, abs=TOL)
+            msgs = entity.signal(MSG_COUNT).integrate(0.0, end)
+            assert msgs == pytest.approx(by_host_msgs[host], abs=1e-6)
+        for link in attribution.by_link.values():
+            entity = derived.entity(link.name)
+            assert entity.signal(CAUSED_LATENCY).integrate(
+                0.0, end
+            ) == pytest.approx(link.caused_latency, abs=TOL)
+            assert entity.signal(QUEUE_SLACK).integrate(
+                0.0, end
+            ) == pytest.approx(link.queue_slack, abs=TOL)
+
+    def test_trace_shape_and_metadata(self):
+        causal = traced_stencil(iterations=2)
+        attribution = LatencyAttribution(causal)
+        derived = attribution.to_trace(bins=8)
+        hosts = {p.host for p in attribution.by_process.values()}
+        assert len(derived.entities("host")) == len(hosts)
+        assert len(derived.entities("link")) == len(attribution.by_link)
+        assert set(DERIVED_METRICS) < set(derived.metric_names())
+        assert derived.meta["bins"] == 8
+        assert derived.meta["n_causal_edges"] == len(causal.edges)
+        comm = [e for e in derived.edges if e.source == "communication"]
+        assert len(comm) == len(attribution.by_link)
+        for edge in comm:
+            assert edge.via == link_name(edge.a, edge.b)
+
+    def test_usage_mirrors_caused_latency(self):
+        attribution = LatencyAttribution(traced_master_worker())
+        derived = attribution.to_trace(bins=8)
+        end = attribution.causal.end_time
+        for entity in derived:
+            assert entity.signal(USAGE).integrate(0.0, end) == entity.signal(
+                CAUSED_LATENCY
+            ).integrate(0.0, end)
+
+    def test_bins_validation(self):
+        attribution = LatencyAttribution(traced_master_worker())
+        with pytest.raises(TraceError):
+            attribution.to_trace(bins=0)
+
+    @pytest.mark.parametrize("depth", [0, 1])
+    def test_fast_engine_matches_scalar_oracle_byte_for_byte(self, depth):
+        """The acceptance differential: the derived metrics through the
+        fast AggregationEngine equal the scalar oracle exactly — not
+        approximately — at every aggregation depth and slice."""
+        attribution = LatencyAttribution(traced_master_worker())
+        derived = attribution.to_trace(bins=16)
+        hierarchy = Hierarchy.from_trace(derived)
+        grouping = GroupingState(hierarchy)
+        if depth:
+            grouping.collapse_depth(depth)
+        engine = AggregationEngine(derived)
+        start, end = derived.span()
+        third = (end - start) / 3.0
+        slices = [
+            TimeSlice(start, end),
+            TimeSlice(start + third, end - third),
+            TimeSlice(start, start + third),
+        ]
+        for tslice in slices:
+            fast = engine.view(grouping, tslice)
+            slow = aggregate_view(derived, grouping, tslice)
+            assert set(fast.units) == set(slow.units)
+            for key, want in slow.units.items():
+                got = fast.units[key]
+                for metric, ref in want.values.items():
+                    assert got.values[metric] == ref  # byte-identical
+
+    def test_session_serves_derived_metrics(self):
+        attribution = LatencyAttribution(traced_master_worker())
+        derived = attribution.to_trace(bins=8)
+        session = AnalysisSession(derived, seed=0)
+        assert set(DERIVED_METRICS) < set(session.metric_names())
+        view = session.view(settle=False)
+        lo, hi = view.metric_range(CAUSED_LATENCY)
+        assert 0.0 <= lo <= hi
+        top = view.top_nodes(CAUSED_LATENCY, n=3)
+        assert len(top) == 3
+        values = [n.values.get(CAUSED_LATENCY, 0.0) for n in top]
+        assert values == sorted(values, reverse=True)
+        with pytest.raises(LayoutError):
+            view.metric_range("no-such-metric")
+        with pytest.raises(LayoutError):
+            view.top_nodes(CAUSED_LATENCY, n=-1)
+
+
+# ----------------------------------------------------------------------
+# Builder + connect helpers
+# ----------------------------------------------------------------------
+class TestHelpers:
+    def test_record_series_sets_signal_points(self):
+        builder = TraceBuilder()
+        builder.declare_entity("h", "host", ("site", "h"))
+        builder.record_series("h", "load", [0.0, 1.0, 2.0], [1.0, 3.0, 0.0])
+        trace = builder.build()
+        signal = trace.entity("h").signal("load")
+        assert signal.integrate(0.0, 2.0) == pytest.approx(4.0)
+
+    def test_record_series_validates(self):
+        builder = TraceBuilder()
+        builder.declare_entity("h", "host", ("site", "h"))
+        with pytest.raises(TraceError):
+            builder.record_series("h", "load", [0.0, 1.0], [1.0])
+        with pytest.raises(TraceError):
+            builder.record_series("ghost", "load", [0.0], [1.0])
+
+    def test_latency_matrix_from_causal_trace(self):
+        causal = traced_master_worker()
+        matrix = latency_matrix(causal.to_trace())
+        assert matrix
+        attribution = LatencyAttribution(causal)
+        total = sum(cell["latency"] for cell in matrix.values())
+        assert total == pytest.approx(attribution.total_latency, abs=1e-6)
+        for pair, cell in matrix.items():
+            assert pair == tuple(sorted(pair))
+            assert cell["count"] >= 1
+            assert cell["latency"] >= 0.0 and cell["slack"] >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Golden tables
+# ----------------------------------------------------------------------
+class TestGoldenFormat:
+    def test_format_attribution_golden(self):
+        attribution = LatencyAttribution(relay_trace())
+        assert format_attribution(attribution, top=2) == GOLDEN_ATTRIBUTION
+
+    def test_format_paths_golden(self):
+        paths = propagation_paths(relay_trace(), k=2)
+        assert format_paths(paths) == GOLDEN_PATHS
+
+    def test_format_paths_empty(self):
+        assert format_paths([]) == (
+            "no propagation paths (the trace has no causal edges)"
+        )
+
+    def test_format_attribution_mentions_conservation(self):
+        attribution = LatencyAttribution(traced_stencil(iterations=2))
+        text = format_attribution(attribution)
+        assert "conservation" in text
+        assert "top 5 processes by caused latency:" in text
+        assert "top" in text and "links by caused latency:" in text
+
+
+GOLDEN_ATTRIBUTION = 'messages       2\ntotal latency  0.0022 s\ntotal slack    0.4978 s\nmakespan       0.5 s (comm share 0 s)\nconservation   latency err 0, slack err 0, link err 0, critical err 0\ntop 2 processes by caused latency:\n  process                   latency s    slack s   msgs   crit s\n  relay                        0.0011     0.2989      1        0\n  tx                           0.0011     0.1989      1        0\ntop 2 links by caused latency:\n  link                      latency s    slack s   msgs      bytes\n  b--c                         0.0011     0.2989      1      1e+05\n  a--b                         0.0011     0.1989      1      1e+05'
+
+GOLDEN_PATHS = 'path 1: 2 hops, weight 0.5 s (latency 0.0022, slack 0.4978)\n  tx -> relay                    sent 0          latency 0.0011     slack 0.1989\n  relay -> rx                       sent 0.2        latency 0.0011     slack 0.2989'

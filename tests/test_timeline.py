@@ -1,8 +1,14 @@
-"""Tests for the behavioral timeline (Gantt) view and state tracing."""
+"""Tests for the behavioral timeline (Gantt) view and state tracing,
+including the scalable communication bands and arrow window-clipping."""
 
 import pytest
 
-from repro.core.timeline import Timeline
+from repro.core.timeline import (
+    AUTO_BAND_THRESHOLD,
+    CommArrow,
+    StateSpan,
+    Timeline,
+)
 from repro.errors import RenderError, TraceError
 from repro.mpi import run_nas_dt, sequential_deployment, white_hole
 from repro.platform import Host, Link, Platform, two_cluster_platform
@@ -145,6 +151,143 @@ class TestTimelineRendering:
         timeline = Timeline.from_trace(traced_run())
         with pytest.raises(RenderError):
             timeline.render_ascii(columns=10)
+
+
+def synthetic_timeline(n_rows=4, n_arrows=12, start=0.0, end=10.0):
+    """A hand-built timeline with a known arrow pattern: row i sends to
+    row (i + 1) % n_rows at evenly spaced times."""
+    rows = [f"p{i}" for i in range(n_rows)]
+    spans = {
+        row: [StateSpan(row, "compute", start, end)] for row in rows
+    }
+    arrows = [
+        CommArrow(
+            src=rows[i % n_rows],
+            dst=rows[(i + 1) % n_rows],
+            sent_at=start + (end - start) * i / max(n_arrows, 1),
+            delivered_at=start + (end - start) * (i + 0.5) / max(n_arrows, 1),
+            size=100.0 * (i + 1),
+        )
+        for i in range(n_arrows)
+    ]
+    groups = {row: f"h{i // 2}" for i, row in enumerate(rows)}
+    return Timeline(rows=rows, spans=spans, arrows=arrows, start=start,
+                    end=end, groups=groups)
+
+
+class TestArrowClipping:
+    def test_arrow_outside_window_dropped(self):
+        timeline = synthetic_timeline(n_arrows=0)
+        before = CommArrow("p0", "p1", -5.0, -1.0, 1.0)
+        after = CommArrow("p0", "p1", 11.0, 12.0, 1.0)
+        assert timeline._clip_arrow(before) is None
+        assert timeline._clip_arrow(after) is None
+
+    def test_arrow_inside_window_untouched(self):
+        timeline = synthetic_timeline(n_arrows=0)
+        arrow = CommArrow("p0", "p1", 2.0, 3.0, 1.0)
+        (t0, s0), (t1, s1) = timeline._clip_arrow(arrow)
+        assert (t0, s0) == (2.0, 0.0)
+        assert (t1, s1) == (3.0, 1.0)
+
+    def test_arrow_straddling_start_is_clipped(self):
+        timeline = synthetic_timeline(n_arrows=0)
+        arrow = CommArrow("p0", "p1", -2.0, 2.0, 1.0)
+        (t0, s0), (t1, s1) = timeline._clip_arrow(arrow)
+        assert t0 == pytest.approx(0.0)
+        assert s0 == pytest.approx(0.5)  # halfway along the original
+        assert (t1, s1) == (2.0, 1.0)
+
+    def test_arrow_straddling_end_is_clipped(self):
+        timeline = synthetic_timeline(n_arrows=0)
+        arrow = CommArrow("p0", "p1", 9.0, 13.0, 1.0)
+        (t0, s0), (t1, s1) = timeline._clip_arrow(arrow)
+        assert (t0, s0) == (9.0, 0.0)
+        assert t1 == pytest.approx(10.0)
+        assert s1 == pytest.approx(0.25)
+
+    def test_render_drops_outside_arrows(self):
+        timeline = synthetic_timeline(n_arrows=0)
+        timeline.arrows.append(CommArrow("p0", "p1", -5.0, -1.0, 1.0))
+        timeline.arrows.append(CommArrow("p0", "p1", 1.0, 2.0, 1.0))
+        markup = timeline.render_svg(mode="arrows")
+        assert markup.count("<line") == 1
+
+
+class TestCommBands:
+    def test_band_count_is_bounded(self):
+        timeline = synthetic_timeline(n_rows=4, n_arrows=500)
+        for slices in (1, 8, 64):
+            bands = timeline.bands(slices=slices)
+            groups = len(set(timeline.groups.values()))
+            assert len(bands) <= 2 * groups * slices
+            assert sum(b.count for b in bands) == 500
+
+    def test_bands_aggregate_count_and_volume(self):
+        timeline = synthetic_timeline(n_rows=2, n_arrows=10)
+        bands = timeline.bands(slices=1)
+        assert sum(b.count for b in bands) == 10
+        assert sum(b.volume for b in bands) == pytest.approx(
+            sum(a.size for a in timeline.arrows)
+        )
+        for band in bands:
+            assert band.direction in (-1, 1)
+            assert band.t0 == timeline.start
+            assert band.t1 == timeline.end
+            assert 0 <= band.mean_src < len(timeline.rows)
+            assert 0 <= band.mean_dst < len(timeline.rows)
+
+    def test_same_row_messages_skipped(self):
+        timeline = synthetic_timeline(n_arrows=0)
+        timeline.arrows.append(CommArrow("p0", "p0", 1.0, 2.0, 5.0))
+        assert timeline.bands() == []
+
+    def test_bands_deterministic_and_sorted(self):
+        timeline = synthetic_timeline(n_rows=4, n_arrows=100)
+        first = timeline.bands(slices=16)
+        second = timeline.bands(slices=16)
+        assert first == second
+        keys = [(b.group, b.direction, b.slice_index) for b in first]
+        assert keys == sorted(keys)
+
+    def test_slices_validated(self):
+        with pytest.raises(RenderError):
+            synthetic_timeline().bands(slices=0)
+
+    def test_from_trace_fills_groups(self):
+        timeline = Timeline.from_trace(traced_run())
+        assert timeline.groups == {"producer": "a", "consumer": "b"}
+
+
+class TestBandRendering:
+    def test_bands_mode_bounds_svg_elements(self):
+        many = synthetic_timeline(n_rows=4, n_arrows=5000)
+        arrows_markup = many.render_svg(mode="arrows")
+        bands_markup = many.render_svg(mode="bands", slices=32)
+        groups = len(set(many.groups.values()))
+        assert arrows_markup.count("<line") == 5000
+        assert bands_markup.count("<line") <= 2 * groups * 32
+
+    def test_auto_mode_switches_on_threshold(self):
+        few = synthetic_timeline(n_arrows=10)
+        many = synthetic_timeline(n_arrows=30)
+        assert few.render_svg(mode="auto", max_arrows=20).count("<line") == 10
+        auto = many.render_svg(mode="auto", max_arrows=20, slices=8)
+        assert auto.count("<line") < 30
+        assert "msgs" in auto  # band tooltips
+
+    def test_default_threshold_exported(self):
+        assert AUTO_BAND_THRESHOLD == 2000
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(RenderError):
+            synthetic_timeline().render_svg(mode="laser")
+
+    def test_band_visual_encoding(self):
+        timeline = synthetic_timeline(n_rows=2, n_arrows=64)
+        markup = timeline.render_svg(mode="bands", slices=4)
+        assert "stroke-opacity" in markup
+        assert "stroke-width" in markup
 
 
 class TestTimelineOnNasDT:
